@@ -1,0 +1,194 @@
+// Ablation microbenchmarks of the real CPU substrates (google-benchmark).
+//
+// These measure the library's own numerics, not the GPU model:
+//   * SGEMM: blocked+packed+parallel vs the naive oracle;
+//   * FFT: DIT vs DIF schedules across sizes;
+//   * im2col lowering throughput;
+//   * the three convolution strategies head-to-head on one geometry —
+//     the CPU mirror of Fig. 3(d)'s strategy crossover.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/cgemm.hpp"
+#include "blas/gemm.hpp"
+#include "conv/conv_engine.hpp"
+#include "conv/im2col.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "fft/fft.hpp"
+
+namespace {
+
+using namespace gpucnn;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+// --- SGEMM: blocked vs naive ----------------------------------------
+
+void BM_SgemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 1);
+  const auto b = random_vec(n * n, 2);
+  std::vector<float> c(n * n, 0.0F);
+  for (auto _ : state) {
+    blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, n, n, n, 1.0F, a, n, b,
+                n, 0.0F, c, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SgemmBlocked)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SgemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 1);
+  const auto b = random_vec(n * n, 2);
+  std::vector<float> c(n * n, 0.0F);
+  for (auto _ : state) {
+    blas::sgemm_naive(blas::Trans::kNo, blas::Trans::kNo, n, n, n, 1.0F, a,
+                      n, b, n, 0.0F, c, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SgemmNaive)->Arg(128)->Arg(256);
+
+// --- FFT schedules ---------------------------------------------------
+
+void BM_FftDit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::Plan plan(n, fft::Schedule::kDit);
+  std::vector<fft::Complex> data(n);
+  Rng rng(3);
+  for (auto& v : data) {
+    v = fft::Complex(static_cast<float>(rng.uniform(-1, 1)),
+                     static_cast<float>(rng.uniform(-1, 1)));
+  }
+  for (auto _ : state) {
+    plan.transform(data, fft::Direction::kForward);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_FftDit)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FftDif(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::Plan plan(n, fft::Schedule::kDif);
+  std::vector<fft::Complex> data(n);
+  Rng rng(3);
+  for (auto& v : data) {
+    v = fft::Complex(static_cast<float>(rng.uniform(-1, 1)),
+                     static_cast<float>(rng.uniform(-1, 1)));
+  }
+  for (auto _ : state) {
+    plan.transform(data, fft::Direction::kForward);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_FftDif)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Fft2d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::Plan plan(n);
+  std::vector<fft::Complex> data(n * n, fft::Complex{1.0F, 0.0F});
+  for (auto _ : state) {
+    fft::transform_2d(data, plan, plan, fft::Direction::kForward);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft2d)->Arg(64)->Arg(128);
+
+// --- im2col ----------------------------------------------------------
+
+void BM_Im2col(benchmark::State& state) {
+  const ConvConfig cfg{.batch = 1, .input = 64,
+                       .channels = static_cast<std::size_t>(state.range(0)),
+                       .filters = 1, .kernel = 3, .stride = 1, .pad = 1};
+  const auto input = random_vec(cfg.channels * 64 * 64, 4);
+  std::vector<float> col(conv::col_buffer_size(cfg));
+  for (auto _ : state) {
+    conv::im2col(cfg, input, col);
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(col.size() * 4 * state.iterations()));
+}
+BENCHMARK(BM_Im2col)->Arg(8)->Arg(32);
+
+// --- convolution strategies (CPU mirror of Fig. 3(d)) ----------------
+
+void conv_strategy_bench(benchmark::State& state, conv::Strategy strategy) {
+  const ConvConfig cfg{
+      .batch = 2, .input = 32, .channels = 4, .filters = 8,
+      .kernel = static_cast<std::size_t>(state.range(0)), .stride = 1};
+  const auto engine = conv::make_engine(strategy);
+  Rng rng(5);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  Tensor out(cfg.output_shape());
+  for (auto _ : state) {
+    engine->forward(cfg, in, w, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      cfg.forward_flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ConvDirect(benchmark::State& state) {
+  conv_strategy_bench(state, conv::Strategy::kDirect);
+}
+void BM_ConvUnrolling(benchmark::State& state) {
+  conv_strategy_bench(state, conv::Strategy::kUnrolling);
+}
+void BM_ConvFft(benchmark::State& state) {
+  conv_strategy_bench(state, conv::Strategy::kFft);
+}
+BENCHMARK(BM_ConvDirect)->Arg(3)->Arg(7)->Arg(13);
+BENCHMARK(BM_ConvUnrolling)->Arg(3)->Arg(7)->Arg(13);
+BENCHMARK(BM_ConvFft)->Arg(3)->Arg(7)->Arg(13);
+void BM_ConvWinograd(benchmark::State& state) {
+  conv_strategy_bench(state, conv::Strategy::kWinograd);
+}
+BENCHMARK(BM_ConvWinograd)->Arg(3);  // F(2x2,3x3): 3x3 kernels only
+
+// --- CGEMM pointwise stage -------------------------------------------
+
+void BM_CgemmPointwise(benchmark::State& state) {
+  // The per-frequency product of FFT convolution: many tiny NT GEMMs.
+  const std::size_t bins = 1024;
+  const std::size_t n = 8, c = 4, f = 8;
+  std::vector<blas::Complex> a(bins * n * c, {1.0F, 0.5F});
+  std::vector<blas::Complex> b(bins * f * c, {0.5F, -1.0F});
+  std::vector<blas::Complex> out(bins * n * f);
+  for (auto _ : state) {
+    for (std::size_t bin = 0; bin < bins; ++bin) {
+      blas::cgemm_nt_conj(
+          n, f, c, {1.0F, 0.0F},
+          std::span<const blas::Complex>(a).subspan(bin * n * c, n * c), c,
+          std::span<const blas::Complex>(b).subspan(bin * f * c, f * c), c,
+          {0.0F, 0.0F},
+          std::span<blas::Complex>(out).subspan(bin * n * f, n * f), f);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CgemmPointwise);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Figure 2 — "Runtime breakdown of typical real-life CNN models:
+// GoogLeNet, VGG, OverFeat and AlexNet."
+//
+// One simulated training iteration (forward + backward) of each model,
+// layer by layer, rolled up by layer type. Paper anchor: convolutional
+// layers consume the bulk of total runtime — 86%, 89%, 90% and 94%
+// respectively for the four models.
+#include <iostream>
+
+#include "analysis/model_breakdown.hpp"
+#include "analysis/report.hpp"
+
+namespace {
+
+using namespace gpucnn;
+using namespace gpucnn::analysis;
+using nn::LayerSpec;
+
+constexpr LayerSpec::Kind kKinds[] = {
+    LayerSpec::Kind::kConv,    LayerSpec::Kind::kPool,
+    LayerSpec::Kind::kRelu,    LayerSpec::Kind::kFc,
+    LayerSpec::Kind::kConcat,  LayerSpec::Kind::kLrn,
+    LayerSpec::Kind::kDropout, LayerSpec::Kind::kSoftmax,
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Figure 2 (ICPP'16 GPU-CNN study): per-layer-"
+               "type runtime breakdown of one training iteration.\n"
+               "Paper anchors: conv share 86% / 89% / 90% / 94% for "
+               "GoogLeNet / VGG / OverFeat / AlexNet.\n";
+
+  Table table("Fig. 2: runtime share by layer type");
+  table.header({"model", "batch", "total (ms)", "Conv", "Pooling", "Relu",
+                "FC", "Concat", "LRN", "Dropout", "Softmax"});
+  for (const auto& model : nn::figure2_models()) {
+    const auto b = breakdown_model(model);
+    std::vector<std::string> row{model.name, std::to_string(model.batch),
+                                 fmt(b.total_ms, 0)};
+    for (const auto kind : kKinds) {
+      row.push_back(fmt_percent(b.share(kind)));
+    }
+    table.row(row);
+  }
+  table.print(std::cout);
+
+  // Per-layer detail for AlexNet (the paper's headline model).
+  const auto alex = breakdown_model(nn::alexnet());
+  Table detail("AlexNet per-layer simulated times (training iteration)");
+  detail.header({"layer", "type", "time (ms)"});
+  for (const auto& l : alex.layers) {
+    detail.row({l.name, std::string(nn::to_string(l.kind)),
+                fmt(l.time_ms, 2)});
+  }
+  detail.print(std::cout);
+  return 0;
+}

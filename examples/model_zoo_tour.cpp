@@ -1,0 +1,57 @@
+// Tour of the model zoo: prints the architecture and parameter counts of
+// the CNNs the paper's introduction cites (AlexNet >60M parameters,
+// VGG >144M (VGG-19), GoogLeNet ~6.8M), then the simulated per-layer-
+// type runtime breakdown of each — the Fig. 2 analysis as a library
+// call.
+//
+// Run:  ./model_zoo_tour
+#include <iostream>
+
+#include "analysis/model_breakdown.hpp"
+#include "analysis/report.hpp"
+
+using namespace gpucnn;
+using namespace gpucnn::analysis;
+
+int main() {
+  std::vector<nn::ModelSpec> zoo;
+  zoo.push_back(nn::lenet5());
+  zoo.push_back(nn::alexnet());
+  zoo.push_back(nn::vgg16());
+  zoo.push_back(nn::vgg19());
+  zoo.push_back(nn::googlenet());
+  zoo.push_back(nn::overfeat());
+
+  Table table("model zoo");
+  table.header({"model", "layers", "conv", "fc", "parameters (M)",
+                "paper reference"});
+  const char* refs[] = {
+      "LeNet-5 (Fig. 1 walkthrough)",
+      "\"more than 60 million parameters\"",
+      "13 conv + 3 fc",
+      "\"19 layers ... over 144 million parameters\"",
+      "\"22 layers with about 6.8 million\"",
+      "OverFeat fast",
+  };
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    const auto& m = zoo[i];
+    table.row({m.name, std::to_string(m.layers.size()),
+               std::to_string(m.count(nn::LayerSpec::Kind::kConv)),
+               std::to_string(m.count(nn::LayerSpec::Kind::kFc)),
+               fmt(m.parameter_count() / 1e6, 1), refs[i]});
+  }
+  table.print(std::cout);
+
+  Table shares("simulated training-iteration share by layer type");
+  shares.header({"model", "total (ms)", "conv", "pool", "relu", "fc"});
+  for (const auto& m : zoo) {
+    const auto b = breakdown_model(m);
+    shares.row({m.name, fmt(b.total_ms, 0),
+                fmt_percent(b.share(nn::LayerSpec::Kind::kConv)),
+                fmt_percent(b.share(nn::LayerSpec::Kind::kPool)),
+                fmt_percent(b.share(nn::LayerSpec::Kind::kRelu)),
+                fmt_percent(b.share(nn::LayerSpec::Kind::kFc))});
+  }
+  shares.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduce-all driver: regenerates every paper figure's data as CSV for
+// downstream plotting.
+//
+// Run:  ./reproduce_all [output_dir]     (default: paper_output)
+// Writes fig2_breakdown.csv, fig3_<sweep>.csv, fig4_hotspots.csv,
+// fig5_<sweep>.csv, fig6_metrics.csv, fig7_transfers.csv.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/model_breakdown.hpp"
+#include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
+
+using namespace gpucnn;
+using namespace gpucnn::analysis;
+
+namespace {
+
+void write(const Table& table, const std::filesystem::path& path) {
+  std::ofstream os(path);
+  check(os.is_open(), "cannot write " + path.string());
+  table.to_csv(os);
+  std::cout << "wrote " << path.string() << "\n";
+}
+
+std::vector<std::string> framework_header(const std::string& first) {
+  std::vector<std::string> head{first};
+  for (const auto id : frameworks::all_frameworks()) {
+    head.emplace_back(frameworks::to_string(id));
+  }
+  return head;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir =
+      argc > 1 ? argv[1] : "paper_output";
+  std::filesystem::create_directories(dir);
+
+  // Figure 2.
+  {
+    Table t("fig2");
+    t.header({"model", "conv", "pool", "relu", "fc", "concat", "lrn"});
+    for (const auto& model : nn::figure2_models()) {
+      const auto b = breakdown_model(model);
+      using K = nn::LayerSpec::Kind;
+      t.row({model.name, fmt(b.share(K::kConv), 4),
+             fmt(b.share(K::kPool), 4), fmt(b.share(K::kRelu), 4),
+             fmt(b.share(K::kFc), 4), fmt(b.share(K::kConcat), 4),
+             fmt(b.share(K::kLrn), 4)});
+    }
+    write(t, dir / "fig2_breakdown.csv");
+  }
+
+  // Figures 3 and 5 share the sweeps.
+  for (const auto& spec : paper_sweeps()) {
+    Table runtime("fig3");
+    runtime.header(framework_header(to_string(spec.parameter)));
+    Table memory("fig5");
+    memory.header(framework_header(to_string(spec.parameter)));
+    for (const auto& point : run_sweep(spec)) {
+      std::vector<std::string> rt{std::to_string(point.value)};
+      std::vector<std::string> mem{std::to_string(point.value)};
+      for (const auto& r : point.results) {
+        rt.push_back(!r.supported ? "" : fmt(r.runtime_ms, 3));
+        mem.push_back(!r.supported ? "" : fmt(r.peak_mb, 1));
+      }
+      runtime.row(rt);
+      memory.row(mem);
+    }
+    const std::string suffix = to_string(spec.parameter) + ".csv";
+    write(runtime, dir / ("fig3_" + suffix));
+    write(memory, dir / ("fig5_" + suffix));
+  }
+
+  // Figure 4: hotspot kernels at the representative configuration.
+  {
+    Table t("fig4");
+    t.header({"implementation", "kernel", "class", "time_ms", "share"});
+    for (const auto& r : evaluate_all(base_config())) {
+      if (!r.supported) continue;
+      for (const auto& h : r.hotspots) {
+        t.row({std::string(frameworks::to_string(r.framework)), h.name,
+               gpusim::to_string(h.kind), fmt(h.total_ms, 3),
+               fmt(h.share, 4)});
+      }
+    }
+    write(t, dir / "fig4_hotspots.csv");
+  }
+
+  // Figure 6 metrics and Figure 7 transfer shares over Table I.
+  {
+    Table metrics("fig6");
+    metrics.header({"layer", "implementation", "runtime_ms", "occupancy",
+                    "ipc", "wee", "gld", "gst", "shared"});
+    Table transfers("fig7");
+    transfers.header({"layer", "implementation", "transfer_share"});
+    for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+      for (const auto& r : evaluate_all(TableOne::layer(i))) {
+        if (!r.supported) continue;
+        metrics.row({TableOne::name(i),
+                     std::string(frameworks::to_string(r.framework)),
+                     fmt(r.kernel_ms, 2),
+                     fmt(r.metrics.achieved_occupancy, 2),
+                     fmt(r.metrics.ipc, 3),
+                     fmt(r.metrics.warp_execution_efficiency, 2),
+                     fmt(r.metrics.gld_efficiency, 2),
+                     fmt(r.metrics.gst_efficiency, 2),
+                     fmt(r.metrics.shared_efficiency, 2)});
+        transfers.row({TableOne::name(i),
+                       std::string(frameworks::to_string(r.framework)),
+                       fmt(r.transfer_share, 4)});
+      }
+    }
+    write(metrics, dir / "fig6_metrics.csv");
+    write(transfers, dir / "fig7_transfers.csv");
+  }
+
+  std::cout << "done; plot-ready CSVs in " << dir.string() << "\n";
+  return 0;
+}

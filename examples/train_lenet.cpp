@@ -1,0 +1,63 @@
+// Trains the paper's §II.A walkthrough model — LeNet-5 (Fig. 1) — on a
+// synthetic 10-class digit-like dataset, end to end on the real CPU
+// engines, reporting loss and accuracy per epoch.
+//
+// Run:  ./train_lenet [epochs]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/timer.hpp"
+#include "nn/model_spec.hpp"
+#include "nn/sgd.hpp"
+#include "nn/softmax.hpp"
+#include "nn/synthetic_data.hpp"
+
+using namespace gpucnn;
+
+int main(int argc, char** argv) {
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 3;
+  constexpr std::size_t kBatch = 32;
+  constexpr int kStepsPerEpoch = 25;
+
+  const auto spec = nn::lenet5(kBatch);
+  std::cout << "LeNet-5: " << spec.layers.size() << " layers, "
+            << spec.parameter_count() << " parameters\n";
+
+  auto net = spec.instantiate(conv::Strategy::kUnrolling);
+  Rng rng(7);
+  net.initialize(rng);
+
+  nn::SyntheticDataset data(/*classes=*/10, /*channels=*/1,
+                            /*image_size=*/32, /*noise=*/0.35);
+  nn::Sgd sgd(net, {.learning_rate = 0.03, .momentum = 0.9,
+                    .weight_decay = 1e-4});
+
+  Tensor grad;
+  Timer timer;
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    for (int step = 0; step < kStepsPerEpoch; ++step) {
+      const auto batch = data.sample(kBatch);
+      net.zero_grad();
+      const Tensor& probs = net.forward(batch.images);
+      loss_sum += nn::cross_entropy_loss(probs, batch.labels);
+      acc_sum += nn::accuracy(probs, batch.labels);
+      nn::cross_entropy_prob_grad(probs, batch.labels, grad);
+      net.backward(grad);
+      sgd.step();
+    }
+    std::cout << "epoch " << epoch << "  loss "
+              << loss_sum / kStepsPerEpoch << "  train accuracy "
+              << acc_sum / kStepsPerEpoch << "\n";
+  }
+
+  net.set_training(false);
+  const auto eval = data.sample(512);
+  const Tensor& probs = net.forward(eval.images);
+  std::cout << "eval accuracy on 512 fresh samples: "
+            << nn::accuracy(probs, eval.labels) << "\n"
+            << "total training time: " << timer.elapsed_ms() / 1000.0
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "analysis/conv_runner.hpp"
+
+#include "gpusim/memory_tracker.hpp"
+
+namespace gpucnn::analysis {
+
+double LayerResult::forward_ms() const {
+  const auto it = pass_ms.find(gpusim::Pass::kForward);
+  return it == pass_ms.end() ? 0.0 : it->second;
+}
+
+double LayerResult::backward_ms() const {
+  double total = 0.0;
+  for (const auto& [pass, ms] : pass_ms) {
+    if (pass != gpusim::Pass::kForward) total += ms;
+  }
+  return total;
+}
+
+LayerResult evaluate(frameworks::FrameworkId id, const ConvConfig& cfg,
+                     const gpusim::DeviceSpec& dev) {
+  LayerResult result;
+  result.framework = id;
+  result.config = cfg;
+
+  const auto& fw = frameworks::framework(id);
+  const auto support = fw.supports(cfg);
+  if (!support.ok) {
+    result.supported = false;
+    result.unsupported_reason = support.reason;
+    return result;
+  }
+
+  const auto plan = fw.plan(cfg);
+
+  // Memory: replay the allocations through the tracker; the attempted
+  // peak is reported even when the device capacity is exceeded.
+  gpusim::MemoryTracker tracker(dev);
+  for (const auto& item : plan.memory) {
+    try {
+      tracker.allocate(item.label, item.bytes);
+    } catch (const gpusim::OutOfDeviceMemory&) {
+      result.out_of_memory = true;
+    }
+  }
+  result.peak_mb = plan.peak_bytes() / 1048576.0;
+
+  // Runtime and metrics.
+  gpusim::Profiler profiler(dev);
+  for (const auto& kernel : plan.kernels) {
+    result.pass_ms[kernel.pass] += profiler.launch(kernel).duration_ms;
+  }
+  for (const auto& transfer : plan.transfers) profiler.transfer(transfer);
+  result.kernel_ms = profiler.kernel_ms();
+  result.transfer_ms = profiler.transfer_ms();
+  result.runtime_ms = profiler.total_ms();
+  result.transfer_share = profiler.transfer_share();
+  result.hotspots = profiler.hotspots();
+  result.metrics = profiler.weighted_metrics();
+  return result;
+}
+
+std::vector<LayerResult> evaluate_all(const ConvConfig& cfg,
+                                      const gpusim::DeviceSpec& dev) {
+  std::vector<LayerResult> out;
+  out.reserve(frameworks::kAllFrameworks.size());
+  for (const auto id : frameworks::all_frameworks()) {
+    out.push_back(evaluate(id, cfg, dev));
+  }
+  return out;
+}
+
+}  // namespace gpucnn::analysis

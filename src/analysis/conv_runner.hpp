@@ -1,0 +1,56 @@
+// Evaluation driver: runs one framework on one convolution configuration
+// through the GPU simulator and collects everything the paper's figures
+// need — runtime, memory peak, hotspot kernels, weighted metrics and the
+// transfer share.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/shape.hpp"
+#include "frameworks/framework.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/profiler.hpp"
+
+namespace gpucnn::analysis {
+
+/// Everything measured for one (framework, config) pair.
+struct LayerResult {
+  frameworks::FrameworkId framework{};
+  ConvConfig config;
+
+  bool supported = true;
+  std::string unsupported_reason;
+  bool out_of_memory = false;
+
+  double runtime_ms = 0.0;   ///< kernels + exposed transfers
+  double kernel_ms = 0.0;
+  double transfer_ms = 0.0;
+  double transfer_share = 0.0;  ///< [0, 1]
+  double peak_mb = 0.0;         ///< would-be peak even when OOM
+
+  std::vector<gpusim::KernelSummary> hotspots;
+  gpusim::WeightedMetrics metrics;
+
+  /// Kernel time split by training pass (convnet-benchmarks style).
+  std::map<gpusim::Pass, double> pass_ms;
+  [[nodiscard]] double forward_ms() const;
+  [[nodiscard]] double backward_ms() const;  ///< data + filter + aux
+};
+
+/// Simulates one training iteration. Unsupported shapes return
+/// supported=false with the reason; plans that exceed device memory set
+/// out_of_memory (the paper's "program crush" cases) but still report
+/// the attempted peak.
+[[nodiscard]] LayerResult evaluate(frameworks::FrameworkId id,
+                                   const ConvConfig& cfg,
+                                   const gpusim::DeviceSpec& dev =
+                                       gpusim::tesla_k40c());
+
+/// Evaluates all seven implementations on one configuration.
+[[nodiscard]] std::vector<LayerResult> evaluate_all(
+    const ConvConfig& cfg,
+    const gpusim::DeviceSpec& dev = gpusim::tesla_k40c());
+
+}  // namespace gpucnn::analysis

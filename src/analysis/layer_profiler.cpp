@@ -1,0 +1,60 @@
+#include "analysis/layer_profiler.hpp"
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace gpucnn::analysis {
+
+std::map<std::string, double> NetworkProfile::share_by_type() const {
+  std::map<std::string, double> shares;
+  if (total_ms <= 0.0) return shares;
+  for (const auto& l : layers) shares[l.type] += l.total_ms() / total_ms;
+  return shares;
+}
+
+NetworkProfile profile_network(nn::Network& net, const Tensor& input,
+                               std::size_t iterations) {
+  check(iterations > 0, "need at least one iteration");
+  check(net.size() > 0, "network has no layers");
+
+  NetworkProfile profile;
+  profile.layers.resize(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    profile.layers[i].name = net.layer(i).name();
+    profile.layers[i].type = std::string(net.layer(i).type());
+  }
+
+  std::vector<Tensor> activations(net.size());
+  Tensor grad;
+  Tensor grad_in;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    // Forward, timing each layer.
+    const Tensor* current = &input;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      Timer timer;
+      net.layer(i).forward(*current, activations[i]);
+      profile.layers[i].forward_ms += timer.elapsed_ms();
+      current = &activations[i];
+    }
+    // Backward with a unit gradient (timing, not learning).
+    grad.resize(activations.back().shape());
+    grad.fill(1.0F);
+    for (std::size_t i = net.size(); i-- > 0;) {
+      const Tensor& layer_input = i == 0 ? input : activations[i - 1];
+      Timer timer;
+      net.layer(i).backward(layer_input, grad, grad_in);
+      profile.layers[i].backward_ms += timer.elapsed_ms();
+      std::swap(grad, grad_in);
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(iterations);
+  for (auto& l : profile.layers) {
+    l.forward_ms *= inv;
+    l.backward_ms *= inv;
+    profile.total_ms += l.total_ms();
+  }
+  return profile;
+}
+
+}  // namespace gpucnn::analysis

@@ -1,0 +1,39 @@
+// Real (wall-clock) per-layer profiling of executable networks — the
+// paper's §IV.A methodology ("the runtime we collected is the average
+// runtime of each layer for 10 training iterations. Each training
+// iteration includes one forward propagation and one backward
+// propagation"), applied to this library's own CPU engines.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace gpucnn::analysis {
+
+struct RealLayerProfile {
+  std::string name;
+  std::string type;
+  double forward_ms = 0.0;   ///< average per iteration
+  double backward_ms = 0.0;  ///< average per iteration
+  [[nodiscard]] double total_ms() const { return forward_ms + backward_ms; }
+};
+
+struct NetworkProfile {
+  std::vector<RealLayerProfile> layers;
+  double total_ms = 0.0;
+
+  /// Aggregated share per layer type, in [0, 1].
+  [[nodiscard]] std::map<std::string, double> share_by_type() const;
+};
+
+/// Runs `iterations` training iterations (forward + backward with a unit
+/// output gradient) and averages each layer's time. The network's
+/// parameters are not updated.
+[[nodiscard]] NetworkProfile profile_network(nn::Network& net,
+                                             const Tensor& input,
+                                             std::size_t iterations = 10);
+
+}  // namespace gpucnn::analysis

@@ -1,0 +1,109 @@
+#include "analysis/model_breakdown.hpp"
+
+#include "gpusim/profiler.hpp"
+
+namespace gpucnn::analysis {
+namespace {
+
+using nn::LayerSpec;
+
+// One training iteration of a convolutional layer: kernel time of the
+// chosen framework's plan.
+double conv_time_ms(const ConvConfig& cfg, frameworks::FrameworkId id,
+                    const gpusim::DeviceSpec& dev) {
+  gpusim::Profiler profiler(dev);
+  for (const auto& k : frameworks::framework(id).plan(cfg).kernels) {
+    profiler.launch(k);
+  }
+  return profiler.kernel_ms();
+}
+
+// FC layer: three large dense GEMMs (fwd, bwd-data, bwd-filter); cuBLAS
+// runs these batch-wide shapes near its sustained peak.
+double fc_time_ms(const LayerSpec& l, const gpusim::DeviceSpec& dev) {
+  const double flops = 3.0 * 2.0 * static_cast<double>(l.input.n) *
+                       static_cast<double>(l.fc_in) *
+                       static_cast<double>(l.fc_out);
+  const double compute_s = flops / (dev.peak_sp_gflops() * 1e9 * 0.55);
+  // Weight traffic dominates memory-wise for small batches.
+  const double bytes = 3.0 * (static_cast<double>(l.fc_in) * l.fc_out +
+                              static_cast<double>(l.input.n) *
+                                  (l.fc_in + l.fc_out)) *
+                       4.0;
+  const double memory_s = bytes / (dev.sustained_bandwidth_gbs() * 1e9);
+  return (std::max(compute_s, memory_s) +
+          3.0 * dev.launch_overhead_us * 1e-6) *
+         1e3;
+}
+
+// Bandwidth-bound element-wise layer: `sweeps` full passes over input +
+// output per training iteration. Caffe's auxiliary layer kernels
+// (pooling, LRN, ReLU) reach only a fraction of STREAM bandwidth —
+// one-thread-per-output indexing with unaligned windows — hence the
+// derate.
+constexpr double kAuxKernelBandwidthFraction = 0.40;
+
+double elementwise_time_ms(const LayerSpec& l, double sweeps,
+                           const gpusim::DeviceSpec& dev) {
+  const double bytes =
+      sweeps *
+      (static_cast<double>(l.input.count()) +
+       static_cast<double>(l.output.count())) *
+      4.0;
+  return (bytes / (dev.sustained_bandwidth_gbs() * 1e9 *
+                   kAuxKernelBandwidthFraction) +
+          2.0 * dev.launch_overhead_us * 1e-6) *
+         1e3;
+}
+
+double layer_time_ms(const LayerSpec& l, frameworks::FrameworkId id,
+                     const gpusim::DeviceSpec& dev) {
+  switch (l.kind) {
+    case LayerSpec::Kind::kConv:
+      return conv_time_ms(l.conv, id, dev);
+    case LayerSpec::Kind::kFc:
+      return fc_time_ms(l, dev);
+    case LayerSpec::Kind::kPool:
+      // fwd read+write, bwd scatter with mask: ~2.5 sweeps.
+      return elementwise_time_ms(l, 2.5, dev);
+    case LayerSpec::Kind::kRelu:
+    case LayerSpec::Kind::kDropout:
+      return elementwise_time_ms(l, 2.0, dev);
+    case LayerSpec::Kind::kLrn:
+      // windowed sums forward and backward: ~5 sweeps.
+      return elementwise_time_ms(l, 5.0, dev);
+    case LayerSpec::Kind::kConcat:
+      // copy in, copy out, and the same again for gradients.
+      return elementwise_time_ms(l, 2.0, dev);
+    case LayerSpec::Kind::kSoftmax:
+      return elementwise_time_ms(l, 2.0, dev);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double ModelBreakdown::share(nn::LayerSpec::Kind k) const {
+  const auto it = by_kind.find(k);
+  if (it == by_kind.end() || total_ms <= 0.0) return 0.0;
+  return it->second / total_ms;
+}
+
+ModelBreakdown breakdown_model(const nn::ModelSpec& model,
+                               frameworks::FrameworkId conv_framework,
+                               const gpusim::DeviceSpec& dev) {
+  ModelBreakdown out;
+  out.model = model.name;
+  for (const auto& l : model.layers) {
+    LayerTime t;
+    t.name = l.name;
+    t.kind = l.kind;
+    t.time_ms = layer_time_ms(l, conv_framework, dev);
+    out.by_kind[l.kind] += t.time_ms;
+    out.total_ms += t.time_ms;
+    out.layers.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace gpucnn::analysis

@@ -1,0 +1,42 @@
+// Figure 2 machinery: per-layer simulated runtimes for whole CNN models,
+// rolled up by layer type ("hotspot layer analysis", paper §IV.A).
+//
+// Convolutional layers go through the full framework plan (Caffe, the
+// framework the paper profiles the models in); the remaining layer types
+// use bandwidth/GEMM cost models on the same device.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frameworks/framework.hpp"
+#include "gpusim/device.hpp"
+#include "nn/model_spec.hpp"
+
+namespace gpucnn::analysis {
+
+struct LayerTime {
+  std::string name;
+  nn::LayerSpec::Kind kind{};
+  double time_ms = 0.0;
+};
+
+struct ModelBreakdown {
+  std::string model;
+  std::vector<LayerTime> layers;
+  std::map<nn::LayerSpec::Kind, double> by_kind;
+  double total_ms = 0.0;
+
+  /// Fraction of total runtime spent in one layer kind.
+  [[nodiscard]] double share(nn::LayerSpec::Kind k) const;
+};
+
+/// Simulates one training iteration (forward + backward) of the model
+/// layer by layer.
+[[nodiscard]] ModelBreakdown breakdown_model(
+    const nn::ModelSpec& model,
+    frameworks::FrameworkId conv_framework = frameworks::FrameworkId::kCaffe,
+    const gpusim::DeviceSpec& dev = gpusim::tesla_k40c());
+
+}  // namespace gpucnn::analysis

@@ -1,0 +1,38 @@
+#include "analysis/recommend.hpp"
+
+namespace gpucnn::analysis {
+
+Recommendation recommend(const ConvConfig& cfg, double balance_factor,
+                         const gpusim::DeviceSpec& dev) {
+  check(balance_factor >= 1.0, "balance factor must be >= 1");
+  Recommendation rec;
+  rec.results = evaluate_all(cfg, dev);
+
+  const LayerResult* fastest = nullptr;
+  const LayerResult* leanest = nullptr;
+  for (const auto& r : rec.results) {
+    if (!r.supported || r.out_of_memory) continue;
+    if (fastest == nullptr || r.runtime_ms < fastest->runtime_ms) {
+      fastest = &r;
+    }
+    if (leanest == nullptr || r.peak_mb < leanest->peak_mb) {
+      leanest = &r;
+    }
+  }
+  if (fastest == nullptr) return rec;  // nothing fits
+  rec.fastest = fastest->framework;
+  rec.most_memory_lean = leanest->framework;
+
+  const LayerResult* balanced = nullptr;
+  for (const auto& r : rec.results) {
+    if (!r.supported || r.out_of_memory) continue;
+    if (r.peak_mb > balance_factor * leanest->peak_mb) continue;
+    if (balanced == nullptr || r.runtime_ms < balanced->runtime_ms) {
+      balanced = &r;
+    }
+  }
+  if (balanced != nullptr) rec.balanced = balanced->framework;
+  return rec;
+}
+
+}  // namespace gpucnn::analysis

@@ -1,0 +1,32 @@
+// Implementation recommendation — the paper's stated goal ("assist
+// practitioners identifying the implementations that best serve their
+// CNN computation needs in different scenarios", §I) as a library call.
+#pragma once
+
+#include <optional>
+
+#include "analysis/conv_runner.hpp"
+
+namespace gpucnn::analysis {
+
+struct Recommendation {
+  /// Fastest implementation that fits the device.
+  std::optional<frameworks::FrameworkId> fastest;
+  /// Lowest peak-memory implementation that fits.
+  std::optional<frameworks::FrameworkId> most_memory_lean;
+  /// Fastest among implementations within `balance_factor` x of the
+  /// leanest footprint (the paper's "good balance between memory, speed
+  /// and flexibility" — it names cuDNN).
+  std::optional<frameworks::FrameworkId> balanced;
+
+  std::vector<LayerResult> results;  ///< the full comparison
+};
+
+/// Evaluates all implementations on `cfg` and derives the three picks.
+/// Implementations that are shape-unsupported or exceed device memory are
+/// excluded from every pick.
+[[nodiscard]] Recommendation recommend(
+    const ConvConfig& cfg, double balance_factor = 2.0,
+    const gpusim::DeviceSpec& dev = gpusim::tesla_k40c());
+
+}  // namespace gpucnn::analysis

@@ -1,0 +1,39 @@
+// Fixed-width ASCII table rendering shared by the figure benches: every
+// bench prints the rows/series its paper figure reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpucnn::analysis {
+
+/// A simple column-aligned table with a title, header row and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-style CSV (quotes cells containing commas,
+  /// quotes or newlines) for downstream plotting.
+  void to_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+[[nodiscard]] std::string fmt(double value, int digits = 1);
+/// Formats a fraction as "12.3%".
+[[nodiscard]] std::string fmt_percent(double fraction, int digits = 1);
+
+}  // namespace gpucnn::analysis

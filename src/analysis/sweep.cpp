@@ -1,0 +1,79 @@
+#include "analysis/sweep.hpp"
+
+#include "core/error.hpp"
+
+namespace gpucnn::analysis {
+
+std::string to_string(SweepParameter p) {
+  switch (p) {
+    case SweepParameter::kBatch:
+      return "mini-batch";
+    case SweepParameter::kInput:
+      return "input-size";
+    case SweepParameter::kFilters:
+      return "filter-number";
+    case SweepParameter::kKernel:
+      return "kernel-size";
+    case SweepParameter::kStride:
+      return "stride";
+  }
+  return "unknown";
+}
+
+ConvConfig base_config() {
+  return ConvConfig{.batch = 64, .input = 128, .channels = 3, .filters = 64,
+                    .kernel = 11, .stride = 1};
+}
+
+ConvConfig SweepSpec::config_for(std::size_t value) const {
+  ConvConfig cfg = base_config();
+  switch (parameter) {
+    case SweepParameter::kBatch:
+      cfg.batch = value;
+      break;
+    case SweepParameter::kInput:
+      cfg.input = value;
+      break;
+    case SweepParameter::kFilters:
+      cfg.filters = value;
+      break;
+    case SweepParameter::kKernel:
+      cfg.kernel = value;
+      break;
+    case SweepParameter::kStride:
+      cfg.stride = value;
+      break;
+  }
+  check(cfg.input >= cfg.kernel, "swept config has kernel > input");
+  return cfg;
+}
+
+std::vector<SweepSpec> paper_sweeps() {
+  std::vector<SweepSpec> sweeps(5);
+  sweeps[0].parameter = SweepParameter::kBatch;
+  for (std::size_t b = 32; b <= 512; b += 32) sweeps[0].values.push_back(b);
+  sweeps[1].parameter = SweepParameter::kInput;
+  for (std::size_t i = 32; i <= 256; i += 16) sweeps[1].values.push_back(i);
+  sweeps[2].parameter = SweepParameter::kFilters;
+  for (std::size_t f = 32; f <= 512; f += 16) sweeps[2].values.push_back(f);
+  sweeps[3].parameter = SweepParameter::kKernel;
+  for (std::size_t k = 3; k <= 31; k += 2) sweeps[3].values.push_back(k);
+  sweeps[4].parameter = SweepParameter::kStride;
+  for (std::size_t s = 1; s <= 4; ++s) sweeps[4].values.push_back(s);
+  return sweeps;
+}
+
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
+  std::vector<SweepPoint> points;
+  points.reserve(spec.values.size());
+  for (const std::size_t value : spec.values) {
+    SweepPoint point;
+    point.value = value;
+    point.config = spec.config_for(value);
+    point.results = evaluate_all(point.config);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace gpucnn::analysis

@@ -1,0 +1,48 @@
+// The paper's five parameter sweeps (§IV.B): one of (b, i, f, k, s)
+// varies while the other four stay at the base 5-tuple (64, 128, 64, 11,
+// 1). Figures 3 (runtime) and 5 (memory) both walk these sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/conv_runner.hpp"
+#include "core/shape.hpp"
+
+namespace gpucnn::analysis {
+
+/// Which of the five tuple positions a sweep varies.
+enum class SweepParameter { kBatch, kInput, kFilters, kKernel, kStride };
+
+[[nodiscard]] std::string to_string(SweepParameter p);
+
+/// One sweep: the varied parameter and its values.
+struct SweepSpec {
+  SweepParameter parameter{};
+  std::vector<std::size_t> values;
+
+  /// Materialises the configuration for one swept value, holding the
+  /// paper's base tuple for the rest.
+  [[nodiscard]] ConvConfig config_for(std::size_t value) const;
+};
+
+/// The base 5-tuple (64, 128, 64, 11, 1) with 3 input channels (the
+/// convnet-benchmarks L1 depth the tuple mirrors).
+[[nodiscard]] ConvConfig base_config();
+
+/// The five sweeps with the paper's ranges: b in [32, 512] step 32,
+/// i in [32, 256] step 16, f in [32, 512] step 16, k in [3, 31] step 2,
+/// s in [1, 4].
+[[nodiscard]] std::vector<SweepSpec> paper_sweeps();
+
+/// Result of one sweep point: every framework evaluated on the config.
+struct SweepPoint {
+  std::size_t value = 0;
+  ConvConfig config;
+  std::vector<LayerResult> results;
+};
+
+/// Runs one sweep across all seven implementations.
+[[nodiscard]] std::vector<SweepPoint> run_sweep(const SweepSpec& spec);
+
+}  // namespace gpucnn::analysis

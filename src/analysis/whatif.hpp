@@ -1,0 +1,64 @@
+// What-if optimisation analysis.
+//
+// The paper closes each profiling subsection with an optimisation
+// suggestion ("memory padding is another way to avoid bank conflict",
+// "converting the control statement into non-control statement", "using
+// pinned memory", "asynchronous transfer", "organizing many small data
+// transfers to a large data transfer", "carefully balance these
+// factors"). This module makes those suggestions executable: each
+// Optimization is a transform on an implementation's execution plan, and
+// the simulator predicts the resulting speedup.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/conv_runner.hpp"
+
+namespace gpucnn::analysis {
+
+/// The paper's optimisation suggestions (§V.C–V.D summaries).
+enum class Optimization {
+  kFixBankConflicts,     ///< pad shared memory; conflict-free accesses
+  kReduceDivergence,     ///< restructure control flow (WEE -> 97%)
+  kCoalesceGlobal,       ///< aligned/coalesced global access
+  kRebalanceOccupancy,   ///< trim register pressure where latency-bound
+  kPinnedTransfers,      ///< stage copies through pinned memory
+  kAsyncTransfers,       ///< overlap copies with compute
+  kBatchSmallTransfers,  ///< fuse many small copies into one
+};
+
+inline constexpr Optimization kAllOptimizations[] = {
+    Optimization::kFixBankConflicts, Optimization::kReduceDivergence,
+    Optimization::kCoalesceGlobal,   Optimization::kRebalanceOccupancy,
+    Optimization::kPinnedTransfers,  Optimization::kAsyncTransfers,
+    Optimization::kBatchSmallTransfers,
+};
+
+[[nodiscard]] std::string_view to_string(Optimization o);
+
+/// Returns a copy of `plan` with the optimisation applied.
+[[nodiscard]] frameworks::ExecutionPlan apply_optimization(
+    const frameworks::ExecutionPlan& plan, Optimization opt,
+    const gpusim::DeviceSpec& dev = gpusim::tesla_k40c());
+
+struct WhatIfResult {
+  Optimization optimization{};
+  double baseline_ms = 0.0;
+  double optimized_ms = 0.0;
+  /// baseline / optimized; 1.0 means the suggestion does not help here.
+  [[nodiscard]] double speedup() const {
+    return optimized_ms > 0.0 ? baseline_ms / optimized_ms : 0.0;
+  }
+};
+
+/// Evaluates every suggestion on one (framework, config) pair.
+[[nodiscard]] std::vector<WhatIfResult> what_if(
+    frameworks::FrameworkId id, const ConvConfig& cfg,
+    const gpusim::DeviceSpec& dev = gpusim::tesla_k40c());
+
+/// Runtime of a plan (kernels + exposed transfers) on `dev`.
+[[nodiscard]] double plan_runtime_ms(const frameworks::ExecutionPlan& plan,
+                                     const gpusim::DeviceSpec& dev);
+
+}  // namespace gpucnn::analysis

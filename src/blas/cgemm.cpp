@@ -1,0 +1,63 @@
+#include "blas/cgemm.hpp"
+
+namespace gpucnn::blas {
+namespace {
+
+// Generic kernel over an element accessor for B so the three access
+// patterns share one implementation. The per-frequency matrices in FFT
+// convolution are small (dimensions are batch/channels/filters), so a
+// clean double loop with contiguous A rows is sufficient; the heavy
+// lifting is the sheer number of frequency bins, which the caller
+// parallelises.
+template <typename AccessA, typename AccessB>
+void cgemm_generic(std::size_t m, std::size_t n, std::size_t k,
+                   Complex alpha, AccessA access_a, AccessB access_b,
+                   Complex beta, std::span<Complex> c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex acc{0.0F, 0.0F};
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += access_a(i, p) * access_b(p, j);
+      }
+      Complex& out = c[i * ldc + j];
+      out = alpha * acc + beta * out;
+    }
+  }
+}
+
+}  // namespace
+
+void cgemm_nt_conj(std::size_t m, std::size_t n, std::size_t k,
+                   Complex alpha, std::span<const Complex> a, std::size_t lda,
+                   std::span<const Complex> b, std::size_t ldb, Complex beta,
+                   std::span<Complex> c, std::size_t ldc) {
+  cgemm_generic(
+      m, n, k, alpha,
+      [&](std::size_t i, std::size_t p) { return a[i * lda + p]; },
+      [&](std::size_t p, std::size_t j) { return std::conj(b[j * ldb + p]); },
+      beta, c, ldc);
+}
+
+void cgemm_nn(std::size_t m, std::size_t n, std::size_t k, Complex alpha,
+              std::span<const Complex> a, std::size_t lda,
+              std::span<const Complex> b, std::size_t ldb, Complex beta,
+              std::span<Complex> c, std::size_t ldc) {
+  cgemm_generic(
+      m, n, k, alpha,
+      [&](std::size_t i, std::size_t p) { return a[i * lda + p]; },
+      [&](std::size_t p, std::size_t j) { return b[p * ldb + j]; }, beta, c,
+      ldc);
+}
+
+void cgemm_ctn(std::size_t m, std::size_t n, std::size_t k, Complex alpha,
+               std::span<const Complex> a, std::size_t lda,
+               std::span<const Complex> b, std::size_t ldb, Complex beta,
+               std::span<Complex> c, std::size_t ldc) {
+  cgemm_generic(
+      m, n, k, alpha,
+      [&](std::size_t i, std::size_t p) { return std::conj(a[p * lda + i]); },
+      [&](std::size_t p, std::size_t j) { return b[p * ldb + j]; }, beta, c,
+      ldc);
+}
+
+}  // namespace gpucnn::blas

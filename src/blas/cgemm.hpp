@@ -1,0 +1,49 @@
+// Complex single-precision GEMM variants used by FFT-based convolution
+// for the per-frequency pointwise product stage (the role fbfft's Cgemm
+// kernels play on the GPU).
+//
+// All matrices are row-major. The three shapes map one-to-one onto the
+// three convolution passes (per frequency bin, with N = batch,
+// C = channels, F = filters):
+//   forward          out(n,f) = sum_c  in(n,c)        * conj(w(f,c))   -> cgemm_nt_conj
+//   backward-data    gin(n,c) = sum_f  gout(n,f)      * w(f,c)         -> cgemm_nn
+//   backward-filter  gw(f,c)  = sum_n  conj(gout(n,f))* in(n,c)        -> cgemm_ctn
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace gpucnn::blas {
+
+using Complex = std::complex<float>;
+
+/// C(i,j) = alpha * sum_p A(i,p) * conj(B(j,p)) + beta * C(i,j).
+/// A is m x k (lda), B is n x k (ldb), C is m x n (ldc).
+void cgemm_nt_conj(std::size_t m, std::size_t n, std::size_t k,
+                   Complex alpha, std::span<const Complex> a, std::size_t lda,
+                   std::span<const Complex> b, std::size_t ldb, Complex beta,
+                   std::span<Complex> c, std::size_t ldc);
+
+/// C(i,j) = alpha * sum_p A(i,p) * B(p,j) + beta * C(i,j).
+/// A is m x k (lda), B is k x n (ldb), C is m x n (ldc).
+void cgemm_nn(std::size_t m, std::size_t n, std::size_t k, Complex alpha,
+              std::span<const Complex> a, std::size_t lda,
+              std::span<const Complex> b, std::size_t ldb, Complex beta,
+              std::span<Complex> c, std::size_t ldc);
+
+/// C(i,j) = alpha * sum_p conj(A(p,i)) * B(p,j) + beta * C(i,j).
+/// A is k x m (lda), B is k x n (ldb), C is m x n (ldc).
+void cgemm_ctn(std::size_t m, std::size_t n, std::size_t k, Complex alpha,
+               std::span<const Complex> a, std::size_t lda,
+               std::span<const Complex> b, std::size_t ldb, Complex beta,
+               std::span<Complex> c, std::size_t ldc);
+
+/// FLOPs of a complex GEMM (one complex multiply-add = 8 real ops).
+[[nodiscard]] constexpr double cgemm_flops(std::size_t m, std::size_t n,
+                                           std::size_t k) {
+  return 8.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace gpucnn::blas

@@ -1,0 +1,167 @@
+#include "blas/gemm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+
+namespace gpucnn::blas {
+namespace {
+
+// Blocking parameters (GotoBLAS-style): C is updated in MR x NR micro
+// tiles, A is packed in MC x KC panels, B in KC x NC panels. Values chosen
+// so the packed A panel fits L2 and a B micro panel fits L1 on typical
+// x86 cores; the ablation bench sweeps these.
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 8;
+constexpr std::size_t kMc = 128;
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kNc = 2048;
+
+// Logical element accessor honouring the transpose flag: returns
+// op(X)(row, col) for an m-by-n logical operand.
+inline float element(std::span<const float> x, std::size_t ld, Trans trans,
+                     std::size_t row, std::size_t col) {
+  return trans == Trans::kNo ? x[row * ld + col] : x[col * ld + row];
+}
+
+// Packs a kc x nr slice of op(B) starting at (p0, j0) into `dst` in
+// row-of-micro-tile order; columns beyond `jn` are zero padded.
+void pack_b_panel(std::span<const float> b, std::size_t ldb, Trans trans_b,
+                  std::size_t p0, std::size_t kc, std::size_t j0,
+                  std::size_t jn, float* dst) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    for (std::size_t j = 0; j < kNr; ++j) {
+      dst[p * kNr + j] =
+          j < jn ? element(b, ldb, trans_b, p0 + p, j0 + j) : 0.0F;
+    }
+  }
+}
+
+// Packs an mr x kc slice of op(A) starting at (i0, p0) into `dst`; rows
+// beyond `im` are zero padded.
+void pack_a_panel(std::span<const float> a, std::size_t lda, Trans trans_a,
+                  std::size_t i0, std::size_t im, std::size_t p0,
+                  std::size_t kc, float* dst) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    for (std::size_t i = 0; i < kMr; ++i) {
+      dst[p * kMr + i] =
+          i < im ? element(a, lda, trans_a, i0 + i, p0 + p) : 0.0F;
+    }
+  }
+}
+
+// The micro kernel: acc (MR x NR) += packed_a (kc x MR) * packed_b
+// (kc x NR). Written so the inner loop vectorises.
+void micro_kernel(std::size_t kc, const float* packed_a,
+                  const float* packed_b,
+                  std::array<float, kMr * kNr>& acc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* arow = packed_a + p * kMr;
+    const float* brow = packed_b + p * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const float av = arow[i];
+      float* accrow = acc.data() + i * kNr;
+      for (std::size_t j = 0; j < kNr; ++j) accrow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm_naive(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, float alpha, std::span<const float> a,
+                 std::size_t lda, std::span<const float> b, std::size_t ldb,
+                 float beta, std::span<float> c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(element(a, lda, trans_a, i, p)) *
+               element(b, ldb, trans_b, p, j);
+      }
+      float& out = c[i * ldc + j];
+      out = alpha * static_cast<float>(acc) + beta * out;
+    }
+  }
+}
+
+void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, std::span<const float> a,
+           std::size_t lda, std::span<const float> b, std::size_t ldb,
+           float beta, std::span<float> c, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0F) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+    return;
+  }
+
+  // Small problems: dispatch overhead and packing dominate; fall back.
+  if (static_cast<double>(m) * static_cast<double>(n) *
+          static_cast<double>(k) < 64.0 * 64.0 * 64.0) {
+    sgemm_naive(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                ldc);
+    return;
+  }
+
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      const float beta_block = pc == 0 ? beta : 1.0F;
+
+      // Pack the whole B panel once; row blocks of A proceed in parallel.
+      const std::size_t n_tiles = (nc + kNr - 1) / kNr;
+      std::vector<float> packed_b(n_tiles * kc * kNr);
+      for (std::size_t t = 0; t < n_tiles; ++t) {
+        const std::size_t j0 = jc + t * kNr;
+        pack_b_panel(b, ldb, trans_b, pc, kc, j0, std::min(kNr, n - j0),
+                     packed_b.data() + t * kc * kNr);
+      }
+
+      const std::size_t m_blocks = (m + kMc - 1) / kMc;
+      parallel_for(0, m_blocks, [&](std::size_t block) {
+        const std::size_t ic = block * kMc;
+        const std::size_t mc = std::min(kMc, m - ic);
+        const std::size_t m_tiles = (mc + kMr - 1) / kMr;
+        std::vector<float> packed_a(m_tiles * kc * kMr);
+        for (std::size_t t = 0; t < m_tiles; ++t) {
+          const std::size_t i0 = ic + t * kMr;
+          pack_a_panel(a, lda, trans_a, i0, std::min(kMr, m - i0), pc, kc,
+                       packed_a.data() + t * kc * kMr);
+        }
+        for (std::size_t ti = 0; ti < m_tiles; ++ti) {
+          const std::size_t i0 = ic + ti * kMr;
+          const std::size_t im = std::min(kMr, m - i0);
+          for (std::size_t tj = 0; tj < n_tiles; ++tj) {
+            const std::size_t j0 = jc + tj * kNr;
+            const std::size_t jn = std::min(kNr, n - j0);
+            std::array<float, kMr * kNr> acc{};
+            micro_kernel(kc, packed_a.data() + ti * kc * kMr,
+                         packed_b.data() + tj * kc * kNr, acc);
+            for (std::size_t i = 0; i < im; ++i) {
+              float* crow = c.data() + (i0 + i) * ldc + j0;
+              for (std::size_t j = 0; j < jn; ++j) {
+                crow[j] = alpha * acc[i * kNr + j] + beta_block * crow[j];
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, std::span<const float> a,
+           std::span<const float> b, float beta, std::span<float> c) {
+  const std::size_t lda = trans_a == Trans::kNo ? k : m;
+  const std::size_t ldb = trans_b == Trans::kNo ? n : k;
+  sgemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+}
+
+}  // namespace gpucnn::blas

@@ -1,0 +1,46 @@
+// Single-precision GEMM, the workhorse of unrolling-based convolution.
+//
+// Two implementations share one interface:
+//   * sgemm_naive — triple loop, the correctness oracle.
+//   * sgemm       — cache-blocked, panel-packed, parallelised across the
+//                   global thread pool. This plays the role cuBLAS plays in
+//                   Caffe/Torch-cunn/Theano-CorrMM.
+//
+// All matrices are row-major. C = alpha * op(A) * op(B) + beta * C.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gpucnn::blas {
+
+/// Whether an operand is used as-is or transposed.
+enum class Trans { kNo, kYes };
+
+/// Reference GEMM: straightforward triple loop, used as the oracle in tests
+/// and as the baseline in the blocking ablation bench.
+void sgemm_naive(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, float alpha, std::span<const float> a,
+                 std::size_t lda, std::span<const float> b, std::size_t ldb,
+                 float beta, std::span<float> c, std::size_t ldc);
+
+/// Blocked, packed, parallel GEMM.
+void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, std::span<const float> a,
+           std::size_t lda, std::span<const float> b, std::size_t ldb,
+           float beta, std::span<float> c, std::size_t ldc);
+
+/// Convenience for the common dense row-major case with natural leading
+/// dimensions (lda = k or m, ldb = n or k, ldc = n).
+void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, std::span<const float> a,
+           std::span<const float> b, float beta, std::span<float> c);
+
+/// FLOP count of a GEMM call (multiply-add counted as two operations).
+[[nodiscard]] constexpr double gemm_flops(std::size_t m, std::size_t n,
+                                          std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace gpucnn::blas

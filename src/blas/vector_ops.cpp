@@ -1,0 +1,54 @@
+#include "blas/vector_ops.hpp"
+
+#include "core/error.hpp"
+
+namespace gpucnn::blas {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  check(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  check(x.size() == y.size(), "dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * y[i];
+  }
+  return acc;
+}
+
+void add_bias(std::span<float> data, std::span<const float> bias,
+              std::size_t outer, std::size_t channels, std::size_t inner) {
+  check(data.size() == outer * channels * inner, "add_bias size mismatch");
+  check(bias.size() == channels, "bias length must equal channel count");
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      float* row = data.data() + (o * channels + ch) * inner;
+      const float b = bias[ch];
+      for (std::size_t i = 0; i < inner; ++i) row[i] += b;
+    }
+  }
+}
+
+void reduce_bias_grad(std::span<const float> data, std::span<float> grad,
+                      std::size_t outer, std::size_t channels,
+                      std::size_t inner) {
+  check(data.size() == outer * channels * inner,
+        "reduce_bias_grad size mismatch");
+  check(grad.size() == channels, "gradient length must equal channel count");
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      const float* row = data.data() + (o * channels + ch) * inner;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < inner; ++i) acc += row[i];
+      grad[ch] += static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace gpucnn::blas

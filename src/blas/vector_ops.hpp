@@ -1,0 +1,28 @@
+// Level-1 style vector primitives shared by layers and optimisers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gpucnn::blas {
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha
+void scale(float alpha, std::span<float> x);
+
+/// dot product in double accumulation
+[[nodiscard]] double dot(std::span<const float> x, std::span<const float> y);
+
+/// Adds `bias[c]` to every element of channel c for a tensor laid out as
+/// (outer, channels, inner) — i.e. NCHW with outer = N and inner = H*W.
+void add_bias(std::span<float> data, std::span<const float> bias,
+              std::size_t outer, std::size_t channels, std::size_t inner);
+
+/// Accumulates per-channel sums of `data` into `grad` (bias gradient).
+void reduce_bias_grad(std::span<const float> data, std::span<float> grad,
+                      std::size_t outer, std::size_t channels,
+                      std::size_t inner);
+
+}  // namespace gpucnn::blas

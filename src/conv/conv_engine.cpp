@@ -1,0 +1,47 @@
+#include "conv/conv_engine.hpp"
+
+#include "conv/direct_conv.hpp"
+#include "conv/fft_conv.hpp"
+#include "conv/gemm_conv.hpp"
+#include "conv/winograd_conv.hpp"
+
+namespace gpucnn::conv {
+
+std::string_view to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kDirect:
+      return "direct";
+    case Strategy::kUnrolling:
+      return "unrolling";
+    case Strategy::kFft:
+      return "fft";
+    case Strategy::kWinograd:
+      return "winograd";
+  }
+  return "unknown";
+}
+
+void ConvEngine::validate_forward(const ConvConfig& cfg, const Tensor& input,
+                                  const Tensor& filters,
+                                  const Tensor& output) {
+  check(input.shape() == cfg.input_shape(), "input shape mismatch");
+  check(filters.shape() == cfg.filter_shape(), "filter shape mismatch");
+  check(output.shape() == cfg.output_shape(), "output shape mismatch");
+}
+
+std::unique_ptr<ConvEngine> make_engine(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kDirect:
+      return std::make_unique<DirectConv>();
+    case Strategy::kUnrolling:
+      return std::make_unique<GemmConv>();
+    case Strategy::kFft:
+      return std::make_unique<FftConv>();
+    case Strategy::kWinograd:
+      return std::make_unique<WinogradConv>();
+  }
+  check(false, "unknown convolution strategy");
+  return nullptr;
+}
+
+}  // namespace gpucnn::conv

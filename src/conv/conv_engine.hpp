@@ -1,0 +1,63 @@
+// The common interface of the three convolution strategies the paper
+// surveys (§II.B): direct, unrolling-based (im2col + GEMM) and FFT-based.
+//
+// Convolution follows the deep-learning convention (cross-correlation):
+//   out(n,f,y,x) = sum_{c,ky,kx} in(n,c, y*s + ky - p, x*s + kx - p)
+//                                * w(f,c,ky,kx)
+// All three engines implement forward, backward-data and backward-filter
+// passes and must agree bit-for-tolerance with each other; the agreement
+// is enforced by parameterised tests.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/shape.hpp"
+#include "core/tensor.hpp"
+
+namespace gpucnn::conv {
+
+/// The paper's three convolution strategies, plus Winograd minimal
+/// filtering — the post-paper fourth strategy (Lavin & Gray) this
+/// reproduction adds as an extension.
+enum class Strategy { kDirect, kUnrolling, kFft, kWinograd };
+
+[[nodiscard]] std::string_view to_string(Strategy s);
+
+/// A convolution implementation: stateless and thread-compatible; all
+/// buffers are caller-owned.
+class ConvEngine {
+ public:
+  virtual ~ConvEngine() = default;
+
+  [[nodiscard]] virtual Strategy strategy() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True when the engine can run this configuration (e.g. FFT engines
+  /// require stride 1).
+  [[nodiscard]] virtual bool supports(const ConvConfig& cfg) const = 0;
+
+  /// output must be pre-shaped to cfg.output_shape(); it is overwritten.
+  virtual void forward(const ConvConfig& cfg, const Tensor& input,
+                       const Tensor& filters, Tensor& output) const = 0;
+
+  /// grad_input must be pre-shaped to cfg.input_shape(); overwritten.
+  virtual void backward_data(const ConvConfig& cfg, const Tensor& grad_output,
+                             const Tensor& filters,
+                             Tensor& grad_input) const = 0;
+
+  /// grad_filters must be pre-shaped to cfg.filter_shape(); overwritten.
+  virtual void backward_filter(const ConvConfig& cfg, const Tensor& input,
+                               const Tensor& grad_output,
+                               Tensor& grad_filters) const = 0;
+
+ protected:
+  /// Shared argument validation for the three passes.
+  static void validate_forward(const ConvConfig& cfg, const Tensor& input,
+                               const Tensor& filters, const Tensor& output);
+};
+
+/// Factory for the built-in engines.
+[[nodiscard]] std::unique_ptr<ConvEngine> make_engine(Strategy strategy);
+
+}  // namespace gpucnn::conv

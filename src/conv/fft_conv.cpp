@@ -1,0 +1,218 @@
+#include "conv/fft_conv.hpp"
+
+#include <vector>
+
+#include "blas/cgemm.hpp"
+#include "core/thread_pool.hpp"
+#include "fft/fft.hpp"
+
+namespace gpucnn::conv {
+namespace {
+
+using blas::Complex;
+using fft::Direction;
+using fft::Plan;
+
+// Frequency-major spectrum store: bin-major, `rows * cols` complex values
+// per bin, so each bin exposes a contiguous rows x cols matrix for the
+// pointwise GEMM stage.
+struct FreqMajor {
+  FreqMajor(std::size_t bins, std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(bins * rows * cols) {}
+
+  [[nodiscard]] std::span<Complex> bin(std::size_t b) {
+    return {data_.data() + b * rows_ * cols_, rows_ * cols_};
+  }
+  [[nodiscard]] std::span<const Complex> bin(std::size_t b) const {
+    return {data_.data() + b * rows_ * cols_, rows_ * cols_};
+  }
+  /// Element (row, col) of bin b.
+  [[nodiscard]] Complex& at(std::size_t b, std::size_t row, std::size_t col) {
+    return data_[(b * rows_ + row) * cols_ + col];
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Complex> data_;
+};
+
+// Pads `src` (src_h x src_w real) into an S x S complex buffer, runs the
+// forward 2-D FFT, and scatters bin j into dst.at(j, row, col).
+void transform_scatter(std::span<const float> src, std::size_t src_h,
+                       std::size_t src_w, const Plan& plan, FreqMajor& dst,
+                       std::size_t row, std::size_t col) {
+  const std::size_t s = plan.size();
+  std::vector<Complex> buf(s * s, Complex{});
+  for (std::size_t y = 0; y < src_h; ++y) {
+    for (std::size_t x = 0; x < src_w; ++x) {
+      buf[y * s + x] = Complex(src[y * src_w + x], 0.0F);
+    }
+  }
+  fft::transform_2d(buf, plan, plan, Direction::kForward);
+  for (std::size_t j = 0; j < s * s; ++j) dst.at(j, row, col) = buf[j];
+}
+
+// Gathers one (row, col) series from `src` across bins, inverse-transforms
+// it, and writes real parts of the (off_y, off_x)-anchored dst_h x dst_w
+// window to `dst`.
+void gather_inverse(const FreqMajor& src, std::size_t row, std::size_t col,
+                    const Plan& plan, std::span<float> dst, std::size_t dst_h,
+                    std::size_t dst_w, std::size_t off_y, std::size_t off_x) {
+  const std::size_t s = plan.size();
+  std::vector<Complex> buf(s * s);
+  for (std::size_t j = 0; j < s * s; ++j) {
+    buf[j] = src.data_[(j * src.rows_ + row) * src.cols_ + col];
+  }
+  fft::transform_2d(buf, plan, plan, Direction::kInverse);
+  for (std::size_t y = 0; y < dst_h; ++y) {
+    for (std::size_t x = 0; x < dst_w; ++x) {
+      dst[y * dst_w + x] = buf[(y + off_y) * s + (x + off_x)].real();
+    }
+  }
+}
+
+// Transforms every (n, c) plane of a tensor into freq-major storage with
+// bin matrices of shape (outer = tensor.n) x (inner = tensor.c). When
+// `pad` is nonzero the real data is anchored at (pad, pad) inside the
+// padded tile (used for padded inputs; filters and gradients use pad 0).
+FreqMajor spectra_of(const Tensor& t, const Plan& plan, std::size_t pad) {
+  const auto& sh = t.shape();
+  const std::size_t s = plan.size();
+  FreqMajor out(s * s, sh.n, sh.c);
+  parallel_for(0, sh.n * sh.c, [&](std::size_t job) {
+    const std::size_t n = job / sh.c;
+    const std::size_t c = job % sh.c;
+    if (pad == 0) {
+      transform_scatter({t.plane(n, c), sh.h * sh.w}, sh.h, sh.w, plan, out,
+                        n, c);
+    } else {
+      std::vector<float> padded((sh.h + 2 * pad) * (sh.w + 2 * pad), 0.0F);
+      const float* src = t.plane(n, c);
+      for (std::size_t y = 0; y < sh.h; ++y) {
+        for (std::size_t x = 0; x < sh.w; ++x) {
+          padded[(y + pad) * (sh.w + 2 * pad) + (x + pad)] =
+              src[y * sh.w + x];
+        }
+      }
+      transform_scatter(padded, sh.h + 2 * pad, sh.w + 2 * pad, plan, out,
+                        n, c);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+std::size_t FftConv::transform_size(const ConvConfig& cfg) {
+  // next_pow2(i + 2p) suffices for all three passes: the largest index
+  // any circular product touches is (o-1) + (k-1) = i + 2p - 1 for the
+  // correlations, and the backward-data convolution's support is
+  // o + k - 1 = i + 2p. This is the "extend the filter bank to the size
+  // of the input" padding the paper attributes to fbfft.
+  return fft::next_pow2(cfg.input + 2 * cfg.pad);
+}
+
+void FftConv::forward(const ConvConfig& cfg, const Tensor& input,
+                      const Tensor& filters, Tensor& output) const {
+  validate_forward(cfg, input, filters, output);
+  check(supports(cfg), "FFT convolution requires stride 1");
+  const std::size_t s = transform_size(cfg);
+  const Plan plan(s);
+  const std::size_t bins = s * s;
+  const std::size_t o = cfg.output();
+
+  const FreqMajor x = spectra_of(input, plan, cfg.pad);    // (N, C) per bin
+  const FreqMajor w = spectra_of(filters, plan, 0);        // (F, C) per bin
+
+  // Pointwise stage: out(n,f) = sum_c x(n,c) * conj(w(f,c)) per bin.
+  FreqMajor y(bins, cfg.batch, cfg.filters);
+  parallel_for_chunks(0, bins, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      blas::cgemm_nt_conj(cfg.batch, cfg.filters, cfg.channels,
+                          Complex{1.0F, 0.0F}, x.bin(b), cfg.channels,
+                          w.bin(b), cfg.channels, Complex{0.0F, 0.0F},
+                          y.bin(b), cfg.filters);
+    }
+  });
+
+  parallel_for(0, cfg.batch * cfg.filters, [&](std::size_t job) {
+    const std::size_t n = job / cfg.filters;
+    const std::size_t f = job % cfg.filters;
+    gather_inverse(y, n, f, plan, {output.plane(n, f), o * o}, o, o, 0, 0);
+  });
+}
+
+void FftConv::backward_data(const ConvConfig& cfg, const Tensor& grad_output,
+                            const Tensor& filters,
+                            Tensor& grad_input) const {
+  check(grad_output.shape() == cfg.output_shape(),
+        "grad_output shape mismatch");
+  check(filters.shape() == cfg.filter_shape(), "filter shape mismatch");
+  check(grad_input.shape() == cfg.input_shape(), "grad_input shape mismatch");
+  check(supports(cfg), "FFT convolution requires stride 1");
+  const std::size_t s = transform_size(cfg);
+  const Plan plan(s);
+  const std::size_t bins = s * s;
+  const std::size_t in = cfg.input;
+
+  const FreqMajor g = spectra_of(grad_output, plan, 0);  // (N, F) per bin
+  const FreqMajor w = spectra_of(filters, plan, 0);      // (F, C) per bin
+
+  // gin_padded = gout (*) w, a true convolution: plain spectral product.
+  FreqMajor gi(bins, cfg.batch, cfg.channels);
+  parallel_for_chunks(0, bins, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      blas::cgemm_nn(cfg.batch, cfg.channels, cfg.filters,
+                     Complex{1.0F, 0.0F}, g.bin(b), cfg.filters, w.bin(b),
+                     cfg.channels, Complex{0.0F, 0.0F}, gi.bin(b),
+                     cfg.channels);
+    }
+  });
+
+  // The padded gradient lives on [0, i + 2p); the real input window is
+  // anchored at (pad, pad).
+  parallel_for(0, cfg.batch * cfg.channels, [&](std::size_t job) {
+    const std::size_t n = job / cfg.channels;
+    const std::size_t c = job % cfg.channels;
+    gather_inverse(gi, n, c, plan, {grad_input.plane(n, c), in * in}, in, in,
+                   cfg.pad, cfg.pad);
+  });
+}
+
+void FftConv::backward_filter(const ConvConfig& cfg, const Tensor& input,
+                              const Tensor& grad_output,
+                              Tensor& grad_filters) const {
+  check(input.shape() == cfg.input_shape(), "input shape mismatch");
+  check(grad_output.shape() == cfg.output_shape(),
+        "grad_output shape mismatch");
+  check(grad_filters.shape() == cfg.filter_shape(),
+        "grad_filters shape mismatch");
+  check(supports(cfg), "FFT convolution requires stride 1");
+  const std::size_t s = transform_size(cfg);
+  const Plan plan(s);
+  const std::size_t bins = s * s;
+  const std::size_t k = cfg.kernel;
+
+  const FreqMajor x = spectra_of(input, plan, cfg.pad);   // (N, C) per bin
+  const FreqMajor g = spectra_of(grad_output, plan, 0);   // (N, F) per bin
+
+  // gw = corr(padded input, gout): gw(f,c) = sum_n conj(g(n,f)) * x(n,c).
+  FreqMajor gw(bins, cfg.filters, cfg.channels);
+  parallel_for_chunks(0, bins, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      blas::cgemm_ctn(cfg.filters, cfg.channels, cfg.batch,
+                      Complex{1.0F, 0.0F}, g.bin(b), cfg.filters, x.bin(b),
+                      cfg.channels, Complex{0.0F, 0.0F}, gw.bin(b),
+                      cfg.channels);
+    }
+  });
+
+  parallel_for(0, cfg.filters * cfg.channels, [&](std::size_t job) {
+    const std::size_t f = job / cfg.channels;
+    const std::size_t c = job % cfg.channels;
+    gather_inverse(gw, f, c, plan, {grad_filters.plane(f, c), k * k}, k, k,
+                   0, 0);
+  });
+}
+
+}  // namespace gpucnn::conv

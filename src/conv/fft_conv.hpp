@@ -1,0 +1,42 @@
+// FFT-based convolution (paper §II.B, strategy of fbfft and Theano-fft).
+//
+// Pipeline, mirroring fbfft's kernel structure:
+//   1. zero-pad images/filters to S x S, S = next_pow2(i + 2p + k - 1),
+//      and transform to the frequency domain (2-D FFT);
+//   2. transpose to frequency-major layout and run one small complex GEMM
+//      per frequency bin (fbfft's BDHW -> HWBD Transpose + Cgemm);
+//   3. transpose back, inverse-transform, and crop the valid region.
+//
+// Cross-correlation (forward, backward-filter) multiplies by the
+// conjugated spectrum; true convolution (backward-data) multiplies
+// directly. Stride must be 1 — exactly the shape limitation the paper
+// reports for fbfft and Theano-fft.
+#pragma once
+
+#include "conv/conv_engine.hpp"
+
+namespace gpucnn::conv {
+
+class FftConv final : public ConvEngine {
+ public:
+  [[nodiscard]] Strategy strategy() const override { return Strategy::kFft; }
+  [[nodiscard]] std::string_view name() const override { return "fft"; }
+  [[nodiscard]] bool supports(const ConvConfig& cfg) const override {
+    return cfg.stride == 1 && cfg.groups == 1 &&
+           cfg.kernel <= cfg.input + 2 * cfg.pad;
+  }
+
+  void forward(const ConvConfig& cfg, const Tensor& input,
+               const Tensor& filters, Tensor& output) const override;
+  void backward_data(const ConvConfig& cfg, const Tensor& grad_output,
+                     const Tensor& filters, Tensor& grad_input) const override;
+  void backward_filter(const ConvConfig& cfg, const Tensor& input,
+                       const Tensor& grad_output,
+                       Tensor& grad_filters) const override;
+
+  /// Padded transform size used for a configuration (exposed for tests
+  /// and for the memory model, which keys off the same quantity).
+  [[nodiscard]] static std::size_t transform_size(const ConvConfig& cfg);
+};
+
+}  // namespace gpucnn::conv

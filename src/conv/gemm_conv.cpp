@@ -1,0 +1,114 @@
+#include "conv/gemm_conv.hpp"
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "conv/im2col.hpp"
+
+namespace gpucnn::conv {
+
+using blas::Trans;
+
+namespace {
+
+// One group's geometry, as a standalone ungrouped configuration; the
+// per-image loops below offset channel/filter planes per group.
+ConvConfig group_view(const ConvConfig& cfg) {
+  ConvConfig g = cfg;
+  g.channels = cfg.group_channels();
+  g.filters = cfg.group_filters();
+  g.groups = 1;
+  return g;
+}
+
+}  // namespace
+
+void GemmConv::forward(const ConvConfig& cfg, const Tensor& input,
+                       const Tensor& filters, Tensor& output) const {
+  validate_forward(cfg, input, filters, output);
+  const ConvConfig gv = group_view(cfg);
+  const std::size_t o = cfg.output();
+  const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
+  const std::size_t cols = o * o;
+  std::vector<float> col(col_buffer_size(gv));
+
+  // Per image and group: out(F_g x OhOw) = W_g(F_g x CKK) * col. The
+  // GEMM itself is parallel, matching Caffe's per-image cuBLAS calls.
+  for (std::size_t n = 0; n < cfg.batch; ++n) {
+    for (std::size_t g = 0; g < cfg.groups; ++g) {
+      im2col(gv,
+             {input.plane(n, g * gv.channels),
+              gv.channels * cfg.input * cfg.input},
+             col);
+      blas::sgemm(Trans::kNo, Trans::kNo, gv.filters, cols, ckk, 1.0F,
+                  {filters.plane(g * gv.filters, 0), gv.filters * ckk},
+                  ckk, col, cols, 0.0F,
+                  {output.plane(n, g * gv.filters), gv.filters * cols},
+                  cols);
+    }
+  }
+}
+
+void GemmConv::backward_data(const ConvConfig& cfg, const Tensor& grad_output,
+                             const Tensor& filters,
+                             Tensor& grad_input) const {
+  check(grad_output.shape() == cfg.output_shape(),
+        "grad_output shape mismatch");
+  check(filters.shape() == cfg.filter_shape(), "filter shape mismatch");
+  check(grad_input.shape() == cfg.input_shape(), "grad_input shape mismatch");
+  const ConvConfig gv = group_view(cfg);
+  const std::size_t o = cfg.output();
+  const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
+  const std::size_t cols = o * o;
+  std::vector<float> col(col_buffer_size(gv));
+  grad_input.fill(0.0F);
+
+  // Per image and group: col_grad(CKK x OhOw) = W_g^T(CKK x F_g) *
+  // gout_g(F_g x OhOw), then col2im scatters into the input gradient.
+  for (std::size_t n = 0; n < cfg.batch; ++n) {
+    for (std::size_t g = 0; g < cfg.groups; ++g) {
+      blas::sgemm(Trans::kYes, Trans::kNo, ckk, cols, gv.filters, 1.0F,
+                  {filters.plane(g * gv.filters, 0), gv.filters * ckk},
+                  ckk,
+                  {grad_output.plane(n, g * gv.filters), gv.filters * cols},
+                  cols, 0.0F, col, cols);
+      col2im(gv, col,
+             {grad_input.plane(n, g * gv.channels),
+              gv.channels * cfg.input * cfg.input});
+    }
+  }
+}
+
+void GemmConv::backward_filter(const ConvConfig& cfg, const Tensor& input,
+                               const Tensor& grad_output,
+                               Tensor& grad_filters) const {
+  check(input.shape() == cfg.input_shape(), "input shape mismatch");
+  check(grad_output.shape() == cfg.output_shape(),
+        "grad_output shape mismatch");
+  check(grad_filters.shape() == cfg.filter_shape(),
+        "grad_filters shape mismatch");
+  const ConvConfig gv = group_view(cfg);
+  const std::size_t o = cfg.output();
+  const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
+  const std::size_t cols = o * o;
+  std::vector<float> col(col_buffer_size(gv));
+  grad_filters.fill(0.0F);
+
+  // Per image and group: gw_g(F_g x CKK) += gout_g * col^T.
+  for (std::size_t n = 0; n < cfg.batch; ++n) {
+    for (std::size_t g = 0; g < cfg.groups; ++g) {
+      im2col(gv,
+             {input.plane(n, g * gv.channels),
+              gv.channels * cfg.input * cfg.input},
+             col);
+      blas::sgemm(Trans::kNo, Trans::kYes, gv.filters, ckk, cols, 1.0F,
+                  {grad_output.plane(n, g * gv.filters), gv.filters * cols},
+                  cols, col, cols, 1.0F,
+                  {grad_filters.plane(g * gv.filters, 0),
+                   gv.filters * ckk},
+                  ckk);
+    }
+  }
+}
+
+}  // namespace gpucnn::conv

@@ -1,0 +1,30 @@
+// Unrolling-based convolution: im2col + SGEMM (+ col2im on the backward
+// path). This is the strategy of Caffe, Torch-cunn, Theano-CorrMM and
+// cuDNN (paper §II.B), structured as Caffe structures it: one GEMM per
+// image over a reused column workspace.
+#pragma once
+
+#include "conv/conv_engine.hpp"
+
+namespace gpucnn::conv {
+
+class GemmConv final : public ConvEngine {
+ public:
+  [[nodiscard]] Strategy strategy() const override {
+    return Strategy::kUnrolling;
+  }
+  [[nodiscard]] std::string_view name() const override { return "unrolling"; }
+  [[nodiscard]] bool supports(const ConvConfig&) const override {
+    return true;
+  }
+
+  void forward(const ConvConfig& cfg, const Tensor& input,
+               const Tensor& filters, Tensor& output) const override;
+  void backward_data(const ConvConfig& cfg, const Tensor& grad_output,
+                     const Tensor& filters, Tensor& grad_input) const override;
+  void backward_filter(const ConvConfig& cfg, const Tensor& input,
+                       const Tensor& grad_output,
+                       Tensor& grad_filters) const override;
+};
+
+}  // namespace gpucnn::conv

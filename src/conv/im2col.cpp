@@ -1,0 +1,72 @@
+#include "conv/im2col.hpp"
+
+#include "core/error.hpp"
+
+namespace gpucnn::conv {
+
+std::size_t col_buffer_size(const ConvConfig& cfg) {
+  const std::size_t o = cfg.output();
+  return cfg.channels * cfg.kernel * cfg.kernel * o * o;
+}
+
+void im2col(const ConvConfig& cfg, std::span<const float> input,
+            std::span<float> col) {
+  const std::size_t o = cfg.output();
+  const std::size_t in = cfg.input;
+  const std::size_t k = cfg.kernel;
+  const std::size_t s = cfg.stride;
+  const std::size_t p = cfg.pad;
+  check(input.size() == cfg.channels * in * in, "im2col input size mismatch");
+  check(col.size() == col_buffer_size(cfg), "im2col col size mismatch");
+
+  float* dst = col.data();
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    const float* plane = input.data() + c * in * in;
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      for (std::size_t kx = 0; kx < k; ++kx) {
+        for (std::size_t y = 0; y < o; ++y) {
+          const std::size_t iy = y * s + ky;
+          const bool row_in = iy >= p && iy < in + p;
+          const float* in_row = row_in ? plane + (iy - p) * in : nullptr;
+          for (std::size_t x = 0; x < o; ++x) {
+            const std::size_t ix = x * s + kx;
+            *dst++ = (row_in && ix >= p && ix < in + p) ? in_row[ix - p]
+                                                        : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvConfig& cfg, std::span<const float> col,
+            std::span<float> input) {
+  const std::size_t o = cfg.output();
+  const std::size_t in = cfg.input;
+  const std::size_t k = cfg.kernel;
+  const std::size_t s = cfg.stride;
+  const std::size_t p = cfg.pad;
+  check(input.size() == cfg.channels * in * in, "col2im input size mismatch");
+  check(col.size() == col_buffer_size(cfg), "col2im col size mismatch");
+
+  const float* src = col.data();
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    float* plane = input.data() + c * in * in;
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      for (std::size_t kx = 0; kx < k; ++kx) {
+        for (std::size_t y = 0; y < o; ++y) {
+          const std::size_t iy = y * s + ky;
+          const bool row_in = iy >= p && iy < in + p;
+          float* in_row = row_in ? plane + (iy - p) * in : nullptr;
+          for (std::size_t x = 0; x < o; ++x) {
+            const std::size_t ix = x * s + kx;
+            const float v = *src++;
+            if (row_in && ix >= p && ix < in + p) in_row[ix - p] += v;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gpucnn::conv

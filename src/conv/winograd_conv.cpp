@@ -1,0 +1,198 @@
+#include "conv/winograd_conv.hpp"
+
+#include <array>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace gpucnn::conv {
+namespace {
+
+using Tile4 = std::array<float, 16>;  // row-major 4x4
+
+// U = G g G^T for a 3x3 kernel g:
+//   G = [1 0 0; .5 .5 .5; .5 -.5 .5; 0 0 1]
+Tile4 filter_transform(const float* g) {
+  // Gg: 4x3
+  std::array<float, 12> t{};
+  for (int col = 0; col < 3; ++col) {
+    const float g0 = g[0 * 3 + col];
+    const float g1 = g[1 * 3 + col];
+    const float g2 = g[2 * 3 + col];
+    t[0 * 3 + col] = g0;
+    t[1 * 3 + col] = 0.5F * (g0 + g1 + g2);
+    t[2 * 3 + col] = 0.5F * (g0 - g1 + g2);
+    t[3 * 3 + col] = g2;
+  }
+  // (Gg) G^T: 4x4
+  Tile4 u{};
+  for (int row = 0; row < 4; ++row) {
+    const float a = t[row * 3 + 0];
+    const float b = t[row * 3 + 1];
+    const float c = t[row * 3 + 2];
+    u[row * 4 + 0] = a;
+    u[row * 4 + 1] = 0.5F * (a + b + c);
+    u[row * 4 + 2] = 0.5F * (a - b + c);
+    u[row * 4 + 3] = c;
+  }
+  return u;
+}
+
+// V = B^T d B for a 4x4 data tile d:
+//   B^T = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]
+Tile4 data_transform(const Tile4& d) {
+  Tile4 t{};
+  for (int col = 0; col < 4; ++col) {
+    const float d0 = d[0 * 4 + col];
+    const float d1 = d[1 * 4 + col];
+    const float d2 = d[2 * 4 + col];
+    const float d3 = d[3 * 4 + col];
+    t[0 * 4 + col] = d0 - d2;
+    t[1 * 4 + col] = d1 + d2;
+    t[2 * 4 + col] = d2 - d1;
+    t[3 * 4 + col] = d1 - d3;
+  }
+  Tile4 v{};
+  for (int row = 0; row < 4; ++row) {
+    const float t0 = t[row * 4 + 0];
+    const float t1 = t[row * 4 + 1];
+    const float t2 = t[row * 4 + 2];
+    const float t3 = t[row * 4 + 3];
+    v[row * 4 + 0] = t0 - t2;
+    v[row * 4 + 1] = t1 + t2;
+    v[row * 4 + 2] = t2 - t1;
+    v[row * 4 + 3] = t1 - t3;
+  }
+  return v;
+}
+
+// Y = A^T m A for the element-wise product accumulator m:
+//   A^T = [1 1 1 0; 0 1 -1 -1]
+std::array<float, 4> output_transform(const Tile4& m) {
+  std::array<float, 8> t{};  // 2x4
+  for (int col = 0; col < 4; ++col) {
+    const float m0 = m[0 * 4 + col];
+    const float m1 = m[1 * 4 + col];
+    const float m2 = m[2 * 4 + col];
+    const float m3 = m[3 * 4 + col];
+    t[0 * 4 + col] = m0 + m1 + m2;
+    t[1 * 4 + col] = m1 - m2 - m3;
+  }
+  std::array<float, 4> y{};
+  for (int row = 0; row < 2; ++row) {
+    const float t0 = t[row * 4 + 0];
+    const float t1 = t[row * 4 + 1];
+    const float t2 = t[row * 4 + 2];
+    const float t3 = t[row * 4 + 3];
+    y[row * 2 + 0] = t0 + t1 + t2;
+    y[row * 2 + 1] = t1 - t2 - t3;
+  }
+  return y;
+}
+
+}  // namespace
+
+void WinogradConv::forward(const ConvConfig& cfg, const Tensor& input,
+                           const Tensor& filters, Tensor& output) const {
+  validate_forward(cfg, input, filters, output);
+  check(supports(cfg),
+        "Winograd F(2x2,3x3) requires kernel 3, stride 1, pad <= 2");
+  const std::size_t o = cfg.output();
+  const std::size_t in = cfg.input;
+  const std::size_t p = cfg.pad;
+  const std::size_t tiles = (o + 1) / 2;
+
+  // Pre-transform every filter once: U[f][c].
+  std::vector<Tile4> u(cfg.filters * cfg.channels);
+  parallel_for(0, cfg.filters * cfg.channels, [&](std::size_t i) {
+    u[i] = filter_transform(
+        filters.plane(i / cfg.channels, i % cfg.channels));
+  });
+
+  parallel_for(0, cfg.batch, [&](std::size_t n) {
+    std::vector<Tile4> v(cfg.channels);
+    for (std::size_t ty = 0; ty < tiles; ++ty) {
+      for (std::size_t tx = 0; tx < tiles; ++tx) {
+        // Gather the 4x4 input tile per channel (zero padded).
+        for (std::size_t c = 0; c < cfg.channels; ++c) {
+          const float* plane = input.plane(n, c);
+          Tile4 d{};
+          for (std::size_t dy = 0; dy < 4; ++dy) {
+            const std::size_t iy = ty * 2 + dy;  // padded coords
+            if (iy < p || iy >= in + p) continue;
+            for (std::size_t dx = 0; dx < 4; ++dx) {
+              const std::size_t ix = tx * 2 + dx;
+              if (ix < p || ix >= in + p) continue;
+              d[dy * 4 + dx] = plane[(iy - p) * in + (ix - p)];
+            }
+          }
+          v[c] = data_transform(d);
+        }
+        // Per filter: accumulate the element-wise products, then apply
+        // the output transform and scatter the (up to) 2x2 result.
+        for (std::size_t f = 0; f < cfg.filters; ++f) {
+          Tile4 m{};
+          const Tile4* uf = u.data() + f * cfg.channels;
+          for (std::size_t c = 0; c < cfg.channels; ++c) {
+            for (int i = 0; i < 16; ++i) m[i] += uf[c][i] * v[c][i];
+          }
+          const auto y = output_transform(m);
+          float* out_plane = output.plane(n, f);
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            const std::size_t oy = ty * 2 + dy;
+            if (oy >= o) continue;
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t ox = tx * 2 + dx;
+              if (ox >= o) continue;
+              out_plane[oy * o + ox] = y[dy * 2 + dx];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void WinogradConv::backward_data(const ConvConfig& cfg,
+                                 const Tensor& grad_output,
+                                 const Tensor& filters,
+                                 Tensor& grad_input) const {
+  check(grad_output.shape() == cfg.output_shape(),
+        "grad_output shape mismatch");
+  check(filters.shape() == cfg.filter_shape(), "filter shape mismatch");
+  check(grad_input.shape() == cfg.input_shape(), "grad_input shape mismatch");
+  check(supports(cfg),
+        "Winograd F(2x2,3x3) requires kernel 3, stride 1, pad <= 2");
+
+  // The data gradient of a stride-1 3x3 correlation is itself a stride-1
+  // 3x3 correlation: gin = corr(gout, rot180(W)^T) with padding 2 - p.
+  ConvConfig back = cfg;
+  back.input = cfg.output();
+  back.channels = cfg.filters;
+  back.filters = cfg.channels;
+  back.pad = 2 - cfg.pad;
+  check(back.output() == cfg.input, "winograd backward geometry mismatch");
+
+  Tensor rotated(back.filter_shape());
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    for (std::size_t f = 0; f < cfg.filters; ++f) {
+      for (std::size_t ky = 0; ky < 3; ++ky) {
+        for (std::size_t kx = 0; kx < 3; ++kx) {
+          rotated(c, f, ky, kx) = filters(f, c, 2 - ky, 2 - kx);
+        }
+      }
+    }
+  }
+  forward(back, grad_output, rotated, grad_input);
+}
+
+void WinogradConv::backward_filter(const ConvConfig& cfg,
+                                   const Tensor& input,
+                                   const Tensor& grad_output,
+                                   Tensor& grad_filters) const {
+  // The filter-gradient reduction has no small-tile Winograd form; use
+  // the unrolling engine (as cuDNN v5 did).
+  fallback_.backward_filter(cfg, input, grad_output, grad_filters);
+}
+
+}  // namespace gpucnn::conv

@@ -1,0 +1,46 @@
+// Winograd convolution F(2x2, 3x3) — the fourth convolution strategy,
+// which post-dates the paper (Lavin & Gray, 2015) and became cuDNN v5's
+// answer to the small-kernel regime where the paper finds FFT
+// convolution losing to unrolling (Fig. 3(d), k < 7).
+//
+// The minimal-filtering algorithm computes each 2x2 output tile from a
+// 4x4 input tile with 16 multiplies instead of 36: per-tile transforms
+//   V = B^T d B,   U = G g G^T,   Y = A^T (U .* V) A
+// with the standard F(2,3) matrices. Only 3x3 kernels at stride 1 (pad
+// <= 2) are supported; backward-data reuses the forward kernel on the
+// rotated filters, backward-filter delegates to the unrolling engine
+// (mirroring cuDNN v5, whose Winograd path was forward/data only).
+#pragma once
+
+#include "conv/conv_engine.hpp"
+#include "conv/gemm_conv.hpp"
+
+namespace gpucnn::conv {
+
+class WinogradConv final : public ConvEngine {
+ public:
+  [[nodiscard]] Strategy strategy() const override {
+    return Strategy::kWinograd;
+  }
+  [[nodiscard]] std::string_view name() const override { return "winograd"; }
+  [[nodiscard]] bool supports(const ConvConfig& cfg) const override {
+    return cfg.kernel == 3 && cfg.stride == 1 && cfg.pad <= 2 &&
+           cfg.groups == 1;
+  }
+
+  void forward(const ConvConfig& cfg, const Tensor& input,
+               const Tensor& filters, Tensor& output) const override;
+  void backward_data(const ConvConfig& cfg, const Tensor& grad_output,
+                     const Tensor& filters, Tensor& grad_input) const override;
+  void backward_filter(const ConvConfig& cfg, const Tensor& input,
+                       const Tensor& grad_output,
+                       Tensor& grad_filters) const override;
+
+  /// Multiplies per output element: 16/36 of direct convolution's.
+  [[nodiscard]] static double arithmetic_reduction() { return 16.0 / 36.0; }
+
+ private:
+  GemmConv fallback_;  ///< backward-filter path
+};
+
+}  // namespace gpucnn::conv

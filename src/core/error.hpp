@@ -1,0 +1,50 @@
+// Error handling for the gpucnn library.
+//
+// All precondition violations throw gpucnn::Error carrying the source
+// location of the failed check. Checks are plain functions (no macros),
+// per the C++ Core Guidelines.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gpucnn {
+
+/// Exception type thrown by every failed precondition in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(std::string_view message,
+                              const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " (" << loc.function_name()
+     << "): " << message;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+/// Throws gpucnn::Error with the caller's source location when `condition`
+/// is false. Use for argument and invariant validation on public APIs.
+inline void check(bool condition, std::string_view message,
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!condition) detail::fail(message, loc);
+}
+
+/// Overload that lazily formats an arbitrary stream of values, avoiding
+/// string construction on the happy path.
+template <typename... Parts>
+void check_fmt(bool condition, const std::source_location loc, Parts&&... parts) {
+  if (condition) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  detail::fail(os.str(), loc);
+}
+
+}  // namespace gpucnn

@@ -1,0 +1,36 @@
+#include "core/shape.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace gpucnn {
+
+std::string ConvConfig::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ConvConfig& c) {
+  return os << '(' << c.batch << ',' << c.input << ',' << c.filters << ','
+            << c.kernel << ',' << c.stride << ')';
+}
+
+ConvConfig TableOne::layer(std::size_t index) {
+  check(index < kCount, "Table I has five layers (index 0..4)");
+  static constexpr std::array<ConvConfig, kCount> kLayers{{
+      {.batch = 128, .input = 128, .channels = 3, .filters = 96, .kernel = 11, .stride = 1},
+      {.batch = 128, .input = 128, .channels = 64, .filters = 96, .kernel = 3, .stride = 1},
+      {.batch = 128, .input = 32, .channels = 128, .filters = 128, .kernel = 9, .stride = 1},
+      {.batch = 128, .input = 16, .channels = 128, .filters = 128, .kernel = 7, .stride = 1},
+      {.batch = 128, .input = 13, .channels = 384, .filters = 384, .kernel = 3, .stride = 1},
+  }};
+  return kLayers[index];
+}
+
+std::string TableOne::name(std::size_t index) {
+  check(index < kCount, "Table I has five layers (index 0..4)");
+  return "Conv" + std::to_string(index + 1);
+}
+
+}  // namespace gpucnn

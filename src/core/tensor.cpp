@@ -1,0 +1,68 @@
+#include "core/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpucnn {
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) {
+  check(n < shape_.n && c < shape_.c && h < shape_.h && w < shape_.w,
+        "tensor index out of range");
+  return data_[offset(n, c, h, w)];
+}
+
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  check(n < shape_.n && c < shape_.c && h < shape_.h && w < shape_.w,
+        "tensor index out of range");
+  return data_[offset(n, c, h, w)];
+}
+
+void Tensor::reshape(TensorShape shape) {
+  check(shape.count() == data_.size(),
+        "reshape must preserve the element count");
+  shape_ = shape;
+}
+
+void Tensor::resize(TensorShape shape) {
+  shape_ = shape;
+  data_.assign(shape.count(), 0.0F);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+double Tensor::sum() const {
+  double total = 0.0;
+  for (const float v : data_) total += v;
+  return total;
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0F;
+  for (const float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  check(a.shape() == b.shape(), "shape mismatch in max_abs_diff");
+  double m = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(da[i]) - db[i]));
+  }
+  return m;
+}
+
+}  // namespace gpucnn

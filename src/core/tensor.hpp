@@ -1,0 +1,114 @@
+// A minimal dense 4-D float tensor in NCHW layout.
+//
+// This is the numeric substrate shared by every convolution strategy and
+// every neural-network layer. Storage is a cache-line-aligned contiguous
+// buffer; views are exposed as std::span.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/shape.hpp"
+
+namespace gpucnn {
+
+/// Allocator producing 64-byte-aligned buffers so vectorised kernels can
+/// use aligned loads regardless of the element offset arithmetic.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T),
+                                          std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Dense NCHW float tensor. Copyable, movable; all indexing is
+/// bounds-unchecked on the hot path (at(...) checks, operator() does not).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorShape shape) : shape_(shape), data_(shape.count()) {}
+  Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+      : Tensor(TensorShape{n, c, h, w}) {}
+
+  [[nodiscard]] const TensorShape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> data() const {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] float* raw() { return data_.data(); }
+  [[nodiscard]] const float* raw() const { return data_.data(); }
+
+  /// Unchecked element access (hot path).
+  float& operator()(std::size_t n, std::size_t c, std::size_t h,
+                    std::size_t w) {
+    return data_[offset(n, c, h, w)];
+  }
+  float operator()(std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w) const {
+    return data_[offset(n, c, h, w)];
+  }
+
+  /// Checked element access (tests, debugging).
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  [[nodiscard]] float at(std::size_t n, std::size_t c, std::size_t h,
+                         std::size_t w) const;
+
+  /// Pointer to the start of image (n, c)'s H×W plane.
+  [[nodiscard]] float* plane(std::size_t n, std::size_t c) {
+    return data_.data() + offset(n, c, 0, 0);
+  }
+  [[nodiscard]] const float* plane(std::size_t n, std::size_t c) const {
+    return data_.data() + offset(n, c, 0, 0);
+  }
+
+  /// Reshape without reallocating; element count must be preserved.
+  void reshape(TensorShape shape);
+
+  void fill(float value);
+  /// Fills with i.i.d. uniform draws in [lo, hi).
+  void fill_uniform(Rng& rng, float lo = -1.0F, float hi = 1.0F);
+  /// Fills with i.i.d. normal draws.
+  void fill_normal(Rng& rng, float mean = 0.0F, float stddev = 1.0F);
+
+  /// Resizes to `shape`, zero-initialising fresh storage.
+  void resize(TensorShape shape);
+
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] float max_abs() const;
+
+ private:
+  [[nodiscard]] std::size_t offset(std::size_t n, std::size_t c,
+                                   std::size_t h, std::size_t w) const {
+    return ((n * shape_.c + c) * shape_.h + h) * shape_.w + w;
+  }
+
+  TensorShape shape_{};
+  std::vector<float, AlignedAllocator<float>> data_;
+};
+
+/// Maximum absolute element-wise difference between two same-shaped tensors.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace gpucnn

@@ -1,0 +1,148 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace gpucnn {
+namespace {
+// Set while a thread is executing pool work; nested parallel_for calls
+// from inside a task run serially instead of deadlocking on the pool.
+thread_local bool tls_in_pool_task = false;
+}  // namespace
+
+// Per-parallel_for control block so concurrent invocations from different
+// caller threads never share completion state.
+struct ThreadPool::Invocation {
+  std::size_t pending = 0;
+  std::exception_ptr first_error;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  n = std::max<std::size_t>(n, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_task(const Task& task) {
+  std::exception_ptr error;
+  const bool was_in_task = tls_in_pool_task;
+  tls_in_pool_task = true;
+  try {
+    (*task.body)(task.begin, task.end);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tls_in_pool_task = was_in_task;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (error && !task.invocation->first_error) {
+      task.invocation->first_error = error;
+    }
+    if (--task.invocation->pending == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    run_task(task);
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (tls_in_pool_task || workers_.size() == 1) {
+    // Nested call from inside a pool task: run inline. The outer loop
+    // already saturates the workers.
+    body(begin, end);
+    return;
+  }
+  const std::size_t total = end - begin;
+  const std::size_t chunks = std::min(total, workers_.size());
+  const std::size_t base = total / chunks;
+  const std::size_t remainder = total % chunks;
+
+  auto invocation = std::make_shared<Invocation>();
+  {
+    const std::scoped_lock lock(mutex_);
+    invocation->pending = chunks;
+    std::size_t cursor = begin;
+    for (std::size_t i = 0; i < chunks; ++i) {
+      const std::size_t len = base + (i < remainder ? 1 : 0);
+      queue_.push_back(Task{&body, invocation, cursor, cursor + len});
+      cursor += len;
+    }
+  }
+  work_ready_.notify_all();
+
+  // Caller-runs: help drain the queue instead of idling. Tasks from other
+  // invocations may be executed too; that is still forward progress.
+  for (;;) {
+    Task task;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    run_task(task);
+  }
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [&] { return invocation->pending == 0; });
+  if (invocation->first_error) std::rethrow_exception(invocation->first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(begin, end,
+                      [&body](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) body(i);
+                      });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t serial_threshold) {
+  if (end <= begin) return;
+  if (end - begin < serial_threshold) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  global_pool().parallel_for(begin, end, body);
+}
+
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  global_pool().parallel_for_chunks(begin, end, body);
+}
+
+}  // namespace gpucnn

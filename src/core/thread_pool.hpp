@@ -1,0 +1,78 @@
+// A small fixed-size thread pool with a chunked parallel_for.
+//
+// The numeric kernels (GEMM, FFT batches, im2col, direct convolution) are
+// data-parallel over independent ranges; parallel_for dispatches contiguous
+// chunks to worker threads and joins before returning. The pool is created
+// once per process (see global_pool()) so kernels never pay thread start-up
+// costs on the hot path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpucnn {
+
+/// Fixed-size worker pool executing [begin, end) index ranges.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for every i in [begin, end), splitting the range into
+  /// one contiguous chunk per worker. Blocks until all chunks finish.
+  /// Exceptions thrown by `body` are rethrown on the calling thread.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Like parallel_for but hands each worker its whole [chunk_begin,
+  /// chunk_end) range, letting the body amortise per-chunk setup.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Invocation;
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::shared_ptr<Invocation> invocation;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop();
+  void run_task(const Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> queue_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool shared by all kernels.
+ThreadPool& global_pool();
+
+/// Convenience: chunked parallel loop on the global pool. Falls back to a
+/// serial loop for tiny ranges where dispatch overhead would dominate.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t serial_threshold = 2);
+
+/// Chunk-granular variant on the global pool.
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace gpucnn

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers used by the real (CPU) kernels and examples.
+// Simulated GPU timings come from gpusim and never touch this clock.
+#pragma once
+
+#include <chrono>
+
+namespace gpucnn {
+
+/// Monotonic stopwatch returning elapsed milliseconds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gpucnn

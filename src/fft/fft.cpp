@@ -1,0 +1,138 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace gpucnn::fft {
+namespace {
+
+inline Complex twiddle_for(const std::vector<Complex>& table, std::size_t k,
+                           Direction dir) {
+  const Complex w = table[k];
+  return dir == Direction::kForward ? w : std::conj(w);
+}
+
+}  // namespace
+
+Plan::Plan(std::size_t n, Schedule schedule) : n_(n), schedule_(schedule) {
+  check(is_pow2(n), "FFT length must be a power of two");
+  twiddles_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    twiddles_[k] = Complex(static_cast<float>(std::cos(angle)),
+                           static_cast<float>(std::sin(angle)));
+  }
+  reversal_.resize(n);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      r |= ((i >> b) & 1U) << (bits - 1 - b);
+    }
+    reversal_[i] = static_cast<std::uint32_t>(r);
+  }
+}
+
+void Plan::bit_reverse(std::span<Complex> data, std::size_t stride) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = reversal_[i];
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+}
+
+void Plan::butterflies_dit(std::span<Complex> data, std::size_t stride,
+                           Direction dir) const {
+  // Stages of doubling butterfly span; input must be bit-reversed.
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t twiddle_step = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w = twiddle_for(twiddles_, k * twiddle_step, dir);
+        Complex& lo = data[(start + k) * stride];
+        Complex& hi = data[(start + k + half) * stride];
+        const Complex t = w * hi;
+        hi = lo - t;
+        lo = lo + t;
+      }
+    }
+  }
+}
+
+void Plan::butterflies_dif(std::span<Complex> data, std::size_t stride,
+                           Direction dir) const {
+  // Stages of halving butterfly span; output comes out bit-reversed.
+  for (std::size_t len = n_; len >= 2; len >>= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t twiddle_step = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w = twiddle_for(twiddles_, k * twiddle_step, dir);
+        Complex& lo = data[(start + k) * stride];
+        Complex& hi = data[(start + k + half) * stride];
+        const Complex t = lo - hi;
+        lo = lo + hi;
+        hi = w * t;
+      }
+    }
+  }
+}
+
+void Plan::transform_strided(std::span<Complex> data, std::size_t stride,
+                             Direction dir) const {
+  check(data.size() >= (n_ - 1) * stride + 1, "FFT buffer too small");
+  if (schedule_ == Schedule::kDit) {
+    bit_reverse(data, stride);
+    butterflies_dit(data, stride, dir);
+  } else {
+    butterflies_dif(data, stride, dir);
+    bit_reverse(data, stride);
+  }
+  if (dir == Direction::kInverse) {
+    const float norm = 1.0F / static_cast<float>(n_);
+    for (std::size_t i = 0; i < n_; ++i) data[i * stride] *= norm;
+  }
+}
+
+void Plan::transform(std::span<Complex> data, Direction dir) const {
+  transform_strided(data, 1, dir);
+}
+
+void transform_2d(std::span<Complex> data, const Plan& row_plan,
+                  const Plan& col_plan, Direction dir) {
+  const std::size_t cols = row_plan.size();
+  const std::size_t rows = col_plan.size();
+  check(data.size() == rows * cols, "2-D FFT buffer size mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_plan.transform(data.subspan(r * cols, cols), dir);
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    col_plan.transform_strided(data.subspan(c), cols, dir);
+  }
+}
+
+void dft_reference(std::span<const Complex> in, std::span<Complex> out,
+                   Direction dir) {
+  const std::size_t n = in.size();
+  check(out.size() == n, "DFT output size mismatch");
+  const double sign = dir == Direction::kForward ? -1.0 : 1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k) * static_cast<double>(t) /
+                           static_cast<double>(n);
+      acc += std::complex<double>(in[t]) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    if (dir == Direction::kInverse) acc /= static_cast<double>(n);
+    out[k] = Complex(static_cast<float>(acc.real()),
+                     static_cast<float>(acc.imag()));
+  }
+}
+
+}  // namespace gpucnn::fft

@@ -1,0 +1,77 @@
+// Iterative power-of-two FFT used by FFT-based convolution.
+//
+// Two butterfly schedules are provided:
+//   * decimation-in-time  (DIT): bit-reverse first, then butterflies.
+//   * decimation-in-frequency (DIF): butterflies first, bit-reverse last —
+//     the schedule fbfft's decimateInFrequency kernels use; exposed here so
+//     the ablation bench can compare the two schedules on equal terms.
+//
+// A Plan precomputes twiddles and the bit-reversal permutation for one
+// size; its transform methods are const and safe to share across threads,
+// which the batched 2-D transforms in FFT convolution rely on.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpucnn::fft {
+
+using Complex = std::complex<float>;
+
+enum class Direction { kForward, kInverse };
+enum class Schedule { kDit, kDif };
+
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+[[nodiscard]] constexpr std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Precomputed transform of one power-of-two length.
+class Plan {
+ public:
+  explicit Plan(std::size_t n, Schedule schedule = Schedule::kDit);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] Schedule schedule() const { return schedule_; }
+
+  /// In-place transform of `data` (length n). Inverse includes the 1/n
+  /// normalisation, so inverse(forward(x)) == x.
+  void transform(std::span<Complex> data, Direction dir) const;
+
+  /// Strided in-place transform: element i lives at data[i * stride].
+  /// Used for the column pass of 2-D transforms without a transpose.
+  void transform_strided(std::span<Complex> data, std::size_t stride,
+                         Direction dir) const;
+
+ private:
+  void butterflies_dit(std::span<Complex> data, std::size_t stride,
+                       Direction dir) const;
+  void butterflies_dif(std::span<Complex> data, std::size_t stride,
+                       Direction dir) const;
+  void bit_reverse(std::span<Complex> data, std::size_t stride) const;
+
+  std::size_t n_;
+  Schedule schedule_;
+  std::vector<Complex> twiddles_;       // e^{-2πi k / n}, k in [0, n/2)
+  std::vector<std::uint32_t> reversal_; // bit-reversal permutation
+};
+
+/// In-place 2-D transform of a rows x cols matrix (both powers of two),
+/// row-major. Applies `row_plan` (length cols) to every row and
+/// `col_plan` (length rows) to every column.
+void transform_2d(std::span<Complex> data, const Plan& row_plan,
+                  const Plan& col_plan, Direction dir);
+
+/// Reference O(n^2) DFT for testing.
+void dft_reference(std::span<const Complex> in, std::span<Complex> out,
+                   Direction dir);
+
+}  // namespace gpucnn::fft

@@ -1,0 +1,258 @@
+#include "frameworks/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpucnn::frameworks::detail {
+
+double input_bytes(const ConvConfig& cfg) {
+  return static_cast<double>(cfg.input_shape().count()) * kFloatBytes;
+}
+
+double filter_bytes(const ConvConfig& cfg) {
+  return static_cast<double>(cfg.filter_shape().count()) * kFloatBytes;
+}
+
+double output_bytes(const ConvConfig& cfg) {
+  return static_cast<double>(cfg.output_shape().count()) * kFloatBytes;
+}
+
+double col_image_bytes(const ConvConfig& cfg) {
+  // The lowered buffer covers one group at a time (it is reused across
+  // groups), so grouping shrinks the workspace.
+  const double o = static_cast<double>(cfg.output());
+  return static_cast<double>(cfg.group_channels()) *
+         static_cast<double>(cfg.kernel) * static_cast<double>(cfg.kernel) *
+         o * o * kFloatBytes;
+}
+
+double conv_pass_flops(const ConvConfig& cfg) { return cfg.forward_flops(); }
+
+GemmDims forward_gemm(const ConvConfig& cfg) {
+  const std::size_t o = cfg.output();
+  return {cfg.group_filters(), o * o,
+          cfg.group_channels() * cfg.kernel * cfg.kernel};
+}
+
+GemmDims backward_data_gemm(const ConvConfig& cfg) {
+  const std::size_t o = cfg.output();
+  return {cfg.group_channels() * cfg.kernel * cfg.kernel, o * o,
+          cfg.group_filters()};
+}
+
+GemmDims backward_filter_gemm(const ConvConfig& cfg) {
+  const std::size_t o = cfg.output();
+  return {cfg.group_filters(),
+          cfg.group_channels() * cfg.kernel * cfg.kernel, o * o};
+}
+
+double gemm_utilization(const GemmDims& dims) {
+  constexpr double kTile = 64.0;
+  const auto tile_util = [](double extent) {
+    const double tiles = std::ceil(extent / kTile);
+    const double util = extent / (tiles * kTile);
+    // Partial tiles still do useful work on some lanes; damp the penalty.
+    return 0.55 + 0.45 * util;
+  };
+  const double depth_ramp =
+      std::min(1.0, 0.40 + static_cast<double>(dims.k) / 384.0);
+  return tile_util(static_cast<double>(dims.m)) *
+         tile_util(static_cast<double>(dims.n)) * depth_ramp;
+}
+
+std::size_t grid_for(double total_threads, std::size_t block_threads) {
+  const double blocks =
+      std::ceil(total_threads / static_cast<double>(block_threads));
+  return static_cast<std::size_t>(std::max(blocks, 1.0));
+}
+
+gpusim::Pass pass_from_label(std::string_view label) {
+  if (label == "fwd") return gpusim::Pass::kForward;
+  if (label == "bwd_data") return gpusim::Pass::kBackwardData;
+  if (label == "bwd_filter") return gpusim::Pass::kBackwardFilter;
+  return gpusim::Pass::kAuxiliary;
+}
+
+gpusim::KernelProfile tagged(gpusim::KernelProfile k, gpusim::Pass pass) {
+  k.pass = pass;
+  return k;
+}
+
+void add_activation_memory(ExecutionPlan& plan, const ConvConfig& cfg,
+                           bool with_gradient_buffers, double context_mb,
+                           const std::string& who) {
+  plan.memory.push_back({who + ":cuda-context", context_mb * 1048576.0});
+  plan.memory.push_back({who + ":input", input_bytes(cfg)});
+  plan.memory.push_back({who + ":filters", filter_bytes(cfg)});
+  plan.memory.push_back({who + ":output", output_bytes(cfg)});
+  if (with_gradient_buffers) {
+    plan.memory.push_back({who + ":grad-input", input_bytes(cfg)});
+    plan.memory.push_back({who + ":grad-filters", filter_bytes(cfg)});
+    plan.memory.push_back({who + ":grad-output", output_bytes(cfg)});
+  } else {
+    // Even buffer-sharing frameworks keep the filter gradient resident
+    // for the optimiser step.
+    plan.memory.push_back({who + ":grad-filters", filter_bytes(cfg)});
+  }
+}
+
+void add_batch_transfers(ExecutionPlan& plan, const ConvConfig& cfg,
+                         bool pinned, double overlap) {
+  plan.transfers.push_back({"input batch h2d",
+                            gpusim::TransferDirection::kHostToDevice,
+                            input_bytes(cfg), pinned, overlap});
+}
+
+namespace {
+
+// Builds the cuBLAS-style GEMM launch of one pass; flops are aggregated
+// across the per-image calls (Caffe launches one GEMM per image).
+gpusim::KernelProfile unrolling_gemm(const ConvConfig& cfg,
+                                     const GemmDims& dims,
+                                     const UnrollingTraits& t,
+                                     const char* pass) {
+  gpusim::KernelProfile k;
+  k.name = std::string(t.gemm_kernel_name) + "." + pass;
+  k.kind = gpusim::KernelClass::kGemm;
+  k.block_threads = t.gemm_block;
+  k.grid_blocks = grid_for(
+      static_cast<double>(cfg.batch) * static_cast<double>(dims.m) *
+          static_cast<double>(dims.n) / 16.0,
+      t.gemm_block);
+  k.regs_per_thread = t.gemm_regs;
+  k.smem_per_block = t.gemm_smem;
+  k.flops = conv_pass_flops(cfg);
+  // cuBLAS stages operands through shared memory; global traffic is one
+  // read of each operand panel and one write of the result per image.
+  const double mn =
+      static_cast<double>(dims.m) * static_cast<double>(dims.n);
+  const double operand_bytes =
+      (static_cast<double>(dims.m) + static_cast<double>(dims.n)) *
+      static_cast<double>(dims.k) * kFloatBytes;
+  k.global_load_bytes = static_cast<double>(cfg.batch) * operand_bytes;
+  k.global_store_bytes =
+      static_cast<double>(cfg.batch) * mn * kFloatBytes;
+  // Transaction replays are absorbed by L2; DRAM sees the panels nearly
+  // once.
+  k.gld_dram_factor = 1.15;
+  k.gst_dram_factor = 1.10;
+  // Each FMA re-reads both operands from shared memory, amortised by
+  // register tiling (~8x reuse).
+  k.shared_bytes = k.flops * 0.5;
+  k.gld_efficiency = t.gemm_gld_eff;
+  k.gst_efficiency = t.gemm_gst_eff;
+  k.shared_efficiency = t.gemm_shared_eff;
+  k.warp_exec_efficiency = 0.98;
+  double eff = t.gemm_base_eff;
+  if (t.large_f_bonus > 0.0) {
+    const double f_ramp = std::clamp(
+        (static_cast<double>(cfg.filters) - 64.0) / 128.0, 0.0, 1.0);
+    const double width_gate =
+        std::clamp(static_cast<double>(dims.n) / 6400.0, 0.0, 1.0);
+    eff += t.large_f_bonus * f_ramp * width_gate;
+  }
+  k.compute_efficiency = eff * gemm_utilization(dims);
+  k.achieved_occupancy_factor = t.achieved_occ_factor;
+  k.occupancy_needed = 0.16;  // GEMM hides latency with ILP
+  return k;
+}
+
+// im2col / col2im are pure data-movement kernels: one read and one write
+// per column element.
+gpusim::KernelProfile unrolling_lowering(const ConvConfig& cfg,
+                                         const UnrollingTraits& t,
+                                         bool is_col2im, const char* pass) {
+  gpusim::KernelProfile k;
+  k.name = std::string(is_col2im ? t.col2im_kernel_name
+                                 : t.im2col_kernel_name) +
+           "." + pass;
+  k.kind = gpusim::KernelClass::kUnroll;
+  k.block_threads = 256;
+  k.regs_per_thread = 30;
+  k.smem_per_block = 0;
+  const double col_total =
+      static_cast<double>(cfg.batch) * col_image_bytes(cfg);
+  k.grid_blocks = grid_for(col_total / kFloatBytes, k.block_threads);
+  k.flops = 0.0;
+  // The k^2-fold re-reads of the gather side hit L1/L2; DRAM sees the
+  // dense side (input plane) roughly once and the column side once.
+  if (is_col2im) {
+    k.global_load_bytes = col_total;
+    k.global_store_bytes = input_bytes(cfg) * 1.2;
+    k.gld_dram_factor = 1.10;
+    k.gst_dram_factor = 1.15;
+  } else {
+    k.global_load_bytes = input_bytes(cfg) * 1.2;
+    k.global_store_bytes = col_total;
+    k.gld_dram_factor = 1.30;
+    k.gst_dram_factor = 1.05;
+  }
+  k.gld_efficiency = t.unroll_gld_eff;
+  k.gst_efficiency = t.unroll_gst_eff;
+  k.shared_efficiency = 1.0;
+  k.shared_bytes = 0.0;
+  k.warp_exec_efficiency = 0.97;
+  k.compute_efficiency = 0.5;
+  k.achieved_occupancy_factor = 0.9;
+  k.occupancy_needed = 0.30;  // bandwidth kernels need many warps
+  return k;
+}
+
+}  // namespace
+
+ExecutionPlan make_unrolling_plan(const ConvConfig& cfg,
+                                  const UnrollingTraits& t,
+                                  const std::string& who) {
+  ExecutionPlan plan;
+
+  // Forward: im2col + GEMM.
+  plan.kernels.push_back(tagged(unrolling_lowering(cfg, t, false, "fwd"),
+                                gpusim::Pass::kForward));
+  plan.kernels.push_back(tagged(
+      unrolling_gemm(cfg, forward_gemm(cfg), t, "fwd"),
+      gpusim::Pass::kForward));
+  // Backward data: GEMM + col2im.
+  plan.kernels.push_back(tagged(
+      unrolling_gemm(cfg, backward_data_gemm(cfg), t, "bwd_data"),
+      gpusim::Pass::kBackwardData));
+  plan.kernels.push_back(tagged(unrolling_lowering(cfg, t, true, "bwd_data"),
+                                gpusim::Pass::kBackwardData));
+  // Backward filter: im2col + GEMM.
+  plan.kernels.push_back(tagged(
+      unrolling_lowering(cfg, t, false, "bwd_filter"),
+      gpusim::Pass::kBackwardFilter));
+  plan.kernels.push_back(tagged(
+      unrolling_gemm(cfg, backward_filter_gemm(cfg), t, "bwd_filter"),
+      gpusim::Pass::kBackwardFilter));
+
+  add_activation_memory(plan, cfg, t.gradient_buffers, t.context_mb, who);
+  plan.memory.push_back(
+      {who + ":col-workspace", col_image_bytes(cfg), /*workspace=*/true});
+
+  add_batch_transfers(plan, cfg, t.pinned_input, t.input_overlap);
+
+  if (t.host_col_roundtrip) {
+    // Theano's border-mode fallback: the lowered buffer of the whole
+    // batch round-trips through the host when a small kernel is unrolled
+    // over a large, many-channel input (the paper's Conv2 anomaly,
+    // Fig. 7). Triggered only for k < 5, i >= 64, c >= 16.
+    if (cfg.kernel < 5 && cfg.input >= 64 && cfg.channels >= 16) {
+      const double col_total =
+          static_cast<double>(cfg.batch) * col_image_bytes(cfg);
+      plan.transfers.push_back({"host col staging d2h",
+                                gpusim::TransferDirection::kDeviceToHost,
+                                col_total, false, 0.0});
+      plan.transfers.push_back({"host col staging h2d",
+                                gpusim::TransferDirection::kHostToDevice,
+                                col_total, false, 0.0});
+      // The host-side repack runs at memcpy speed and is synchronous;
+      // model it as an un-overlapped pageable-rate "transfer".
+      plan.transfers.push_back({"host col repack",
+                                gpusim::TransferDirection::kHostToDevice,
+                                col_total * 1.6, false, 0.0});
+    }
+  }
+  return plan;
+}
+
+}  // namespace gpucnn::frameworks::detail

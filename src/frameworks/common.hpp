@@ -1,0 +1,112 @@
+// Shared calibration helpers for the seven implementation models.
+//
+// Every constant here is structural (buffer sizes, FLOP counts, GEMM tile
+// utilisation) or calibrated once against the paper's reported bands
+// (per-framework efficiency factors — see DESIGN.md "Calibration notes").
+// No figure-specific tuning exists anywhere: the figure benches all read
+// the same plans.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/shape.hpp"
+#include "frameworks/framework.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace gpucnn::frameworks::detail {
+
+inline constexpr double kFloatBytes = 4.0;
+
+/// Dense buffer sizes of one layer (bytes).
+[[nodiscard]] double input_bytes(const ConvConfig& cfg);
+[[nodiscard]] double filter_bytes(const ConvConfig& cfg);
+[[nodiscard]] double output_bytes(const ConvConfig& cfg);
+/// im2col buffer of a single image: (C*k*k) x (o*o) floats.
+[[nodiscard]] double col_image_bytes(const ConvConfig& cfg);
+
+/// FLOPs of one direct/unrolled forward pass (2*N*F*C*o^2*k^2); the
+/// backward-data and backward-filter passes cost the same.
+[[nodiscard]] double conv_pass_flops(const ConvConfig& cfg);
+
+/// GEMM dimensions of the three unrolling passes, per image.
+struct GemmDims {
+  std::size_t m = 0, n = 0, k = 0;
+};
+[[nodiscard]] GemmDims forward_gemm(const ConvConfig& cfg);
+[[nodiscard]] GemmDims backward_data_gemm(const ConvConfig& cfg);
+[[nodiscard]] GemmDims backward_filter_gemm(const ConvConfig& cfg);
+
+/// Tile-quantisation utilisation of a GEMM on 64x64 output tiles with a
+/// depth ramp for short reduction dimensions: cuBLAS-style kernels waste
+/// lanes on partial tiles and cannot stream short k. Returns (0, 1].
+[[nodiscard]] double gemm_utilization(const GemmDims& dims);
+
+/// Number of blocks needed to cover `total_threads` work items.
+[[nodiscard]] std::size_t grid_for(double total_threads,
+                                   std::size_t block_threads);
+
+/// Maps the plan builders' pass labels ("fwd", "bwd_data", "bwd_filter")
+/// to the gpusim pass tag.
+[[nodiscard]] gpusim::Pass pass_from_label(std::string_view label);
+
+/// Returns `k` tagged with the pass.
+[[nodiscard]] gpusim::KernelProfile tagged(gpusim::KernelProfile k,
+                                           gpusim::Pass pass);
+
+/// Appends the persistent activation/parameter buffers every framework
+/// keeps resident: input, filters, output — and, when
+/// `with_gradient_buffers` (Caffe-style diff blobs), a second copy of
+/// each. `context_mb` models the CUDA context nvidia-smi charges to the
+/// process.
+void add_activation_memory(ExecutionPlan& plan, const ConvConfig& cfg,
+                           bool with_gradient_buffers, double context_mb,
+                           const std::string& who);
+
+/// Adds the mini-batch input H2D copy (and label D2H) that every
+/// framework performs each iteration.
+void add_batch_transfers(ExecutionPlan& plan, const ConvConfig& cfg,
+                         bool pinned, double overlap);
+
+// ---------------------------------------------------------------------
+// Trait bundle for the three explicit-unrolling implementations (Caffe,
+// Torch-cunn, Theano-CorrMM), which share the im2col + cuBLAS structure
+// of paper Fig. 4(a–c) and differ only in constants.
+// ---------------------------------------------------------------------
+struct UnrollingTraits {
+  const char* gemm_kernel_name = "sgemm";
+  const char* im2col_kernel_name = "im2col_gpu_kernel";
+  const char* col2im_kernel_name = "col2im_gpu_kernel";
+
+  // Dominant (GEMM) kernel resources — the Table II row.
+  std::size_t gemm_regs = 86;
+  std::size_t gemm_smem = 8704;
+  std::size_t gemm_block = 256;
+
+  double gemm_base_eff = 0.32;      ///< cuBLAS sustained fraction of peak
+                                    ///< on per-image skinny GEMMs
+  double large_f_bonus = 0.0;       ///< extra efficiency once the filter
+                                    ///< dimension fills the tile grid and
+                                    ///< the spatial dimension is wide
+                                    ///< (Theano-CorrMM, Fig. 3(c))
+  double gemm_gld_eff = 0.18;
+  double gemm_gst_eff = 0.55;
+  double gemm_shared_eff = 1.10;
+  double unroll_gld_eff = 0.25;
+  double unroll_gst_eff = 0.85;
+  double achieved_occ_factor = 0.80;
+
+  bool gradient_buffers = true;     ///< Caffe-style diff blobs
+  double context_mb = 110.0;
+  bool pinned_input = false;
+  double input_overlap = 0.0;       ///< prefetch-thread overlap
+  bool host_col_roundtrip = false;  ///< Theano border-mode anomaly
+};
+
+/// Builds the full training-iteration plan shared by the explicit
+/// unrolling implementations.
+[[nodiscard]] ExecutionPlan make_unrolling_plan(const ConvConfig& cfg,
+                                                const UnrollingTraits& t,
+                                                const std::string& who);
+
+}  // namespace gpucnn::frameworks::detail

@@ -1,0 +1,119 @@
+// The seven CNN convolution implementations the paper evaluates (§III.B):
+// Caffe, cuDNN(v3), Torch-cunn, Theano-CorrMM, Theano-fft, cuda-convnet2
+// and fbfft.
+//
+// Each implementation model answers three questions about one training
+// iteration (forward + backward-data + backward-filter) of a single
+// convolutional layer:
+//   * supports(cfg)  — the shape limitations of §IV.B;
+//   * plan(cfg)      — the kernel-launch sequence, host/device transfers
+//                      and device allocations, which the gpusim device
+//                      model turns into Figures 3–7;
+//   * engine()       — the real CPU numerics of the underlying strategy,
+//                      so every framework can also *compute* convolutions
+//                      (used by examples and correctness tests).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "conv/conv_engine.hpp"
+#include "core/shape.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/transfer.hpp"
+
+namespace gpucnn::frameworks {
+
+/// Identifier for each of the paper's seven implementations.
+enum class FrameworkId {
+  kCaffe,
+  kCudnn,
+  kTorchCunn,
+  kTheanoCorrMM,
+  kCudaConvnet2,
+  kFbfft,
+  kTheanoFft,
+};
+
+inline constexpr std::array<FrameworkId, 7> kAllFrameworks{
+    FrameworkId::kCaffe,        FrameworkId::kCudnn,
+    FrameworkId::kTorchCunn,    FrameworkId::kTheanoCorrMM,
+    FrameworkId::kCudaConvnet2, FrameworkId::kFbfft,
+    FrameworkId::kTheanoFft,
+};
+
+[[nodiscard]] std::string_view to_string(FrameworkId id);
+
+/// Result of a shape-limitation check (paper §IV.B).
+struct ShapeSupport {
+  bool ok = true;
+  std::string reason;
+};
+
+/// One device allocation live during the iteration.
+struct MemoryItem {
+  std::string label;
+  double bytes = 0.0;
+  bool workspace = false;  ///< transient (workspace) vs persistent
+};
+
+/// Everything the simulator needs to evaluate one training iteration.
+struct ExecutionPlan {
+  std::vector<gpusim::KernelProfile> kernels;
+  std::vector<gpusim::Transfer> transfers;
+  std::vector<MemoryItem> memory;
+
+  /// Peak device footprint: all items are live at the iteration's peak
+  /// (activations persist and workspaces overlap the kernels that need
+  /// them), matching what nvidia-smi samples in the paper's §V.B.
+  [[nodiscard]] double peak_bytes() const {
+    double total = 0.0;
+    for (const auto& m : memory) total += m.bytes;
+    return total;
+  }
+  [[nodiscard]] double workspace_bytes() const {
+    double total = 0.0;
+    for (const auto& m : memory) {
+      if (m.workspace) total += m.bytes;
+    }
+    return total;
+  }
+};
+
+/// One of the paper's seven implementations.
+class Framework {
+ public:
+  virtual ~Framework() = default;
+
+  [[nodiscard]] virtual FrameworkId id() const = 0;
+  [[nodiscard]] virtual conv::Strategy strategy() const = 0;
+  [[nodiscard]] std::string_view name() const { return to_string(id()); }
+
+  /// Shape limitations (paper §IV.B).
+  [[nodiscard]] virtual ShapeSupport supports(const ConvConfig& cfg)
+      const = 0;
+
+  /// Plan of one training iteration on this configuration. Throws
+  /// gpucnn::Error when the shape is unsupported.
+  [[nodiscard]] virtual ExecutionPlan plan(const ConvConfig& cfg) const = 0;
+
+  /// The real numeric engine implementing this framework's strategy.
+  [[nodiscard]] virtual const conv::ConvEngine& engine() const = 0;
+
+  /// Registers-per-thread / shared-memory-per-block of the dominant
+  /// kernel (the paper's Table II).
+  [[nodiscard]] virtual std::size_t table2_registers() const = 0;
+  [[nodiscard]] virtual double table2_smem_kb() const = 0;
+};
+
+/// Global registry: one immutable instance per implementation.
+[[nodiscard]] const Framework& framework(FrameworkId id);
+
+/// All seven, in the paper's order.
+[[nodiscard]] std::span<const FrameworkId> all_frameworks();
+
+}  // namespace gpucnn::frameworks

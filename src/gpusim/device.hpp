@@ -1,0 +1,90 @@
+// Device model of the paper's testbed GPU: NVIDIA Tesla K40c (Kepler
+// GK110B). All constants come from §III.A of the paper and the CUDA
+// occupancy documentation for compute capability 3.5.
+#pragma once
+
+#include <cstddef>
+
+namespace gpucnn::gpusim {
+
+/// Static hardware description used by the occupancy calculator and the
+/// execution model.
+struct DeviceSpec {
+  const char* name = "Tesla K40c";
+
+  // Compute resources (paper §III.A).
+  std::size_t sm_count = 15;
+  std::size_t cores_per_sm = 192;
+  double core_clock_ghz = 0.745;
+  std::size_t warp_size = 32;
+
+  // Per-SM scheduling limits (CC 3.5).
+  std::size_t max_threads_per_sm = 2048;
+  std::size_t max_warps_per_sm = 64;
+  std::size_t max_blocks_per_sm = 16;
+  std::size_t max_threads_per_block = 1024;
+
+  // Per-SM storage (paper: 256KB register file = 65536 4-byte registers,
+  // 48KB shared memory).
+  std::size_t registers_per_sm = 65536;
+  std::size_t max_registers_per_thread = 255;
+  std::size_t shared_bytes_per_sm = 48 * 1024;
+  std::size_t shared_banks = 32;
+
+  // Memory system.
+  double device_memory_mb = 12288.0;       // 12 GB GDDR5
+  double memory_bandwidth_gbs = 288.0;     // peak
+  double sustained_bandwidth_fraction = 0.78;  // achievable on STREAM-like
+                                               // access, per K40 reports
+
+  // PCIe gen3 x16 host link.
+  double pcie_pageable_gbs = 6.0;
+  double pcie_pinned_gbs = 10.5;
+  double pcie_latency_us = 8.0;
+
+  // Kernel launch overhead.
+  double launch_overhead_us = 5.0;
+
+  /// Peak single-precision throughput in GFLOP/s: 2 ops per core-cycle.
+  [[nodiscard]] double peak_sp_gflops() const {
+    return 2.0 * static_cast<double>(sm_count) *
+           static_cast<double>(cores_per_sm) * core_clock_ghz;
+  }
+
+  /// Aggregate shared-memory bandwidth in GB/s: each SM can service one
+  /// 4-byte word per bank per clock.
+  [[nodiscard]] double shared_bandwidth_gbs() const {
+    return static_cast<double>(sm_count) *
+           static_cast<double>(shared_banks) * 4.0 * core_clock_ghz;
+  }
+
+  /// Sustained global-memory bandwidth in GB/s.
+  [[nodiscard]] double sustained_bandwidth_gbs() const {
+    return memory_bandwidth_gbs * sustained_bandwidth_fraction;
+  }
+};
+
+/// The default device used across benches: the paper's K40c.
+[[nodiscard]] inline DeviceSpec tesla_k40c() { return DeviceSpec{}; }
+
+/// GTX Titan X (Maxwell GM200) — the GPU that succeeded the K40 in the
+/// deep-learning benchmarking literature; used by bench_device_comparison
+/// to check that the paper's findings carry over to a newer part.
+/// CC 5.2: 24 SMs x 128 cores at 1.0 GHz, 96 KB shared per SM (48 KB per
+/// block), 336 GB/s.
+[[nodiscard]] inline DeviceSpec gtx_titan_x() {
+  DeviceSpec dev;
+  dev.name = "GTX Titan X";
+  dev.sm_count = 24;
+  dev.cores_per_sm = 128;
+  dev.core_clock_ghz = 1.0;
+  dev.max_blocks_per_sm = 32;
+  dev.shared_bytes_per_sm = 96 * 1024;
+  dev.device_memory_mb = 12288.0;
+  dev.memory_bandwidth_gbs = 336.0;
+  dev.sustained_bandwidth_fraction = 0.80;
+  dev.pcie_pinned_gbs = 11.5;
+  return dev;
+}
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,123 @@
+#include "gpusim/exec_model.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace gpucnn::gpusim {
+
+const char* to_string(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kCompute:
+      return "compute";
+    case Bottleneck::kGlobalMemory:
+      return "global-memory";
+    case Bottleneck::kSharedMemory:
+      return "shared-memory";
+    case Bottleneck::kLaunch:
+      return "launch-overhead";
+  }
+  return "unknown";
+}
+
+KernelMetrics simulate_kernel(const DeviceSpec& dev,
+                              const KernelProfile& p) {
+  check(p.gld_efficiency > 0.0 && p.gst_efficiency > 0.0 &&
+            p.shared_efficiency > 0.0,
+        "access efficiencies must be positive");
+  check(p.warp_exec_efficiency > 0.0 && p.warp_exec_efficiency <= 1.0,
+        "warp execution efficiency must be in (0, 1]");
+  check(p.compute_efficiency > 0.0 && p.compute_efficiency <= 1.0,
+        "compute efficiency must be in (0, 1]");
+
+  KernelMetrics m;
+  m.occupancy =
+      compute_occupancy(dev, p.block_threads, p.regs_per_thread,
+                        p.smem_per_block);
+  m.achieved_occupancy = std::min(
+      1.0, m.occupancy.theoretical * p.achieved_occupancy_factor);
+
+  // Latency hiding: full when achieved occupancy reaches the kernel's
+  // need (high-ILP kernels need fewer warps), degrading linearly below.
+  m.latency_hiding =
+      std::min(1.0, m.achieved_occupancy / std::max(p.occupancy_needed,
+                                                    1e-6));
+
+  // --- the three pipelines -------------------------------------------
+  const double peak_flops = dev.peak_sp_gflops() * 1e9;
+  const double compute_s =
+      p.flops > 0.0
+          ? p.flops / (peak_flops * p.compute_efficiency *
+                       p.warp_exec_efficiency * m.latency_hiding)
+          : 0.0;
+
+  const double load_amp =
+      p.gld_dram_factor > 0.0 ? p.gld_dram_factor : 1.0 / p.gld_efficiency;
+  const double store_amp =
+      p.gst_dram_factor > 0.0 ? p.gst_dram_factor : 1.0 / p.gst_efficiency;
+  const double required_global = p.global_load_bytes * load_amp +
+                                 p.global_store_bytes * store_amp;
+  const double global_s =
+      required_global > 0.0
+          ? required_global /
+                (dev.sustained_bandwidth_gbs() * 1e9 * m.latency_hiding)
+          : 0.0;
+
+  const double required_shared = p.shared_bytes / p.shared_efficiency;
+  const double shared_s =
+      required_shared > 0.0
+          ? required_shared / (dev.shared_bandwidth_gbs() * 1e9)
+          : 0.0;
+
+  const double pipelines =
+      std::max({compute_s, global_s, shared_s});
+  const double launch_s = dev.launch_overhead_us * 1e-6;
+  m.duration_ms = (pipelines + launch_s) * 1e3;
+
+  if (pipelines <= launch_s * 0.5) {
+    m.bottleneck = Bottleneck::kLaunch;
+  } else if (pipelines == compute_s) {
+    m.bottleneck = Bottleneck::kCompute;
+  } else if (pipelines == global_s) {
+    m.bottleneck = Bottleneck::kGlobalMemory;
+  } else {
+    m.bottleneck = Bottleneck::kSharedMemory;
+  }
+
+  // --- derived nvprof metrics ----------------------------------------
+  m.warp_execution_efficiency = p.warp_exec_efficiency * 100.0;
+  m.gld_efficiency = p.gld_efficiency * 100.0;
+  m.gst_efficiency = p.gst_efficiency * 100.0;
+  m.shared_efficiency = p.shared_efficiency * 100.0;
+
+  // Instruction estimate: FMA pairs plus per-flop overhead instructions
+  // plus load/store instructions; divergence inflates the warp-level
+  // count (inactive lanes still occupy issue slots).
+  const double thread_instr =
+      p.flops / 2.0 * (1.0 + p.instr_per_flop) +
+      (p.global_bytes() + p.shared_bytes) / 16.0;
+  const double warp_instr =
+      thread_instr /
+      (static_cast<double>(dev.warp_size) * p.warp_exec_efficiency);
+  const double total_cycles = m.duration_ms * 1e-3 *
+                              dev.core_clock_ghz * 1e9 *
+                              static_cast<double>(dev.sm_count);
+  m.ipc = total_cycles > 0.0 ? std::min(warp_instr / total_cycles, 7.0)
+                             : 0.0;
+
+  m.sustained_gflops =
+      m.duration_ms > 0.0 ? p.flops / (m.duration_ms * 1e6) : 0.0;
+
+  // Bank-conflict events: replays beyond the conflict-free transaction
+  // count. One conflict-free transaction serves warp_size * 4 bytes.
+  const double shared_transactions =
+      p.shared_bytes / (static_cast<double>(dev.warp_size) * 4.0);
+  const double replays =
+      shared_transactions * std::max(0.0, 1.0 / p.shared_efficiency - 1.0);
+  m.shared_load_bank_conflicts = replays * 0.6;
+  m.shared_store_bank_conflicts = replays * 0.4;
+
+  return m;
+}
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,60 @@
+// Roofline-style analytical execution model.
+//
+// A kernel's duration is bounded by three pipelines:
+//   compute : flops / (peak * compute-eff * WEE * latency-hiding)
+//   global  : required bytes (requested / coalescing eff) / sustained BW
+//   shared  : required traffic (requested / bank-conflict eff) / shared BW
+// The slowest pipeline wins, plus a fixed launch overhead. Latency hiding
+// degrades when achieved occupancy falls below the kernel's
+// occupancy_needed (paper §V.C.1: "long access latencies can be hidden by
+// zero-overhead context switching when there are enough parallel
+// threads").
+//
+// Every nvprof metric of the paper's Figure 6 is derived from the same
+// factors that determine the duration, so metrics and runtimes are
+// mutually consistent by construction.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace gpucnn::gpusim {
+
+/// What bounded the kernel's duration.
+enum class Bottleneck { kCompute, kGlobalMemory, kSharedMemory, kLaunch };
+
+[[nodiscard]] const char* to_string(Bottleneck b);
+
+/// The nvprof-style result of one simulated kernel launch: the five
+/// metrics and two shared-memory events the paper collects (§V.C), plus
+/// the duration and diagnostic fields.
+struct KernelMetrics {
+  double duration_ms = 0.0;
+  Bottleneck bottleneck = Bottleneck::kCompute;
+
+  // Occupancy.
+  Occupancy occupancy;
+  double achieved_occupancy = 0.0;  // [0, 1]
+
+  // The paper's five metrics.
+  double ipc = 0.0;
+  double warp_execution_efficiency = 0.0;  // percent
+  double gld_efficiency = 0.0;             // percent
+  double gst_efficiency = 0.0;             // percent
+  double shared_efficiency = 0.0;          // percent
+
+  // The two events: shared-memory bank-conflict replays.
+  double shared_load_bank_conflicts = 0.0;
+  double shared_store_bank_conflicts = 0.0;
+
+  // Diagnostics.
+  double sustained_gflops = 0.0;
+  double latency_hiding = 0.0;  // [0, 1]
+};
+
+/// Evaluates one kernel launch on `dev`.
+[[nodiscard]] KernelMetrics simulate_kernel(const DeviceSpec& dev,
+                                            const KernelProfile& profile);
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,41 @@
+#include "gpusim/kernel.hpp"
+
+namespace gpucnn::gpusim {
+
+const char* to_string(KernelClass c) {
+  switch (c) {
+    case KernelClass::kGemm:
+      return "GEMM";
+    case KernelClass::kUnroll:
+      return "unroll";
+    case KernelClass::kFft:
+      return "FFT";
+    case KernelClass::kFftInverse:
+      return "FFT-inverse";
+    case KernelClass::kTranspose:
+      return "transpose";
+    case KernelClass::kDirectConv:
+      return "direct-conv";
+    case KernelClass::kPointwise:
+      return "pointwise";
+    case KernelClass::kPrecompute:
+      return "precompute";
+  }
+  return "unknown";
+}
+
+const char* to_string(Pass p) {
+  switch (p) {
+    case Pass::kForward:
+      return "forward";
+    case Pass::kBackwardData:
+      return "backward-data";
+    case Pass::kBackwardFilter:
+      return "backward-filter";
+    case Pass::kAuxiliary:
+      return "auxiliary";
+  }
+  return "unknown";
+}
+
+}  // namespace gpucnn::gpusim

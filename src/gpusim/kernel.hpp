@@ -1,0 +1,85 @@
+// Kernel descriptors for the GPU performance model.
+//
+// A KernelProfile captures the structural properties a real CUDA kernel
+// exposes to nvprof: launch geometry, register/shared-memory footprint,
+// useful work (FLOPs and bytes), and the access-quality factors the paper
+// profiles (coalescing, bank conflicts, divergence). The execution model
+// (exec_model.hpp) turns a profile into a duration plus the full metric
+// set of the paper's Figure 6.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gpucnn::gpusim {
+
+/// Coarse functional classes used for Figure 4's hotspot grouping
+/// ("we group the similar kernels who have the same functionalities").
+enum class KernelClass {
+  kGemm,        // matrix-matrix / matrix-vector products
+  kUnroll,      // im2col / col2im lowering
+  kFft,         // forward FFT
+  kFftInverse,  // inverse FFT
+  kTranspose,   // data layout conversion
+  kDirectConv,  // direct convolution kernels (cuda-convnet2)
+  kPointwise,   // bias/activation/scale helpers
+  kPrecompute,  // preparatory kernels (cuDNN pre-transforms, Theano prep)
+};
+
+[[nodiscard]] const char* to_string(KernelClass c);
+
+/// Which training pass a kernel belongs to. Enables per-pass runtime
+/// splits (the convnet-benchmarks presentation the paper builds on).
+enum class Pass { kForward, kBackwardData, kBackwardFilter, kAuxiliary };
+
+[[nodiscard]] const char* to_string(Pass p);
+
+/// Structural description of one kernel launch.
+struct KernelProfile {
+  std::string name;                ///< e.g. "sgemm_128x64", "im2col_gpu_kernel"
+  KernelClass kind = KernelClass::kGemm;
+  Pass pass = Pass::kAuxiliary;
+
+  // Launch configuration.
+  std::size_t block_threads = 256;
+  std::size_t grid_blocks = 1024;
+
+  // Per-thread / per-block resource usage (Table II of the paper).
+  std::size_t regs_per_thread = 32;
+  std::size_t smem_per_block = 0;  ///< bytes
+
+  // Useful work.
+  double flops = 0.0;                ///< single-precision operations
+  double global_load_bytes = 0.0;    ///< requested (useful) load traffic
+  double global_store_bytes = 0.0;   ///< requested (useful) store traffic
+  double shared_bytes = 0.0;         ///< requested shared-memory traffic
+
+  // Access-quality factors, each observable as an nvprof metric.
+  double gld_efficiency = 1.0;     ///< requested / required load throughput
+  double gst_efficiency = 1.0;     ///< requested / required store throughput
+
+  // DRAM amplification. nvprof's gld/gst efficiency counts transaction
+  // replays, most of which hit L2 rather than DRAM; the *_dram_factor
+  // fields give the true DRAM amplification of the requested traffic.
+  // 0 means "derive from 1/efficiency" (uncached scatter/gather).
+  double gld_dram_factor = 0.0;
+  double gst_dram_factor = 0.0;
+  double shared_efficiency = 1.0;  ///< >1 possible via broadcast
+  double warp_exec_efficiency = 1.0;  ///< 1 - divergence penalty
+
+  // Implementation quality.
+  double compute_efficiency = 0.6;  ///< sustainable fraction of peak FLOPs
+                                    ///< at full latency hiding
+  double achieved_occupancy_factor = 0.85;  ///< achieved / theoretical
+  double occupancy_needed = 0.18;  ///< occupancy sufficient for full
+                                   ///< latency hiding (ILP-dependent)
+  double instr_per_flop = 0.75;    ///< non-FMA overhead instructions; used
+                                   ///< by the IPC estimate
+
+  /// Total requested global traffic.
+  [[nodiscard]] double global_bytes() const {
+    return global_load_bytes + global_store_bytes;
+  }
+};
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,46 @@
+#include "gpusim/memory_tracker.hpp"
+
+#include <algorithm>
+
+namespace gpucnn::gpusim {
+
+AllocId MemoryTracker::allocate(const std::string& label, double bytes) {
+  check(bytes >= 0.0, "allocation size must be non-negative");
+  if (current_ + bytes > capacity_bytes_) {
+    throw OutOfDeviceMemory("device memory exhausted allocating '" + label +
+                            "' (" + std::to_string(bytes / 1048576.0) +
+                            " MB on top of " +
+                            std::to_string(current_ / 1048576.0) + " MB)");
+  }
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+  const AllocId id = next_id_++;
+  live_.emplace(id, Allocation{label, bytes});
+  return id;
+}
+
+void MemoryTracker::release(AllocId id) {
+  const auto it = live_.find(id);
+  check(it != live_.end(), "release of unknown allocation id");
+  current_ -= it->second.bytes;
+  live_.erase(it);
+}
+
+std::vector<std::pair<std::string, double>> MemoryTracker::live() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(live_.size());
+  for (const auto& [id, alloc] : live_) {
+    out.emplace_back(alloc.label, alloc.bytes);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void MemoryTracker::reset() {
+  current_ = 0.0;
+  peak_ = 0.0;
+  live_.clear();
+}
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,67 @@
+// Device-memory accounting (paper §V.B, Figure 5).
+//
+// MemoryTracker mimics what nvidia-smi observes: a running total of live
+// cudaMalloc'd bytes and its peak. Frameworks register persistent
+// allocations (parameters, activations) and transient workspaces; the
+// peak across one training iteration is the Figure 5 quantity. Exceeding
+// the device capacity raises OutOfDeviceMemory — the "program crush" the
+// paper observes for FFT implementations at extreme shapes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "gpusim/device.hpp"
+
+namespace gpucnn::gpusim {
+
+/// Thrown when a simulated allocation exceeds device memory.
+class OutOfDeviceMemory : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Opaque allocation handle.
+using AllocId = std::size_t;
+
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(const DeviceSpec& dev) : capacity_bytes_(
+      dev.device_memory_mb * 1024.0 * 1024.0) {}
+
+  /// Records an allocation; throws OutOfDeviceMemory when the running
+  /// total would exceed device capacity.
+  AllocId allocate(const std::string& label, double bytes);
+
+  /// Releases a previous allocation.
+  void release(AllocId id);
+
+  [[nodiscard]] double current_bytes() const { return current_; }
+  [[nodiscard]] double peak_bytes() const { return peak_; }
+  [[nodiscard]] double peak_mb() const { return peak_ / (1024.0 * 1024.0); }
+  [[nodiscard]] double capacity_bytes() const { return capacity_bytes_; }
+  [[nodiscard]] std::size_t live_allocations() const { return live_.size(); }
+
+  /// Labelled breakdown of live allocations (diagnostics, DESIGN audit).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> live() const;
+
+  /// Clears all allocations and the peak.
+  void reset();
+
+ private:
+  struct Allocation {
+    std::string label;
+    double bytes = 0.0;
+  };
+
+  double capacity_bytes_;
+  double current_ = 0.0;
+  double peak_ = 0.0;
+  AllocId next_id_ = 1;
+  std::unordered_map<AllocId, Allocation> live_;
+};
+
+}  // namespace gpucnn::gpusim

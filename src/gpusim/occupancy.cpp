@@ -1,0 +1,74 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace gpucnn::gpusim {
+
+std::string_view to_string(OccupancyLimiter l) {
+  switch (l) {
+    case OccupancyLimiter::kWarps:
+      return "warps";
+    case OccupancyLimiter::kRegisters:
+      return "registers";
+    case OccupancyLimiter::kSharedMemory:
+      return "shared-memory";
+    case OccupancyLimiter::kBlocks:
+      return "blocks";
+  }
+  return "unknown";
+}
+
+Occupancy compute_occupancy(const DeviceSpec& dev, std::size_t block_threads,
+                            std::size_t regs_per_thread,
+                            std::size_t smem_per_block) {
+  check(block_threads > 0, "block must have at least one thread");
+  check(block_threads <= dev.max_threads_per_block,
+        "block exceeds max threads per block");
+  check(regs_per_thread <= dev.max_registers_per_thread,
+        "kernel exceeds per-thread register limit");
+  check(smem_per_block <= dev.shared_bytes_per_sm,
+        "kernel exceeds shared memory per SM");
+
+  const std::size_t warps_per_block =
+      (block_threads + dev.warp_size - 1) / dev.warp_size;
+
+  // Candidate block counts per limiting resource.
+  const std::size_t by_warps = dev.max_warps_per_sm / warps_per_block;
+  const std::size_t regs_per_block =
+      std::max<std::size_t>(regs_per_thread, 1) * block_threads;
+  const std::size_t by_regs = dev.registers_per_sm / regs_per_block;
+  const std::size_t by_smem =
+      smem_per_block == 0
+          ? std::numeric_limits<std::size_t>::max()
+          : dev.shared_bytes_per_sm / smem_per_block;
+  const std::size_t by_blocks = dev.max_blocks_per_sm;
+
+  Occupancy occ;
+  occ.active_blocks_per_sm = by_warps;
+  occ.limiter = OccupancyLimiter::kWarps;
+  if (by_regs < occ.active_blocks_per_sm) {
+    occ.active_blocks_per_sm = by_regs;
+    occ.limiter = OccupancyLimiter::kRegisters;
+  }
+  if (by_smem < occ.active_blocks_per_sm) {
+    occ.active_blocks_per_sm = by_smem;
+    occ.limiter = OccupancyLimiter::kSharedMemory;
+  }
+  if (by_blocks < occ.active_blocks_per_sm) {
+    occ.active_blocks_per_sm = by_blocks;
+    occ.limiter = OccupancyLimiter::kBlocks;
+  }
+
+  check(occ.active_blocks_per_sm > 0,
+        "kernel cannot fit a single block on an SM");
+  occ.active_warps_per_sm = occ.active_blocks_per_sm * warps_per_block;
+  occ.active_threads_per_sm = occ.active_warps_per_sm * dev.warp_size;
+  occ.theoretical = static_cast<double>(occ.active_warps_per_sm) /
+                    static_cast<double>(dev.max_warps_per_sm);
+  return occ;
+}
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,41 @@
+// The CUDA occupancy calculation for compute capability 3.5, reproducing
+// the analysis of paper §V.C.1: occupancy is limited by register usage,
+// shared-memory usage, block size, or the hardware block/warp caps —
+// whichever bites first.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "gpusim/device.hpp"
+
+namespace gpucnn::gpusim {
+
+/// Which resource capped the number of resident blocks.
+enum class OccupancyLimiter {
+  kWarps,         // warp/thread count per SM
+  kRegisters,     // register file
+  kSharedMemory,  // shared memory
+  kBlocks,        // max resident blocks per SM
+};
+
+[[nodiscard]] std::string_view to_string(OccupancyLimiter l);
+
+struct Occupancy {
+  std::size_t active_blocks_per_sm = 0;
+  std::size_t active_warps_per_sm = 0;
+  std::size_t active_threads_per_sm = 0;
+  double theoretical = 0.0;  ///< active warps / max warps, in [0, 1]
+  OccupancyLimiter limiter = OccupancyLimiter::kWarps;
+};
+
+/// Computes the theoretical occupancy of a kernel with the given launch
+/// configuration on `dev`. Throws gpucnn::Error when the configuration
+/// cannot launch at all (zero threads, block too large, registers or
+/// shared memory exceeding hardware limits).
+[[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& dev,
+                                          std::size_t block_threads,
+                                          std::size_t regs_per_thread,
+                                          std::size_t smem_per_block);
+
+}  // namespace gpucnn::gpusim

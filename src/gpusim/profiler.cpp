@@ -1,0 +1,103 @@
+#include "gpusim/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gpucnn::gpusim {
+
+const KernelMetrics& Profiler::launch(const KernelProfile& profile) {
+  LaunchRecord rec;
+  rec.profile = profile;
+  rec.metrics = simulate_kernel(dev_, profile);
+  records_.push_back(std::move(rec));
+  return records_.back().metrics;
+}
+
+void Profiler::transfer(const Transfer& t) { transfers_.push_back(t); }
+
+double Profiler::kernel_ms() const {
+  double total = 0.0;
+  for (const auto& r : records_) total += r.metrics.duration_ms;
+  return total;
+}
+
+double Profiler::transfer_ms() const {
+  return total_exposed_ms(dev_, transfers_);
+}
+
+double Profiler::total_ms() const { return kernel_ms() + transfer_ms(); }
+
+double Profiler::transfer_share() const {
+  const double total = total_ms();
+  return total > 0.0 ? transfer_ms() / total : 0.0;
+}
+
+std::vector<KernelSummary> Profiler::hotspots() const {
+  std::map<std::string, KernelSummary> by_name;
+  for (const auto& r : records_) {
+    auto& s = by_name[r.profile.name];
+    s.name = r.profile.name;
+    s.kind = r.profile.kind;
+    ++s.launches;
+    s.total_ms += r.metrics.duration_ms;
+  }
+  std::vector<KernelSummary> out;
+  out.reserve(by_name.size());
+  const double total = kernel_ms();
+  for (auto& [name, s] : by_name) {
+    s.share = total > 0.0 ? s.total_ms / total : 0.0;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+WeightedMetrics Profiler::weighted_metrics(double coverage) const {
+  // Aggregate per kernel name, walk hotspots until `coverage` of kernel
+  // time is covered, then runtime-weight the metric averages across the
+  // covered launches.
+  const auto hot = hotspots();
+  double covered = 0.0;
+  std::vector<std::string> top_names;
+  for (const auto& h : hot) {
+    top_names.push_back(h.name);
+    covered += h.share;
+    if (covered >= coverage) break;
+  }
+
+  WeightedMetrics wm;
+  double weight_total = 0.0;
+  for (const auto& r : records_) {
+    if (std::find(top_names.begin(), top_names.end(), r.profile.name) ==
+        top_names.end()) {
+      continue;
+    }
+    const double w = r.metrics.duration_ms;
+    weight_total += w;
+    wm.achieved_occupancy += w * r.metrics.achieved_occupancy * 100.0;
+    wm.ipc += w * r.metrics.ipc;
+    wm.warp_execution_efficiency +=
+        w * r.metrics.warp_execution_efficiency;
+    wm.gld_efficiency += w * r.metrics.gld_efficiency;
+    wm.gst_efficiency += w * r.metrics.gst_efficiency;
+    wm.shared_efficiency += w * r.metrics.shared_efficiency;
+  }
+  if (weight_total > 0.0) {
+    wm.achieved_occupancy /= weight_total;
+    wm.ipc /= weight_total;
+    wm.warp_execution_efficiency /= weight_total;
+    wm.gld_efficiency /= weight_total;
+    wm.gst_efficiency /= weight_total;
+    wm.shared_efficiency /= weight_total;
+  }
+  return wm;
+}
+
+void Profiler::reset() {
+  records_.clear();
+  transfers_.clear();
+}
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,85 @@
+// nvprof-like profiler over the simulator (paper §III.B, §V).
+//
+// The profiler records every simulated kernel launch and transfer of an
+// execution plan, then answers the paper's questions:
+//   * hotspot kernels: per-kernel runtime share (Figure 4);
+//   * top-kernel weighted metrics: runtime-weighted averages of the five
+//     metrics over the kernels that dominate runtime (Figure 6 — "take a
+//     weighted average of those top kernels", §V.C);
+//   * data-transfer share of total runtime (Figure 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/exec_model.hpp"
+#include "gpusim/transfer.hpp"
+
+namespace gpucnn::gpusim {
+
+/// One recorded launch.
+struct LaunchRecord {
+  KernelProfile profile;
+  KernelMetrics metrics;
+};
+
+/// Aggregated view of one kernel name.
+struct KernelSummary {
+  std::string name;
+  KernelClass kind = KernelClass::kGemm;
+  std::size_t launches = 0;
+  double total_ms = 0.0;
+  double share = 0.0;  ///< fraction of kernel time, [0, 1]
+};
+
+/// Runtime-weighted metric averages (the Figure 6 rows).
+struct WeightedMetrics {
+  double achieved_occupancy = 0.0;      // percent
+  double ipc = 0.0;
+  double warp_execution_efficiency = 0.0;  // percent
+  double gld_efficiency = 0.0;             // percent
+  double gst_efficiency = 0.0;             // percent
+  double shared_efficiency = 0.0;          // percent
+};
+
+class Profiler {
+ public:
+  explicit Profiler(const DeviceSpec& dev) : dev_(dev) {}
+
+  /// Simulates `profile` and records the launch; returns its metrics.
+  const KernelMetrics& launch(const KernelProfile& profile);
+
+  /// Records a host/device transfer.
+  void transfer(const Transfer& t);
+
+  [[nodiscard]] const DeviceSpec& device() const { return dev_; }
+  [[nodiscard]] const std::vector<LaunchRecord>& launches() const {
+    return records_;
+  }
+
+  /// Total simulated kernel time.
+  [[nodiscard]] double kernel_ms() const;
+  /// Exposed (non-overlapped) transfer time.
+  [[nodiscard]] double transfer_ms() const;
+  /// Kernel time + exposed transfer time.
+  [[nodiscard]] double total_ms() const;
+  /// Transfer share of total runtime, in [0, 1] (Figure 7).
+  [[nodiscard]] double transfer_share() const;
+
+  /// Per-kernel-name aggregation sorted by runtime, descending (Fig. 4).
+  [[nodiscard]] std::vector<KernelSummary> hotspots() const;
+
+  /// Runtime-weighted metrics over the top kernels covering at least
+  /// `coverage` of kernel time (Fig. 6; the paper weights "top kernels"
+  /// by their runtime share).
+  [[nodiscard]] WeightedMetrics weighted_metrics(double coverage = 0.9) const;
+
+  void reset();
+
+ private:
+  DeviceSpec dev_;
+  std::vector<LaunchRecord> records_;
+  std::vector<Transfer> transfers_;
+};
+
+}  // namespace gpucnn::gpusim

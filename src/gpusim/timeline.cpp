@@ -1,0 +1,42 @@
+#include "gpusim/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace gpucnn::gpusim {
+
+TimelineResult schedule(std::span<const TimelineItem> items) {
+  TimelineResult result;
+  result.start_ms.resize(items.size());
+  result.end_ms.resize(items.size());
+  std::map<std::size_t, double> stream_free;
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    check(item.duration_ms >= 0.0, "negative duration");
+    double ready = stream_free[item.stream];
+    for (const std::size_t dep : item.dependencies) {
+      check(dep < i, "dependency must reference an earlier item");
+      ready = std::max(ready, result.end_ms[dep]);
+    }
+    result.start_ms[i] = ready;
+    result.end_ms[i] = ready + item.duration_ms;
+    stream_free[item.stream] = result.end_ms[i];
+    result.makespan_ms = std::max(result.makespan_ms, result.end_ms[i]);
+  }
+
+  // Compute-stream idle time: makespan minus stream-0 busy time.
+  double busy = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].stream == 0) busy += items[i].duration_ms;
+  }
+  result.compute_idle_fraction =
+      result.makespan_ms > 0.0
+          ? std::max(0.0, (result.makespan_ms - busy) / result.makespan_ms)
+          : 0.0;
+  return result;
+}
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,27 @@
+#include "gpusim/transfer.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace gpucnn::gpusim {
+
+double raw_transfer_ms(const DeviceSpec& dev, const Transfer& t) {
+  check(t.bytes >= 0.0, "transfer bytes must be non-negative");
+  check(t.overlap >= 0.0 && t.overlap <= 1.0, "overlap must be in [0, 1]");
+  const double bw_gbs = t.pinned ? dev.pcie_pinned_gbs : dev.pcie_pageable_gbs;
+  return dev.pcie_latency_us * 1e-3 + t.bytes / (bw_gbs * 1e9) * 1e3;
+}
+
+double exposed_transfer_ms(const DeviceSpec& dev, const Transfer& t) {
+  return raw_transfer_ms(dev, t) * (1.0 - t.overlap);
+}
+
+double total_exposed_ms(const DeviceSpec& dev,
+                        const std::vector<Transfer>& ts) {
+  double total = 0.0;
+  for (const auto& t : ts) total += exposed_transfer_ms(dev, t);
+  return total;
+}
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,41 @@
+// Host <-> device transfer model (paper §V.D).
+//
+// Transfer time follows a latency + bandwidth model over PCIe. Each
+// framework declares how its transfers are issued: pageable vs pinned
+// staging, and how much of the copy a prefetch thread or async stream
+// overlaps with compute (Caffe's data-prefetch thread hides nearly all of
+// its input copies, which is why the paper measures ~0% for it).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace gpucnn::gpusim {
+
+enum class TransferDirection { kHostToDevice, kDeviceToHost };
+
+/// One host/device copy in an execution plan.
+struct Transfer {
+  std::string label;            ///< e.g. "input batch", "col buffer"
+  TransferDirection direction = TransferDirection::kHostToDevice;
+  double bytes = 0.0;
+  bool pinned = false;          ///< staged through pinned memory
+  double overlap = 0.0;         ///< fraction hidden behind compute [0, 1]
+};
+
+/// Wall-clock cost of the copy before overlap is applied.
+[[nodiscard]] double raw_transfer_ms(const DeviceSpec& dev,
+                                     const Transfer& t);
+
+/// Cost that actually lands on the critical path (after overlap).
+[[nodiscard]] double exposed_transfer_ms(const DeviceSpec& dev,
+                                         const Transfer& t);
+
+/// Sum of exposed costs of a transfer sequence.
+[[nodiscard]] double total_exposed_ms(const DeviceSpec& dev,
+                                      const std::vector<Transfer>& ts);
+
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,76 @@
+#include "nn/activation_layer.hpp"
+
+#include <cmath>
+
+namespace gpucnn::nn {
+
+std::string_view to_string(Activation a) {
+  switch (a) {
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "unknown";
+}
+
+void ActivationLayer::forward(const Tensor& in, Tensor& out) {
+  out.resize(in.shape());
+  const auto src = in.data();
+  const auto dst = out.data();
+  switch (fn_) {
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = src[i] > 0.0F ? src[i] : 0.0F;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = 1.0F / (1.0F + std::exp(-src[i]));
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = std::tanh(src[i]);
+      }
+      break;
+  }
+  if (fn_ != Activation::kRelu) {
+    last_output_.resize(in.shape());
+    std::copy(dst.begin(), dst.end(), last_output_.data().begin());
+  }
+}
+
+void ActivationLayer::backward(const Tensor& in, const Tensor& grad_out,
+                               Tensor& grad_in) {
+  check(grad_out.shape() == in.shape(), "activation: shape mismatch");
+  grad_in.resize(in.shape());
+  const auto x = in.data();
+  const auto g = grad_out.data();
+  const auto gi = grad_in.data();
+  switch (fn_) {
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        gi[i] = x[i] > 0.0F ? g[i] : 0.0F;
+      }
+      break;
+    case Activation::kSigmoid: {
+      const auto y = last_output_.data();
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        gi[i] = g[i] * y[i] * (1.0F - y[i]);
+      }
+      break;
+    }
+    case Activation::kTanh: {
+      const auto y = last_output_.data();
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        gi[i] = g[i] * (1.0F - y[i] * y[i]);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace gpucnn::nn

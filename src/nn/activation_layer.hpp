@@ -1,0 +1,36 @@
+// Element-wise activations: ReLU (the hotspot-analysis layer type of
+// Fig. 2), plus the classic Sigmoid and Tanh the paper's background
+// section mentions as direct-convolution activations.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace gpucnn::nn {
+
+enum class Activation { kRelu, kSigmoid, kTanh };
+
+[[nodiscard]] std::string_view to_string(Activation a);
+
+class ActivationLayer final : public Layer {
+ public:
+  ActivationLayer(std::string name, Activation fn = Activation::kRelu)
+      : Layer(std::move(name)), fn_(fn) {}
+
+  [[nodiscard]] std::string_view type() const override { return "relu"; }
+  [[nodiscard]] Activation function() const { return fn_; }
+
+  [[nodiscard]] TensorShape output_shape(const TensorShape& in)
+      const override {
+    return in;
+  }
+
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& grad_out,
+                Tensor& grad_in) override;
+
+ private:
+  Activation fn_;
+  Tensor last_output_;  ///< sigmoid/tanh derivatives reuse the output
+};
+
+}  // namespace gpucnn::nn

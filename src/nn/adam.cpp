@@ -1,0 +1,53 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace gpucnn::nn {
+
+void Adam::step() {
+  const auto params = net_->parameters();
+  const auto grads = net_->gradients();
+  check(params.size() == grads.size(),
+        "parameter/gradient count mismatch");
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const Tensor* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+    t_ = 0;
+  }
+  ++t_;
+
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  const float eps = static_cast<float>(options_.epsilon);
+  const float wd = static_cast<float>(options_.weight_decay);
+  const float correct1 =
+      1.0F - std::pow(b1, static_cast<float>(t_));
+  const float correct2 =
+      1.0F - std::pow(b2, static_cast<float>(t_));
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    check(m_[i].shape() == params[i]->shape(),
+          "parameter shape changed between steps");
+    auto p = params[i]->data();
+    auto g = grads[i]->data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const float grad = g[j] + wd * p[j];
+      m[j] = b1 * m[j] + (1.0F - b1) * grad;
+      v[j] = b2 * v[j] + (1.0F - b2) * grad * grad;
+      const float m_hat = m[j] / correct1;
+      const float v_hat = v[j] / correct2;
+      p[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    }
+  }
+}
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,39 @@
+// Adam optimiser (Kingma & Ba) — the optimiser that displaced plain SGD
+// in the frameworks the paper benchmarks; provided alongside Sgd so
+// training examples can compare.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace gpucnn::nn {
+
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(Network& net, AdamOptions options)
+      : net_(&net), options_(options) {}
+
+  /// One update from the gradients accumulated in the network.
+  void step();
+
+  [[nodiscard]] const AdamOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t steps_taken() const { return t_; }
+
+ private:
+  Network* net_;
+  AdamOptions options_;
+  std::vector<Tensor> m_;  ///< first-moment estimates
+  std::vector<Tensor> v_;  ///< second-moment estimates
+  std::size_t t_ = 0;
+};
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,65 @@
+#include "nn/conv_layer.hpp"
+
+#include <cmath>
+
+#include "blas/vector_ops.hpp"
+
+namespace gpucnn::nn {
+
+ConvLayer::ConvLayer(std::string name, ConvConfig geometry,
+                     conv::Strategy strategy)
+    : Layer(std::move(name)),
+      geometry_(geometry),
+      engine_(conv::make_engine(strategy)),
+      weights_(geometry.filter_shape()),
+      bias_(1, geometry.filters, 1, 1),
+      grad_weights_(geometry.filter_shape()),
+      grad_bias_(1, geometry.filters, 1, 1) {}
+
+void ConvLayer::set_strategy(conv::Strategy strategy) {
+  engine_ = conv::make_engine(strategy);
+}
+
+ConvConfig ConvLayer::config_for_batch(std::size_t batch) const {
+  ConvConfig cfg = geometry_;
+  cfg.batch = batch;
+  return cfg;
+}
+
+TensorShape ConvLayer::output_shape(const TensorShape& in) const {
+  check(in.c == geometry_.channels, "conv: input channel mismatch");
+  check(in.h == geometry_.input && in.w == geometry_.input,
+        "conv: input spatial size mismatch");
+  return config_for_batch(in.n).output_shape();
+}
+
+void ConvLayer::forward(const Tensor& in, Tensor& out) {
+  const ConvConfig cfg = config_for_batch(in.shape().n);
+  out.resize(cfg.output_shape());
+  engine_->forward(cfg, in, weights_, out);
+  blas::add_bias(out.data(), bias_.data(), cfg.batch, cfg.filters,
+                 cfg.output() * cfg.output());
+}
+
+void ConvLayer::backward(const Tensor& in, const Tensor& grad_out,
+                         Tensor& grad_in) {
+  const ConvConfig cfg = config_for_batch(in.shape().n);
+  grad_in.resize(cfg.input_shape());
+  engine_->backward_data(cfg, grad_out, weights_, grad_in);
+
+  Tensor gw(cfg.filter_shape());
+  engine_->backward_filter(cfg, in, grad_out, gw);
+  blas::axpy(1.0F, gw.data(), grad_weights_.data());
+  blas::reduce_bias_grad(grad_out.data(), grad_bias_.data(), cfg.batch,
+                         cfg.filters, cfg.output() * cfg.output());
+}
+
+void ConvLayer::initialize(Rng& rng) {
+  const double fan_in = static_cast<double>(
+      geometry_.group_channels() * geometry_.kernel * geometry_.kernel);
+  const float bound = static_cast<float>(std::sqrt(6.0 / fan_in));
+  weights_.fill_uniform(rng, -bound, bound);
+  bias_.fill(0.0F);
+}
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,54 @@
+// Convolutional layer with a pluggable convolution engine — the paper's
+// point that the same layer can be served by direct, unrolling or FFT
+// strategies, with identical results but different cost profiles.
+#pragma once
+
+#include <memory>
+
+#include "conv/conv_engine.hpp"
+#include "nn/layer.hpp"
+
+namespace gpucnn::nn {
+
+class ConvLayer final : public Layer {
+ public:
+  /// `geometry.batch` is ignored: the layer adapts to the input batch.
+  ConvLayer(std::string name, ConvConfig geometry,
+            conv::Strategy strategy = conv::Strategy::kUnrolling);
+
+  [[nodiscard]] std::string_view type() const override { return "conv"; }
+  [[nodiscard]] TensorShape output_shape(const TensorShape& in)
+      const override;
+
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& grad_out,
+                Tensor& grad_in) override;
+
+  [[nodiscard]] std::vector<Tensor*> parameters() override {
+    return {&weights_, &bias_};
+  }
+  [[nodiscard]] std::vector<Tensor*> gradients() override {
+    return {&grad_weights_, &grad_bias_};
+  }
+
+  /// Kaiming-uniform initialisation.
+  void initialize(Rng& rng) override;
+
+  [[nodiscard]] const ConvConfig& geometry() const { return geometry_; }
+  [[nodiscard]] const conv::ConvEngine& engine() const { return *engine_; }
+
+  /// Swaps the convolution strategy (weights are untouched).
+  void set_strategy(conv::Strategy strategy);
+
+ private:
+  [[nodiscard]] ConvConfig config_for_batch(std::size_t batch) const;
+
+  ConvConfig geometry_;
+  std::unique_ptr<conv::ConvEngine> engine_;
+  Tensor weights_;
+  Tensor bias_;
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+};
+
+}  // namespace gpucnn::nn

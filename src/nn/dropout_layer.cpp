@@ -1,0 +1,38 @@
+#include "nn/dropout_layer.hpp"
+
+namespace gpucnn::nn {
+
+void DropoutLayer::forward(const Tensor& in, Tensor& out) {
+  out.resize(in.shape());
+  const auto src = in.data();
+  const auto dst = out.data();
+  if (!training_ || rate_ == 0.0) {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return;
+  }
+  mask_.resize(in.shape());
+  const auto mask = mask_.data();
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    mask[i] = rng_.uniform() < rate_ ? 0.0F : keep_scale;
+    dst[i] = src[i] * mask[i];
+  }
+}
+
+void DropoutLayer::backward(const Tensor& in, const Tensor& grad_out,
+                            Tensor& grad_in) {
+  check(grad_out.shape() == in.shape(), "dropout: shape mismatch");
+  grad_in.resize(in.shape());
+  const auto g = grad_out.data();
+  const auto gi = grad_in.data();
+  if (!training_ || rate_ == 0.0) {
+    std::copy(g.begin(), g.end(), gi.begin());
+    return;
+  }
+  check(mask_.shape() == in.shape(),
+        "dropout: backward before forward or shape changed");
+  const auto mask = mask_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) gi[i] = g[i] * mask[i];
+}
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,33 @@
+// Inverted dropout: active during training, identity at inference.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace gpucnn::nn {
+
+class DropoutLayer final : public Layer {
+ public:
+  DropoutLayer(std::string name, double rate, std::uint64_t seed = 1234)
+      : Layer(std::move(name)), rate_(rate), rng_(seed) {
+    check(rate >= 0.0 && rate < 1.0, "dropout rate must be in [0, 1)");
+  }
+
+  [[nodiscard]] std::string_view type() const override { return "dropout"; }
+  [[nodiscard]] TensorShape output_shape(const TensorShape& in)
+      const override {
+    return in;
+  }
+
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& grad_out,
+                Tensor& grad_in) override;
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Tensor mask_;  ///< scale per element: 0 or 1/(1-rate)
+};
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,43 @@
+// Fully connected layer (the FC layers of Fig. 2's breakdown). Input of
+// any 4-D shape is treated as (batch, features).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace gpucnn::nn {
+
+class FcLayer final : public Layer {
+ public:
+  FcLayer(std::string name, std::size_t in_features,
+          std::size_t out_features);
+
+  [[nodiscard]] std::string_view type() const override { return "fc"; }
+  [[nodiscard]] TensorShape output_shape(const TensorShape& in)
+      const override;
+
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& grad_out,
+                Tensor& grad_in) override;
+
+  [[nodiscard]] std::vector<Tensor*> parameters() override {
+    return {&weights_, &bias_};
+  }
+  [[nodiscard]] std::vector<Tensor*> gradients() override {
+    return {&grad_weights_, &grad_bias_};
+  }
+
+  void initialize(Rng& rng) override;
+
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  [[nodiscard]] std::size_t out_features() const { return out_features_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Tensor weights_;       ///< (out, in) row-major
+  Tensor bias_;          ///< (out)
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+};
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,64 @@
+// Layer abstraction for executable networks.
+//
+// Layers own their parameters and any state the backward pass needs
+// (masks, cached pre-activations). The forward/backward contract is
+// Caffe-like: the container passes the layer its input and takes its
+// output; backward receives dL/d(output) and produces dL/d(input),
+// accumulating parameter gradients internally.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/shape.hpp"
+#include "core/tensor.hpp"
+
+namespace gpucnn::nn {
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] virtual std::string_view type() const = 0;
+
+  /// Output shape for a given input shape; throws on invalid geometry.
+  [[nodiscard]] virtual TensorShape output_shape(
+      const TensorShape& in) const = 0;
+
+  /// Computes `out` from `in`; `out` is resized by the layer.
+  virtual void forward(const Tensor& in, Tensor& out) = 0;
+
+  /// Computes dL/d`in` from dL/d`out`; parameter gradients accumulate
+  /// into the layer's gradient tensors (zeroed by zero_grad()).
+  virtual void backward(const Tensor& in, const Tensor& grad_out,
+                        Tensor& grad_in) = 0;
+
+  /// Learnable parameters and their gradients, pairwise aligned.
+  [[nodiscard]] virtual std::vector<Tensor*> parameters() { return {}; }
+  [[nodiscard]] virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// Zeroes accumulated parameter gradients.
+  void zero_grad() {
+    for (Tensor* g : gradients()) g->fill(0.0F);
+  }
+
+  /// Toggles training-time behaviour (dropout).
+  virtual void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const { return training_; }
+
+  /// Initialises parameters (default: nothing to initialise).
+  virtual void initialize(Rng&) {}
+
+ protected:
+  std::string name_;
+  bool training_ = true;
+};
+
+}  // namespace gpucnn::nn

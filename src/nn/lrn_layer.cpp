@@ -1,0 +1,73 @@
+#include "nn/lrn_layer.hpp"
+
+#include <cmath>
+
+#include "core/thread_pool.hpp"
+
+namespace gpucnn::nn {
+
+void LrnLayer::forward(const Tensor& in, Tensor& out) {
+  const auto& s = in.shape();
+  out.resize(s);
+  scale_.resize(s);
+  const std::size_t half = size_ / 2;
+  const double norm = alpha_ / static_cast<double>(size_);
+
+  parallel_for(0, s.n, [&](std::size_t n) {
+    for (std::size_t y = 0; y < s.h; ++y) {
+      for (std::size_t x = 0; x < s.w; ++x) {
+        for (std::size_t c = 0; c < s.c; ++c) {
+          const std::size_t lo = c >= half ? c - half : 0;
+          const std::size_t hi = std::min(c + half, s.c - 1);
+          double sum_sq = 0.0;
+          for (std::size_t cc = lo; cc <= hi; ++cc) {
+            const double v = in(n, cc, y, x);
+            sum_sq += v * v;
+          }
+          const double b = k_ + norm * sum_sq;
+          scale_(n, c, y, x) = static_cast<float>(b);
+          out(n, c, y, x) =
+              static_cast<float>(in(n, c, y, x) * std::pow(b, -beta_));
+        }
+      }
+    }
+  });
+}
+
+void LrnLayer::backward(const Tensor& in, const Tensor& grad_out,
+                        Tensor& grad_in) {
+  const auto& s = in.shape();
+  check(grad_out.shape() == s, "lrn: grad_out shape mismatch");
+  check(scale_.shape() == s, "lrn: backward before forward");
+  grad_in.resize(s);
+  const std::size_t half = size_ / 2;
+  const double norm = alpha_ / static_cast<double>(size_);
+
+  parallel_for(0, s.n, [&](std::size_t n) {
+    for (std::size_t y = 0; y < s.h; ++y) {
+      for (std::size_t x = 0; x < s.w; ++x) {
+        // gin(c'') = gout(c'') * b(c'')^-beta
+        //          - 2*beta*norm*in(c'') * sum_{c: |c-c''|<=half}
+        //            gout(c)*in(c)*b(c)^(-beta-1)
+        for (std::size_t ct = 0; ct < s.c; ++ct) {
+          const std::size_t lo = ct >= half ? ct - half : 0;
+          const std::size_t hi = std::min(ct + half, s.c - 1);
+          double cross = 0.0;
+          for (std::size_t c = lo; c <= hi; ++c) {
+            cross += static_cast<double>(grad_out(n, c, y, x)) *
+                     in(n, c, y, x) *
+                     std::pow(static_cast<double>(scale_(n, c, y, x)),
+                              -beta_ - 1.0);
+          }
+          const double direct =
+              static_cast<double>(grad_out(n, ct, y, x)) *
+              std::pow(static_cast<double>(scale_(n, ct, y, x)), -beta_);
+          grad_in(n, ct, y, x) = static_cast<float>(
+              direct - 2.0 * beta_ * norm * in(n, ct, y, x) * cross);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,36 @@
+// Local response normalisation across channels (AlexNet's LRN).
+// out(c) = in(c) * (k + alpha/size * sum_{c' in window} in(c')^2)^(-beta)
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace gpucnn::nn {
+
+class LrnLayer final : public Layer {
+ public:
+  LrnLayer(std::string name, std::size_t size = 5, double alpha = 1e-4,
+           double beta = 0.75, double k = 2.0)
+      : Layer(std::move(name)), size_(size), alpha_(alpha), beta_(beta),
+        k_(k) {
+    check(size_ >= 1 && size_ % 2 == 1, "LRN window must be odd");
+  }
+
+  [[nodiscard]] std::string_view type() const override { return "lrn"; }
+  [[nodiscard]] TensorShape output_shape(const TensorShape& in)
+      const override {
+    return in;
+  }
+
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& grad_out,
+                Tensor& grad_in) override;
+
+ private:
+  std::size_t size_;
+  double alpha_;
+  double beta_;
+  double k_;
+  Tensor scale_;  ///< b = k + alpha/size * window sum of squares
+};
+
+}  // namespace gpucnn::nn

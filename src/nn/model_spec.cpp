@@ -1,0 +1,383 @@
+#include "nn/model_spec.hpp"
+
+#include "nn/activation_layer.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/dropout_layer.hpp"
+#include "nn/fc_layer.hpp"
+#include "nn/inception_layer.hpp"
+#include "nn/lrn_layer.hpp"
+#include "nn/pool_layer.hpp"
+#include "nn/softmax.hpp"
+
+namespace gpucnn::nn {
+
+std::string_view to_string(LayerSpec::Kind k) {
+  switch (k) {
+    case LayerSpec::Kind::kConv:
+      return "conv";
+    case LayerSpec::Kind::kPool:
+      return "pool";
+    case LayerSpec::Kind::kRelu:
+      return "relu";
+    case LayerSpec::Kind::kFc:
+      return "fc";
+    case LayerSpec::Kind::kLrn:
+      return "lrn";
+    case LayerSpec::Kind::kDropout:
+      return "dropout";
+    case LayerSpec::Kind::kConcat:
+      return "concat";
+    case LayerSpec::Kind::kSoftmax:
+      return "softmax";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Incremental spec builder tracking the running activation shape.
+class Builder {
+ public:
+  Builder(std::string model_name, std::size_t batch, std::size_t channels,
+          std::size_t size)
+      : spec_{std::move(model_name), batch, {}},
+        shape_{batch, channels, size, size} {}
+
+  Builder& conv(const std::string& name, std::size_t filters,
+                std::size_t kernel, std::size_t stride = 1,
+                std::size_t pad = 0, std::size_t groups = 1) {
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::kConv;
+    l.name = name;
+    l.conv = ConvConfig{.batch = spec_.batch, .input = shape_.h,
+                        .channels = shape_.c, .filters = filters,
+                        .kernel = kernel, .stride = stride, .pad = pad,
+                        .groups = groups};
+    l.input = shape_;
+    shape_ = l.conv.output_shape();
+    l.output = shape_;
+    spec_.layers.push_back(std::move(l));
+    return *this;
+  }
+
+  Builder& relu() { return simple(LayerSpec::Kind::kRelu, "relu"); }
+  Builder& lrn() { return simple(LayerSpec::Kind::kLrn, "lrn"); }
+  Builder& dropout() { return simple(LayerSpec::Kind::kDropout, "drop"); }
+  Builder& softmax() { return simple(LayerSpec::Kind::kSoftmax, "prob"); }
+
+  Builder& pool(std::size_t window, std::size_t stride,
+                bool average = false) {
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::kPool;
+    l.name = "pool" + std::to_string(++pool_index_);
+    l.pool_window = window;
+    l.pool_stride = stride;
+    l.pool_average = average;
+    l.input = shape_;
+    const auto out_dim = [&](std::size_t d) {
+      check(d >= window, "pool window larger than input");
+      return (d - window + stride - 1) / stride + 1;
+    };
+    shape_ = {shape_.n, shape_.c, out_dim(shape_.h), out_dim(shape_.w)};
+    l.output = shape_;
+    spec_.layers.push_back(std::move(l));
+    return *this;
+  }
+
+  Builder& fc(const std::string& name, std::size_t out_features) {
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::kFc;
+    l.name = name;
+    l.fc_in = shape_.c * shape_.h * shape_.w;
+    l.fc_out = out_features;
+    l.input = shape_;
+    shape_ = {shape_.n, out_features, 1, 1};
+    l.output = shape_;
+    spec_.layers.push_back(std::move(l));
+    return *this;
+  }
+
+  /// GoogLeNet inception module: four parallel branches on the current
+  /// shape, concatenated along channels.
+  Builder& inception(const std::string& name, std::size_t c1,
+                     std::size_t c3_reduce, std::size_t c3,
+                     std::size_t c5_reduce, std::size_t c5,
+                     std::size_t pool_proj) {
+    const TensorShape entry = shape_;
+    const auto branch_conv = [&](const std::string& suffix,
+                                 std::size_t filters, std::size_t kernel,
+                                 std::size_t pad, const TensorShape& in) {
+      LayerSpec l;
+      l.kind = LayerSpec::Kind::kConv;
+      l.name = name + suffix;
+      l.conv = ConvConfig{.batch = spec_.batch, .input = in.h,
+                          .channels = in.c, .filters = filters,
+                          .kernel = kernel, .stride = 1, .pad = pad};
+      l.input = in;
+      l.output = l.conv.output_shape();
+      spec_.layers.push_back(l);
+      return l.output;
+    };
+    branch_conv("/1x1", c1, 1, 0, entry);
+    const auto r3 = branch_conv("/3x3_reduce", c3_reduce, 1, 0, entry);
+    branch_conv("/3x3", c3, 3, 1, r3);
+    const auto r5 = branch_conv("/5x5_reduce", c5_reduce, 1, 0, entry);
+    branch_conv("/5x5", c5, 5, 2, r5);
+    branch_conv("/pool_proj", pool_proj, 1, 0, entry);
+
+    LayerSpec cat;
+    cat.kind = LayerSpec::Kind::kConcat;
+    cat.name = name + "/concat";
+    cat.input = entry;
+    shape_ = {entry.n, c1 + c3 + c5 + pool_proj, entry.h, entry.w};
+    cat.output = shape_;
+    spec_.layers.push_back(std::move(cat));
+    return *this;
+  }
+
+  [[nodiscard]] ModelSpec build() { return std::move(spec_); }
+
+ private:
+  Builder& simple(LayerSpec::Kind kind, const std::string& base) {
+    LayerSpec l;
+    l.kind = kind;
+    l.name = base + std::to_string(++simple_index_);
+    l.input = shape_;
+    l.output = shape_;
+    spec_.layers.push_back(std::move(l));
+    return *this;
+  }
+
+  ModelSpec spec_;
+  TensorShape shape_;
+  std::size_t pool_index_ = 0;
+  std::size_t simple_index_ = 0;
+};
+
+}  // namespace
+
+double ModelSpec::parameter_count() const {
+  double total = 0.0;
+  for (const auto& l : layers) {
+    if (l.kind == LayerSpec::Kind::kConv) {
+      total += static_cast<double>(l.conv.filter_shape().count()) +
+               static_cast<double>(l.conv.filters);
+    } else if (l.kind == LayerSpec::Kind::kFc) {
+      total += static_cast<double>(l.fc_in) * static_cast<double>(l.fc_out) +
+               static_cast<double>(l.fc_out);
+    }
+  }
+  return total;
+}
+
+std::size_t ModelSpec::count(LayerSpec::Kind k) const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.kind == k ? 1 : 0;
+  return n;
+}
+
+Network ModelSpec::instantiate(conv::Strategy strategy) const {
+  Network net;
+  for (const auto& l : layers) {
+    switch (l.kind) {
+      case LayerSpec::Kind::kConv:
+        net.emplace<ConvLayer>(l.name, l.conv, strategy);
+        break;
+      case LayerSpec::Kind::kPool:
+        net.emplace<PoolLayer>(l.name, l.pool_window, l.pool_stride,
+                               l.pool_average ? PoolMode::kAverage
+                                              : PoolMode::kMax);
+        break;
+      case LayerSpec::Kind::kRelu:
+        net.emplace<ActivationLayer>(l.name, Activation::kRelu);
+        break;
+      case LayerSpec::Kind::kFc:
+        net.emplace<FcLayer>(l.name, l.fc_in, l.fc_out);
+        break;
+      case LayerSpec::Kind::kLrn:
+        net.emplace<LrnLayer>(l.name);
+        break;
+      case LayerSpec::Kind::kDropout:
+        net.emplace<DropoutLayer>(l.name, 0.5);
+        break;
+      case LayerSpec::Kind::kSoftmax:
+        net.emplace<SoftmaxLayer>(l.name);
+        break;
+      case LayerSpec::Kind::kConcat:
+        check(false,
+              "model '" + name +
+                  "' contains concat branches; only sequential models "
+                  "can be instantiated");
+    }
+  }
+  return net;
+}
+
+ModelSpec lenet5(std::size_t batch) {
+  return Builder("LeNet-5", batch, 1, 32)
+      .conv("conv1", 6, 5)
+      .relu()
+      .pool(2, 2)
+      .conv("conv2", 16, 5)
+      .relu()
+      .pool(2, 2)
+      .fc("fc3", 120)
+      .relu()
+      .fc("fc4", 84)
+      .relu()
+      .fc("fc5", 10)
+      .softmax()
+      .build();
+}
+
+ModelSpec alexnet(std::size_t batch) {
+  return Builder("AlexNet", batch, 3, 227)
+      .conv("conv1", 96, 11, 4)
+      .relu()
+      .lrn()
+      .pool(3, 2)
+      .conv("conv2", 256, 5, 1, 2, 2)
+      .relu()
+      .lrn()
+      .pool(3, 2)
+      .conv("conv3", 384, 3, 1, 1)
+      .relu()
+      .conv("conv4", 384, 3, 1, 1, 2)
+      .relu()
+      .conv("conv5", 256, 3, 1, 1, 2)
+      .relu()
+      .pool(3, 2)
+      .fc("fc6", 4096)
+      .relu()
+      .dropout()
+      .fc("fc7", 4096)
+      .relu()
+      .dropout()
+      .fc("fc8", 1000)
+      .softmax()
+      .build();
+}
+
+namespace {
+
+ModelSpec vgg(std::size_t batch, bool nineteen) {
+  Builder b("VGG-" + std::string(nineteen ? "19" : "16"), batch, 3, 224);
+  const auto block = [&](std::size_t filters, std::size_t convs,
+                         std::size_t from) {
+    for (std::size_t i = 0; i < convs; ++i) {
+      b.conv("conv" + std::to_string(from + i), filters, 3, 1, 1).relu();
+    }
+    b.pool(2, 2);
+  };
+  block(64, 2, 1);
+  block(128, 2, 3);
+  block(256, nineteen ? 4 : 3, 5);
+  block(512, nineteen ? 4 : 3, nineteen ? 9 : 8);
+  block(512, nineteen ? 4 : 3, nineteen ? 13 : 11);
+  b.fc("fc1", 4096).relu().dropout();
+  b.fc("fc2", 4096).relu().dropout();
+  b.fc("fc3", 1000).softmax();
+  return b.build();
+}
+
+}  // namespace
+
+ModelSpec vgg16(std::size_t batch) { return vgg(batch, false); }
+ModelSpec vgg19(std::size_t batch) { return vgg(batch, true); }
+
+ModelSpec googlenet(std::size_t batch) {
+  Builder b("GoogLeNet", batch, 3, 224);
+  b.conv("conv1/7x7_s2", 64, 7, 2, 3).relu().pool(3, 2).lrn();
+  b.conv("conv2/3x3_reduce", 64, 1).relu();
+  b.conv("conv2/3x3", 192, 3, 1, 1).relu().lrn().pool(3, 2);
+  const auto modules = googlenet_inceptions();
+  // Pool placement: after 3b (index 1) and after 4e (index 6).
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const auto& m = modules[i];
+    b.inception(m.name, m.c1, m.c3_reduce, m.c3, m.c5_reduce, m.c5,
+                m.pool_proj);
+    if (i == 1 || i == 6) b.pool(3, 2);
+  }
+  b.pool(7, 1, /*average=*/true);
+  b.dropout();
+  b.fc("loss3/classifier", 1000).softmax();
+  return b.build();
+}
+
+Network googlenet_network(conv::Strategy strategy) {
+  Network net;
+  const auto conv = [&](const std::string& cname, std::size_t input,
+                        std::size_t channels, std::size_t filters,
+                        std::size_t kernel, std::size_t stride,
+                        std::size_t pad) {
+    net.emplace<ConvLayer>(
+        cname,
+        ConvConfig{.batch = 1, .input = input, .channels = channels,
+                   .filters = filters, .kernel = kernel, .stride = stride,
+                   .pad = pad},
+        strategy);
+    net.emplace<ActivationLayer>(cname + "/relu");
+  };
+  conv("conv1/7x7_s2", 224, 3, 64, 7, 2, 3);   // -> 112
+  net.emplace<PoolLayer>("pool1", 3, 2);        // -> 56
+  net.emplace<LrnLayer>("lrn1");
+  conv("conv2/3x3_reduce", 56, 64, 64, 1, 1, 0);
+  conv("conv2/3x3", 56, 64, 192, 3, 1, 1);
+  net.emplace<LrnLayer>("lrn2");
+  net.emplace<PoolLayer>("pool2", 3, 2);        // -> 28
+
+  const auto modules = googlenet_inceptions();
+  std::size_t channels = 192;
+  std::size_t spatial = 28;
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const auto& m = modules[i];
+    net.emplace<InceptionLayer>(std::string(m.name), channels, spatial, m);
+    channels = m.output_channels();
+    if (i == 1 || i == 6) {
+      net.emplace<PoolLayer>("pool_after_" + std::string(m.name), 3, 2);
+      spatial = (spatial - 3 + 1) / 2 + 1;  // ceil mode
+    }
+  }
+  net.emplace<PoolLayer>("global_pool", 7, 1, PoolMode::kAverage);
+  net.emplace<DropoutLayer>("drop", 0.4);
+  net.emplace<FcLayer>("loss3/classifier", 1024, 1000);
+  net.emplace<SoftmaxLayer>("prob");
+  return net;
+}
+
+ModelSpec overfeat(std::size_t batch) {
+  return Builder("OverFeat", batch, 3, 231)
+      .conv("conv1", 96, 11, 4)
+      .relu()
+      .pool(2, 2)
+      .conv("conv2", 256, 5)
+      .relu()
+      .pool(2, 2)
+      .conv("conv3", 512, 3, 1, 1)
+      .relu()
+      .conv("conv4", 1024, 3, 1, 1)
+      .relu()
+      .conv("conv5", 1024, 3, 1, 1)
+      .relu()
+      .pool(2, 2)
+      .fc("fc6", 3072)
+      .relu()
+      .dropout()
+      .fc("fc7", 4096)
+      .relu()
+      .dropout()
+      .fc("fc8", 1000)
+      .softmax()
+      .build();
+}
+
+std::vector<ModelSpec> figure2_models() {
+  std::vector<ModelSpec> models;
+  models.push_back(googlenet());
+  models.push_back(vgg16());
+  models.push_back(overfeat());
+  models.push_back(alexnet());
+  return models;
+}
+
+}  // namespace gpucnn::nn

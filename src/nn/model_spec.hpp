@@ -1,0 +1,92 @@
+// Model zoo: shape-resolved descriptions of the paper's four profiled
+// real-life CNNs (AlexNet, GoogLeNet, VGG, OverFeat — Fig. 2) plus
+// LeNet-5 (the paper's §II.A walkthrough example).
+//
+// A ModelSpec serves two purposes:
+//   * the Fig. 2 bench walks its layers through the GPU simulator to
+//     reproduce the per-layer-type runtime breakdown;
+//   * sequential models instantiate into executable nn::Network objects
+//     for real (CPU) training in examples and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "conv/conv_engine.hpp"
+#include "core/shape.hpp"
+#include "nn/network.hpp"
+
+namespace gpucnn::nn {
+
+struct LayerSpec {
+  enum class Kind {
+    kConv,
+    kPool,
+    kRelu,
+    kFc,
+    kLrn,
+    kDropout,
+    kConcat,
+    kSoftmax,
+  };
+
+  Kind kind{};
+  std::string name;
+
+  ConvConfig conv;  ///< valid when kind == kConv (batch already set)
+
+  std::size_t pool_window = 0;  ///< kPool
+  std::size_t pool_stride = 0;
+  bool pool_average = false;
+
+  std::size_t fc_in = 0;  ///< kFc
+  std::size_t fc_out = 0;
+
+  TensorShape input;   ///< resolved input shape (with batch)
+  TensorShape output;  ///< resolved output shape
+};
+
+[[nodiscard]] std::string_view to_string(LayerSpec::Kind k);
+
+struct ModelSpec {
+  std::string name;
+  std::size_t batch = 0;
+  std::vector<LayerSpec> layers;
+
+  /// Total learnable parameters (conv + fc weights and biases).
+  [[nodiscard]] double parameter_count() const;
+
+  /// Number of layers of one kind.
+  [[nodiscard]] std::size_t count(LayerSpec::Kind k) const;
+
+  /// Builds an executable network (sequential models only; throws for
+  /// models containing concat, i.e. GoogLeNet).
+  [[nodiscard]] Network instantiate(
+      conv::Strategy strategy = conv::Strategy::kUnrolling) const;
+};
+
+/// LeNet-5 on 32x32 single-channel input (paper Fig. 1).
+[[nodiscard]] ModelSpec lenet5(std::size_t batch = 64);
+/// AlexNet (227x227x3, ILSVRC-2012 winner; 5 conv + 3 fc).
+[[nodiscard]] ModelSpec alexnet(std::size_t batch = 128);
+/// VGG-16 (224x224x3; 13 conv + 3 fc).
+[[nodiscard]] ModelSpec vgg16(std::size_t batch = 64);
+/// VGG-19 (224x224x3; 16 conv + 3 fc — the paper's "VGGNet has 19
+/// layers").
+[[nodiscard]] ModelSpec vgg19(std::size_t batch = 64);
+/// GoogLeNet (224x224x3; 9 inception modules with concat).
+[[nodiscard]] ModelSpec googlenet(std::size_t batch = 128);
+/// OverFeat fast model (231x231x3; 5 conv + 3 fc).
+[[nodiscard]] ModelSpec overfeat(std::size_t batch = 128);
+
+/// The four models of Fig. 2, in the paper's plotting order.
+[[nodiscard]] std::vector<ModelSpec> figure2_models();
+
+/// Executable GoogLeNet: the concat branches packaged as
+/// nn::InceptionLayer composites, so the whole 22-layer network runs on
+/// the real CPU engines (ModelSpec::instantiate cannot express the
+/// fork/join).
+[[nodiscard]] Network googlenet_network(
+    conv::Strategy strategy = conv::Strategy::kUnrolling);
+
+}  // namespace gpucnn::nn

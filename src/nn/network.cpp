@@ -1,0 +1,74 @@
+#include "nn/network.hpp"
+
+namespace gpucnn::nn {
+
+TensorShape Network::output_shape(TensorShape in) const {
+  for (const auto& layer : layers_) in = layer->output_shape(in);
+  return in;
+}
+
+const Tensor& Network::forward(const Tensor& input) {
+  check(!layers_.empty(), "network has no layers");
+  input_.resize(input.shape());
+  std::copy(input.data().begin(), input.data().end(),
+            input_.data().begin());
+  activations_.resize(layers_.size());
+  const Tensor* current = &input_;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(*current, activations_[i]);
+    current = &activations_[i];
+  }
+  has_forward_state_ = true;
+  return activations_.back();
+}
+
+void Network::backward(const Tensor& grad_output) {
+  check(has_forward_state_, "backward requires a preceding forward");
+  check(grad_output.shape() == activations_.back().shape(),
+        "grad_output shape mismatch");
+  Tensor grad = Tensor(grad_output.shape());
+  std::copy(grad_output.data().begin(), grad_output.data().end(),
+            grad.data().begin());
+  Tensor grad_in;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& layer_input = i == 0 ? input_ : activations_[i - 1];
+    layers_[i]->backward(layer_input, grad, grad_in);
+    std::swap(grad, grad_in);
+  }
+}
+
+std::vector<Tensor*> Network::parameters() {
+  std::vector<Tensor*> out;
+  for (const auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Network::gradients() {
+  std::vector<Tensor*> out;
+  for (const auto& layer : layers_) {
+    for (Tensor* g : layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+void Network::zero_grad() {
+  for (const auto& layer : layers_) layer->zero_grad();
+}
+
+void Network::set_training(bool training) {
+  for (const auto& layer : layers_) layer->set_training(training);
+}
+
+void Network::initialize(Rng& rng) {
+  for (const auto& layer : layers_) layer->initialize(rng);
+}
+
+std::size_t Network::parameter_count() {
+  std::size_t count = 0;
+  for (Tensor* p : parameters()) count += p->count();
+  return count;
+}
+
+}  // namespace gpucnn::nn

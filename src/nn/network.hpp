@@ -1,0 +1,64 @@
+// Sequential network container: owns layers, caches activations for the
+// backward pass, exposes parameter/gradient views for the optimiser.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace gpucnn::nn {
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Appends a layer; returns a reference for further configuration.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const {
+    return *layers_.at(i);
+  }
+
+  /// Output shape after all layers for a given input shape.
+  [[nodiscard]] TensorShape output_shape(TensorShape in) const;
+
+  /// Forward pass; keeps activations for backward(). Returns the final
+  /// output.
+  const Tensor& forward(const Tensor& input);
+
+  /// Backward pass from dL/d(output); requires a preceding forward().
+  /// Parameter gradients accumulate inside the layers.
+  void backward(const Tensor& grad_output);
+
+  /// All parameters / gradients across layers, pairwise aligned.
+  [[nodiscard]] std::vector<Tensor*> parameters();
+  [[nodiscard]] std::vector<Tensor*> gradients();
+
+  void zero_grad();
+  void set_training(bool training);
+  void initialize(Rng& rng);
+
+  /// Total learnable parameter count.
+  [[nodiscard]] std::size_t parameter_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Tensor> activations_;  ///< activations_[i] = output of layer i
+  Tensor input_;                     ///< cached network input
+  bool has_forward_state_ = false;
+};
+
+}  // namespace gpucnn::nn

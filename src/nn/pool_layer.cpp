@@ -1,0 +1,125 @@
+#include "nn/pool_layer.hpp"
+
+#include <limits>
+
+#include "core/thread_pool.hpp"
+
+namespace gpucnn::nn {
+
+PoolLayer::PoolLayer(std::string name, std::size_t window,
+                     std::size_t stride, PoolMode mode, std::size_t pad)
+    : Layer(std::move(name)),
+      window_(window),
+      stride_(stride),
+      pad_(pad),
+      mode_(mode) {
+  check(window_ >= 1 && stride_ >= 1, "pool window/stride must be >= 1");
+  check(pad_ < window_, "pool padding must be smaller than the window");
+}
+
+TensorShape PoolLayer::output_shape(const TensorShape& in) const {
+  check(in.h + 2 * pad_ >= window_ && in.w + 2 * pad_ >= window_,
+        "pool window larger than padded input");
+  // Caffe-style ceil mode so stride-2 pooling of odd maps keeps the last
+  // column (e.g. 13 -> 7 with window 3 stride 2).
+  const auto out_dim = [&](std::size_t d) {
+    return (d + 2 * pad_ - window_ + stride_ - 1) / stride_ + 1;
+  };
+  return {in.n, in.c, out_dim(in.h), out_dim(in.w)};
+}
+
+void PoolLayer::forward(const Tensor& in, Tensor& out) {
+  const auto& is = in.shape();
+  const TensorShape os = output_shape(is);
+  out.resize(os);
+  if (mode_ == PoolMode::kMax) argmax_.assign(os.count(), 0);
+
+  parallel_for(0, is.n * is.c, [&](std::size_t job) {
+    const std::size_t n = job / is.c;
+    const std::size_t c = job % is.c;
+    const float* src = in.plane(n, c);
+    float* dst = out.plane(n, c);
+    for (std::size_t oy = 0; oy < os.h; ++oy) {
+      for (std::size_t ox = 0; ox < os.w; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::uint32_t best_idx = 0;
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (std::size_t wy = 0; wy < window_; ++wy) {
+          const std::size_t iy = oy * stride_ + wy;
+          if (iy < pad_ || iy >= is.h + pad_) continue;
+          for (std::size_t wx = 0; wx < window_; ++wx) {
+            const std::size_t ix = ox * stride_ + wx;
+            if (ix < pad_ || ix >= is.w + pad_) continue;
+            const std::size_t idx = (iy - pad_) * is.w + (ix - pad_);
+            const float v = src[idx];
+            if (v > best) {
+              best = v;
+              best_idx = static_cast<std::uint32_t>(idx);
+            }
+            sum += v;
+            ++count;
+          }
+        }
+        const std::size_t out_idx = oy * os.w + ox;
+        if (mode_ == PoolMode::kMax) {
+          dst[out_idx] = best;
+          argmax_[(n * is.c + c) * os.spatial() + out_idx] = best_idx;
+        } else {
+          dst[out_idx] =
+              count > 0 ? static_cast<float>(sum / static_cast<double>(count))
+                        : 0.0F;
+        }
+      }
+    }
+  });
+}
+
+void PoolLayer::backward(const Tensor& in, const Tensor& grad_out,
+                         Tensor& grad_in) {
+  const auto& is = in.shape();
+  const TensorShape os = output_shape(is);
+  check(grad_out.shape() == os, "pool: grad_out shape mismatch");
+  grad_in.resize(is);
+
+  parallel_for(0, is.n * is.c, [&](std::size_t job) {
+    const std::size_t n = job / is.c;
+    const std::size_t c = job % is.c;
+    const float* gout = grad_out.plane(n, c);
+    float* gin = grad_in.plane(n, c);
+    for (std::size_t oy = 0; oy < os.h; ++oy) {
+      for (std::size_t ox = 0; ox < os.w; ++ox) {
+        const std::size_t out_idx = oy * os.w + ox;
+        const float g = gout[out_idx];
+        if (mode_ == PoolMode::kMax) {
+          gin[argmax_[(n * is.c + c) * os.spatial() + out_idx]] += g;
+          continue;
+        }
+        // Average: spread over the window's in-bounds taps.
+        std::size_t count = 0;
+        for (std::size_t wy = 0; wy < window_; ++wy) {
+          const std::size_t iy = oy * stride_ + wy;
+          if (iy < pad_ || iy >= is.h + pad_) continue;
+          for (std::size_t wx = 0; wx < window_; ++wx) {
+            const std::size_t ix = ox * stride_ + wx;
+            if (ix < pad_ || ix >= is.w + pad_) continue;
+            ++count;
+          }
+        }
+        if (count == 0) continue;
+        const float share = g / static_cast<float>(count);
+        for (std::size_t wy = 0; wy < window_; ++wy) {
+          const std::size_t iy = oy * stride_ + wy;
+          if (iy < pad_ || iy >= is.h + pad_) continue;
+          for (std::size_t wx = 0; wx < window_; ++wx) {
+            const std::size_t ix = ox * stride_ + wx;
+            if (ix < pad_ || ix >= is.w + pad_) continue;
+            gin[(iy - pad_) * is.w + (ix - pad_)] += share;
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,83 @@
+#include "nn/serialize.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace gpucnn::nn {
+namespace {
+
+constexpr std::array<char, 4> kMagic{'G', 'C', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  check(is.good(), "checkpoint truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(Network& net, std::ostream& os) {
+  os.write(kMagic.data(), kMagic.size());
+  write_pod(os, kVersion);
+  const auto params = net.parameters();
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const Tensor* p : params) {
+    const auto& s = p->shape();
+    write_pod(os, static_cast<std::uint64_t>(s.n));
+    write_pod(os, static_cast<std::uint64_t>(s.c));
+    write_pod(os, static_cast<std::uint64_t>(s.h));
+    write_pod(os, static_cast<std::uint64_t>(s.w));
+    os.write(reinterpret_cast<const char*>(p->raw()),
+             static_cast<std::streamsize>(p->count() * sizeof(float)));
+  }
+  check(os.good(), "checkpoint write failed");
+}
+
+void save_parameters(Network& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  check(os.is_open(), "cannot open checkpoint for writing: " + path);
+  save_parameters(net, os);
+}
+
+void load_parameters(Network& net, std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  check(is.good() && magic == kMagic, "not a gpucnn checkpoint");
+  const auto version = read_pod<std::uint32_t>(is);
+  check(version == kVersion, "unsupported checkpoint version");
+  const auto params = net.parameters();
+  const auto count = read_pod<std::uint64_t>(is);
+  check(count == params.size(),
+        "checkpoint parameter-tensor count mismatch");
+  for (Tensor* p : params) {
+    const TensorShape shape{
+        static_cast<std::size_t>(read_pod<std::uint64_t>(is)),
+        static_cast<std::size_t>(read_pod<std::uint64_t>(is)),
+        static_cast<std::size_t>(read_pod<std::uint64_t>(is)),
+        static_cast<std::size_t>(read_pod<std::uint64_t>(is))};
+    check(shape == p->shape(),
+          "checkpoint tensor shape mismatch (different architecture?)");
+    is.read(reinterpret_cast<char*>(p->raw()),
+            static_cast<std::streamsize>(p->count() * sizeof(float)));
+    check(is.good(), "checkpoint truncated");
+  }
+}
+
+void load_parameters(Network& net, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  check(is.is_open(), "cannot open checkpoint for reading: " + path);
+  load_parameters(net, is);
+}
+
+}  // namespace gpucnn::nn

@@ -1,0 +1,25 @@
+// Binary checkpoint serialisation for network parameters.
+//
+// Format (little-endian): magic "GCNN", u32 version, u64 tensor count,
+// then per tensor: u64 n,c,h,w followed by n*c*h*w raw floats. Loading
+// validates shapes against the target network, so a checkpoint can only
+// be restored into an architecturally identical model.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace gpucnn::nn {
+
+/// Writes all network parameters to a stream / file.
+void save_parameters(Network& net, std::ostream& os);
+void save_parameters(Network& net, const std::string& path);
+
+/// Restores parameters; throws gpucnn::Error on magic/version/shape
+/// mismatch or truncated input.
+void load_parameters(Network& net, std::istream& is);
+void load_parameters(Network& net, const std::string& path);
+
+}  // namespace gpucnn::nn

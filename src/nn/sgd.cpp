@@ -1,0 +1,33 @@
+#include "nn/sgd.hpp"
+
+namespace gpucnn::nn {
+
+void Sgd::step() {
+  const auto params = net_->parameters();
+  const auto grads = net_->gradients();
+  check(params.size() == grads.size(),
+        "parameter/gradient count mismatch");
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const Tensor* p : params) velocity_.emplace_back(p->shape());
+  }
+
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    check(velocity_[i].shape() == params[i]->shape(),
+          "parameter shape changed between steps");
+    auto p = params[i]->data();
+    auto g = grads[i]->data();
+    auto v = velocity_[i].data();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const float grad = g[j] + wd * p[j];
+      v[j] = mu * v[j] + grad;
+      p[j] -= lr * v[j];
+    }
+  }
+}
+
+}  // namespace gpucnn::nn

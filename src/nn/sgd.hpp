@@ -1,0 +1,35 @@
+// Mini-batch SGD with momentum and weight decay — the "BP algorithm to
+// adjust learnable kernels" of paper §II.A.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace gpucnn::nn {
+
+struct SgdOptions {
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+};
+
+class Sgd {
+ public:
+  Sgd(Network& net, SgdOptions options)
+      : net_(&net), options_(options) {}
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// network, then leaves the gradients untouched (caller zeroes them).
+  void step();
+
+  [[nodiscard]] const SgdOptions& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  Network* net_;
+  SgdOptions options_;
+  std::vector<Tensor> velocity_;  ///< lazily shaped to parameters
+};
+
+}  // namespace gpucnn::nn

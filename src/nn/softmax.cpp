@@ -1,0 +1,121 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpucnn::nn {
+namespace {
+
+std::size_t row_features(const TensorShape& s) { return s.c * s.h * s.w; }
+
+}  // namespace
+
+void SoftmaxLayer::forward(const Tensor& in, Tensor& out) {
+  const auto& s = in.shape();
+  out.resize(s);
+  const std::size_t features = row_features(s);
+  check(features >= 1, "softmax needs at least one feature");
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* src = in.raw() + n * features;
+    float* dst = out.raw() + n * features;
+    const float max_v = *std::max_element(src, src + features);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < features; ++i) {
+      dst[i] = std::exp(src[i] - max_v);
+      sum += dst[i];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t i = 0; i < features; ++i) dst[i] *= inv;
+  }
+  last_output_.resize(s);
+  std::copy(out.data().begin(), out.data().end(),
+            last_output_.data().begin());
+}
+
+void SoftmaxLayer::backward(const Tensor& in, const Tensor& grad_out,
+                            Tensor& grad_in) {
+  const auto& s = in.shape();
+  check(grad_out.shape() == s, "softmax: grad_out shape mismatch");
+  check(last_output_.shape() == s, "softmax: backward before forward");
+  grad_in.resize(s);
+  const std::size_t features = row_features(s);
+  // dL/dx_i = y_i * (g_i - sum_j g_j y_j)
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* y = last_output_.raw() + n * features;
+    const float* g = grad_out.raw() + n * features;
+    float* gi = grad_in.raw() + n * features;
+    double dot = 0.0;
+    for (std::size_t i = 0; i < features; ++i) {
+      dot += static_cast<double>(g[i]) * y[i];
+    }
+    for (std::size_t i = 0; i < features; ++i) {
+      gi[i] = y[i] * (g[i] - static_cast<float>(dot));
+    }
+  }
+}
+
+double cross_entropy_loss(const Tensor& probabilities,
+                          std::span<const std::size_t> labels) {
+  const auto& s = probabilities.shape();
+  check(labels.size() == s.n, "one label per image required");
+  const std::size_t features = row_features(s);
+  double loss = 0.0;
+  for (std::size_t n = 0; n < s.n; ++n) {
+    check(labels[n] < features, "label out of range");
+    const float p = probabilities.raw()[n * features + labels[n]];
+    loss -= std::log(std::max(p, 1e-12F));
+  }
+  return loss / static_cast<double>(s.n);
+}
+
+void cross_entropy_grad(const Tensor& probabilities,
+                        std::span<const std::size_t> labels,
+                        Tensor& grad_logits) {
+  const auto& s = probabilities.shape();
+  check(labels.size() == s.n, "one label per image required");
+  grad_logits.resize(s);
+  const std::size_t features = row_features(s);
+  const float inv_batch = 1.0F / static_cast<float>(s.n);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    check(labels[n] < features, "label out of range");
+    const float* p = probabilities.raw() + n * features;
+    float* g = grad_logits.raw() + n * features;
+    for (std::size_t i = 0; i < features; ++i) {
+      g[i] = (p[i] - (i == labels[n] ? 1.0F : 0.0F)) * inv_batch;
+    }
+  }
+}
+
+void cross_entropy_prob_grad(const Tensor& probabilities,
+                             std::span<const std::size_t> labels,
+                             Tensor& grad_probs) {
+  const auto& s = probabilities.shape();
+  check(labels.size() == s.n, "one label per image required");
+  grad_probs.resize(s);
+  grad_probs.fill(0.0F);
+  const std::size_t features = row_features(s);
+  const float inv_batch = 1.0F / static_cast<float>(s.n);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    check(labels[n] < features, "label out of range");
+    const float p = std::max(
+        probabilities.raw()[n * features + labels[n]], 1e-12F);
+    grad_probs.raw()[n * features + labels[n]] = -inv_batch / p;
+  }
+}
+
+double accuracy(const Tensor& probabilities,
+                std::span<const std::size_t> labels) {
+  const auto& s = probabilities.shape();
+  check(labels.size() == s.n, "one label per image required");
+  const std::size_t features = row_features(s);
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* p = probabilities.raw() + n * features;
+    const auto best = static_cast<std::size_t>(
+        std::max_element(p, p + features) - p);
+    if (best == labels[n]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(s.n);
+}
+
+}  // namespace gpucnn::nn

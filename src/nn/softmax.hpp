@@ -1,0 +1,51 @@
+// Softmax + cross-entropy loss head: the "probability vector over ...
+// different classes" of the paper's LeNet-5 walkthrough (§II.A).
+#pragma once
+
+#include <span>
+
+#include "nn/layer.hpp"
+
+namespace gpucnn::nn {
+
+/// Softmax as a layer (row-wise over flattened features).
+class SoftmaxLayer final : public Layer {
+ public:
+  explicit SoftmaxLayer(std::string name) : Layer(std::move(name)) {}
+
+  [[nodiscard]] std::string_view type() const override { return "softmax"; }
+  [[nodiscard]] TensorShape output_shape(const TensorShape& in)
+      const override {
+    return in;
+  }
+
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& grad_out,
+                Tensor& grad_in) override;
+
+ private:
+  Tensor last_output_;
+};
+
+/// Mean cross-entropy of softmax probabilities against integer labels.
+[[nodiscard]] double cross_entropy_loss(const Tensor& probabilities,
+                                        std::span<const std::size_t> labels);
+
+/// dL/d(logits) of softmax + mean cross-entropy: (p - onehot) / batch.
+/// Use when the network does NOT end in a SoftmaxLayer (raw logits out).
+void cross_entropy_grad(const Tensor& probabilities,
+                        std::span<const std::size_t> labels,
+                        Tensor& grad_logits);
+
+/// dL/d(probabilities) of mean cross-entropy: -1[i==label]/(p_label * N).
+/// Use when the network DOES end in a SoftmaxLayer: feeding this through
+/// the softmax backward pass reproduces (p - onehot)/N at the logits.
+void cross_entropy_prob_grad(const Tensor& probabilities,
+                             std::span<const std::size_t> labels,
+                             Tensor& grad_probs);
+
+/// Fraction of rows whose argmax equals the label.
+[[nodiscard]] double accuracy(const Tensor& probabilities,
+                              std::span<const std::size_t> labels);
+
+}  // namespace gpucnn::nn

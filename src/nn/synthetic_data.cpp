@@ -1,0 +1,74 @@
+#include "nn/synthetic_data.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace gpucnn::nn {
+
+SyntheticDataset::SyntheticDataset(std::size_t classes,
+                                   std::size_t channels,
+                                   std::size_t image_size, double noise,
+                                   std::uint64_t seed)
+    : classes_(classes),
+      channels_(channels),
+      image_size_(image_size),
+      noise_(noise),
+      rng_(seed) {
+  check(classes >= 2, "need at least two classes");
+  templates_.reserve(classes);
+  for (std::size_t label = 0; label < classes; ++label) {
+    Tensor t(1, channels, image_size, image_size);
+    // Distinct orientation + frequency per class.
+    const double angle = std::numbers::pi *
+                         static_cast<double>(label) /
+                         static_cast<double>(classes);
+    const double freq =
+        2.0 * std::numbers::pi *
+        (1.0 + static_cast<double>(label % 4)) /
+        static_cast<double>(image_size);
+    const double cos_a = std::cos(angle);
+    const double sin_a = std::sin(angle);
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t y = 0; y < image_size; ++y) {
+        for (std::size_t x = 0; x < image_size; ++x) {
+          const double u = cos_a * static_cast<double>(x) +
+                           sin_a * static_cast<double>(y);
+          const double phase =
+              static_cast<double>(c) * 0.5 +
+              static_cast<double>(label);
+          t(0, c, y, x) =
+              static_cast<float>(std::sin(freq * u + phase));
+        }
+      }
+    }
+    templates_.push_back(std::move(t));
+  }
+}
+
+const Tensor& SyntheticDataset::class_template(std::size_t label) const {
+  check(label < classes_, "label out of range");
+  return templates_[label];
+}
+
+Batch SyntheticDataset::sample(std::size_t n) {
+  Batch batch;
+  batch.images.resize({n, channels_, image_size_, image_size_});
+  batch.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label = rng_.uniform_int(classes_);
+    batch.labels[i] = label;
+    const Tensor& tpl = templates_[label];
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* src = tpl.plane(0, c);
+      float* dst = batch.images.plane(i, c);
+      for (std::size_t p = 0; p < image_size_ * image_size_; ++p) {
+        dst[p] = src[p] + static_cast<float>(rng_.normal(0.0, noise_));
+      }
+    }
+  }
+  return batch;
+}
+
+}  // namespace gpucnn::nn

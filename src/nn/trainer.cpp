@@ -1,0 +1,53 @@
+#include "nn/trainer.hpp"
+
+#include "nn/softmax.hpp"
+
+namespace gpucnn::nn {
+
+double TrainHistory::tail_loss(std::size_t window) const {
+  if (steps.empty()) return 0.0;
+  const std::size_t n = std::min(window, steps.size());
+  double sum = 0.0;
+  for (std::size_t i = steps.size() - n; i < steps.size(); ++i) {
+    sum += steps[i].loss;
+  }
+  return sum / static_cast<double>(n);
+}
+
+TrainHistory fit(Network& net, SyntheticDataset& data,
+                 const FitOptions& options) {
+  check(options.steps > 0 && options.batch_size > 0,
+        "fit needs positive steps and batch size");
+  net.set_training(true);
+  Sgd sgd(net, options.sgd);
+  TrainHistory history;
+  history.steps.reserve(options.steps);
+  Tensor grad;
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    const auto batch = data.sample(options.batch_size);
+    net.zero_grad();
+    const Tensor& probs = net.forward(batch.images);
+    TrainStep record;
+    record.loss = cross_entropy_loss(probs, batch.labels);
+    record.accuracy = accuracy(probs, batch.labels);
+    cross_entropy_prob_grad(probs, batch.labels, grad);
+    net.backward(grad);
+    sgd.step();
+    history.steps.push_back(record);
+  }
+  return history;
+}
+
+TrainStep evaluate(Network& net, SyntheticDataset& data,
+                   std::size_t batch_size) {
+  net.set_training(false);
+  const auto batch = data.sample(batch_size);
+  const Tensor& probs = net.forward(batch.images);
+  TrainStep result;
+  result.loss = cross_entropy_loss(probs, batch.labels);
+  result.accuracy = accuracy(probs, batch.labels);
+  net.set_training(true);
+  return result;
+}
+
+}  // namespace gpucnn::nn

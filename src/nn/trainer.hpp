@@ -1,0 +1,47 @@
+// Training-loop helper: the fit/evaluate cycle the examples and tests
+// share, with per-step history for convergence checks.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/sgd.hpp"
+#include "nn/synthetic_data.hpp"
+
+namespace gpucnn::nn {
+
+struct TrainStep {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+struct TrainHistory {
+  std::vector<TrainStep> steps;
+
+  [[nodiscard]] double first_loss() const {
+    return steps.empty() ? 0.0 : steps.front().loss;
+  }
+  [[nodiscard]] double last_loss() const {
+    return steps.empty() ? 0.0 : steps.back().loss;
+  }
+  /// Mean loss over the final `window` steps (smooths SGD noise).
+  [[nodiscard]] double tail_loss(std::size_t window = 5) const;
+};
+
+struct FitOptions {
+  std::size_t steps = 100;
+  std::size_t batch_size = 32;
+  SgdOptions sgd{};
+};
+
+/// Runs `options.steps` SGD steps of `net` (which must end in a
+/// SoftmaxLayer) on batches drawn from `data`; returns the history.
+[[nodiscard]] TrainHistory fit(Network& net, SyntheticDataset& data,
+                               const FitOptions& options);
+
+/// Loss and accuracy of the network on one evaluation batch (in
+/// inference mode; training mode is restored afterwards).
+[[nodiscard]] TrainStep evaluate(Network& net, SyntheticDataset& data,
+                                 std::size_t batch_size = 256);
+
+}  // namespace gpucnn::nn

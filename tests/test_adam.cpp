@@ -1,0 +1,89 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation_layer.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/fc_layer.hpp"
+#include "nn/softmax.hpp"
+#include "nn/synthetic_data.hpp"
+
+namespace gpucnn::nn {
+namespace {
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With m_hat = g and v_hat = g^2, the first update is
+  // -lr * g / (|g| + eps) ~ -lr * sign(g).
+  Network net;
+  net.emplace<FcLayer>("fc", 1, 1);
+  auto& fc = dynamic_cast<FcLayer&>(net.layer(0));
+  fc.parameters()[0]->fill(0.0F);
+  fc.gradients()[0]->fill(2.0F);
+  Adam adam(net, {.learning_rate = 0.1});
+  adam.step();
+  EXPECT_NEAR(fc.parameters()[0]->data()[0], -0.1F, 1e-4F);
+  EXPECT_EQ(adam.steps_taken(), 1U);
+}
+
+TEST(Adam, UpdateMagnitudeInvariantToGradientScale) {
+  // Adam's signature property: scaling all gradients leaves the step
+  // size (asymptotically) unchanged.
+  const auto run = [](float scale) {
+    Network net;
+    net.emplace<FcLayer>("fc", 1, 1);
+    auto& fc = dynamic_cast<FcLayer&>(net.layer(0));
+    fc.parameters()[0]->fill(0.0F);
+    Adam adam(net, {.learning_rate = 0.01});
+    for (int i = 0; i < 10; ++i) {
+      fc.gradients()[0]->fill(scale);
+      adam.step();
+    }
+    return fc.parameters()[0]->data()[0];
+  };
+  EXPECT_NEAR(run(1.0F), run(100.0F), 1e-4F);
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  Network net;
+  net.emplace<FcLayer>("fc", 1, 1);
+  auto& fc = dynamic_cast<FcLayer&>(net.layer(0));
+  fc.parameters()[0]->fill(5.0F);
+  fc.gradients()[0]->fill(0.0F);
+  Adam adam(net, {.learning_rate = 0.01, .weight_decay = 0.1});
+  adam.step();
+  EXPECT_LT(fc.parameters()[0]->data()[0], 5.0F);
+}
+
+TEST(Adam, TrainsSmallCnn) {
+  Network net;
+  net.emplace<ConvLayer>("c",
+                         ConvConfig{.batch = 1, .input = 8, .channels = 1,
+                                    .filters = 4, .kernel = 3, .stride = 1,
+                                    .pad = 1});
+  net.emplace<ActivationLayer>("r");
+  net.emplace<FcLayer>("fc", 4 * 8 * 8, 3);
+  net.emplace<SoftmaxLayer>("s");
+  Rng rng(1);
+  net.initialize(rng);
+  SyntheticDataset data(3, 1, 8, 0.25);
+  Adam adam(net, {.learning_rate = 3e-3});
+
+  double first = 0.0;
+  double last = 0.0;
+  Tensor grad;
+  for (int step = 0; step < 60; ++step) {
+    const auto batch = data.sample(16);
+    net.zero_grad();
+    const Tensor& probs = net.forward(batch.images);
+    const double loss = cross_entropy_loss(probs, batch.labels);
+    if (step == 0) first = loss;
+    last = loss;
+    cross_entropy_prob_grad(probs, batch.labels, grad);
+    net.backward(grad);
+    adam.step();
+  }
+  EXPECT_LT(last, first * 0.6);
+}
+
+}  // namespace
+}  // namespace gpucnn::nn

@@ -1,0 +1,114 @@
+#include "blas/cgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace gpucnn::blas {
+namespace {
+
+std::vector<Complex> random_cmatrix(std::size_t rows, std::size_t cols,
+                                    Rng& rng) {
+  std::vector<Complex> m(rows * cols);
+  for (auto& v : m) {
+    v = Complex(static_cast<float>(rng.uniform(-1.0, 1.0)),
+                static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  return m;
+}
+
+// Slow, index-literal oracle for each variant.
+Complex oracle_nt_conj(std::span<const Complex> a, std::span<const Complex> b,
+                       std::size_t i, std::size_t j, std::size_t k,
+                       std::size_t lda, std::size_t ldb) {
+  Complex acc{};
+  for (std::size_t p = 0; p < k; ++p) {
+    acc += a[i * lda + p] * std::conj(b[j * ldb + p]);
+  }
+  return acc;
+}
+
+TEST(CgemmNtConj, MatchesOracle) {
+  Rng rng(1);
+  const std::size_t m = 5, n = 7, k = 9;
+  const auto a = random_cmatrix(m, k, rng);
+  const auto b = random_cmatrix(n, k, rng);
+  std::vector<Complex> c(m * n, Complex{});
+  cgemm_nt_conj(m, n, k, {1.0F, 0.0F}, a, k, b, k, {0.0F, 0.0F}, c, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const Complex want = oracle_nt_conj(a, b, i, j, k, k, k);
+      EXPECT_NEAR(std::abs(c[i * n + j] - want), 0.0F, 1e-5F);
+    }
+  }
+}
+
+TEST(CgemmNn, MatchesOracle) {
+  Rng rng(2);
+  const std::size_t m = 4, n = 6, k = 8;
+  const auto a = random_cmatrix(m, k, rng);
+  const auto b = random_cmatrix(k, n, rng);
+  std::vector<Complex> c(m * n, Complex{});
+  cgemm_nn(m, n, k, {1.0F, 0.0F}, a, k, b, n, {0.0F, 0.0F}, c, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex want{};
+      for (std::size_t p = 0; p < k; ++p) want += a[i * k + p] * b[p * n + j];
+      EXPECT_NEAR(std::abs(c[i * n + j] - want), 0.0F, 1e-5F);
+    }
+  }
+}
+
+TEST(CgemmCtn, MatchesOracle) {
+  Rng rng(3);
+  const std::size_t m = 6, n = 4, k = 10;
+  const auto a = random_cmatrix(k, m, rng);
+  const auto b = random_cmatrix(k, n, rng);
+  std::vector<Complex> c(m * n, Complex{});
+  cgemm_ctn(m, n, k, {1.0F, 0.0F}, a, m, b, n, {0.0F, 0.0F}, c, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex want{};
+      for (std::size_t p = 0; p < k; ++p) {
+        want += std::conj(a[p * m + i]) * b[p * n + j];
+      }
+      EXPECT_NEAR(std::abs(c[i * n + j] - want), 0.0F, 1e-5F);
+    }
+  }
+}
+
+TEST(Cgemm, AlphaBetaSemantics) {
+  // 1x1x1: c = alpha*a*conj(b) + beta*c.
+  const std::vector<Complex> a{{2.0F, 1.0F}};
+  const std::vector<Complex> b{{1.0F, -1.0F}};
+  std::vector<Complex> c{{10.0F, 0.0F}};
+  cgemm_nt_conj(1, 1, 1, {2.0F, 0.0F}, a, 1, b, 1, {0.5F, 0.0F}, c, 1);
+  // a * conj(b) = (2+i)(1+i) = 1 + 3i; alpha* = 2+6i; +beta*c = 7+6i.
+  EXPECT_NEAR(c[0].real(), 7.0F, 1e-6F);
+  EXPECT_NEAR(c[0].imag(), 6.0F, 1e-6F);
+}
+
+TEST(Cgemm, ConjugationActuallyConjugates) {
+  const std::vector<Complex> a{{0.0F, 1.0F}};
+  const std::vector<Complex> b{{0.0F, 1.0F}};
+  std::vector<Complex> c{{0.0F, 0.0F}};
+  // i * conj(i) = i * (-i) = 1.
+  cgemm_nt_conj(1, 1, 1, {1.0F, 0.0F}, a, 1, b, 1, {0.0F, 0.0F}, c, 1);
+  EXPECT_NEAR(c[0].real(), 1.0F, 1e-6F);
+  EXPECT_NEAR(c[0].imag(), 0.0F, 1e-6F);
+}
+
+TEST(Cgemm, EmptyDimensionsAreNoops) {
+  std::vector<Complex> c{{3.0F, 4.0F}};
+  cgemm_nn(0, 0, 5, {1.0F, 0.0F}, {}, 1, {}, 1, {0.0F, 0.0F}, c, 1);
+  EXPECT_EQ(c[0], (Complex{3.0F, 4.0F}));
+}
+
+TEST(Cgemm, FlopsFormula) {
+  EXPECT_DOUBLE_EQ(cgemm_flops(2, 3, 4), 8.0 * 24);
+}
+
+}  // namespace
+}  // namespace gpucnn::blas

@@ -1,0 +1,95 @@
+// Device-model tests: the second (Titan X) device and the stability of
+// the paper's findings across devices.
+#include <gtest/gtest.h>
+
+#include "analysis/conv_runner.hpp"
+#include "analysis/sweep.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace gpucnn::gpusim {
+namespace {
+
+TEST(TitanX, DerivedQuantities) {
+  const auto dev = gtx_titan_x();
+  // 3072 cores at 1 GHz -> 6.14 TFLOPS.
+  EXPECT_NEAR(dev.peak_sp_gflops(), 6144.0, 1.0);
+  EXPECT_GT(dev.peak_sp_gflops(), tesla_k40c().peak_sp_gflops());
+  EXPECT_GT(dev.sustained_bandwidth_gbs(),
+            tesla_k40c().sustained_bandwidth_gbs());
+}
+
+TEST(TitanX, OccupancyUsesItsOwnLimits) {
+  // Maxwell's 96KB shared memory admits more blocks than Kepler's 48KB.
+  const auto kepler = compute_occupancy(tesla_k40c(), 128, 32, 16 * 1024);
+  const auto maxwell = compute_occupancy(gtx_titan_x(), 128, 32, 16 * 1024);
+  EXPECT_GT(maxwell.active_blocks_per_sm, kepler.active_blocks_per_sm);
+}
+
+TEST(TitanX, EveryImplementationSpeedsUp) {
+  const auto cfg = analysis::base_config();
+  for (const auto id : frameworks::all_frameworks()) {
+    const auto on_kepler = analysis::evaluate(id, cfg, tesla_k40c());
+    const auto on_maxwell = analysis::evaluate(id, cfg, gtx_titan_x());
+    EXPECT_LT(on_maxwell.runtime_ms, on_kepler.runtime_ms)
+        << frameworks::to_string(id);
+  }
+}
+
+TEST(TitanX, PaperOrderingIsDeviceStable) {
+  // The study's headline orderings are properties of the algorithms, not
+  // the device: they must survive the upgrade.
+  const auto cfg = analysis::base_config();
+  const auto dev = gtx_titan_x();
+  const auto rs = analysis::evaluate_all(cfg, dev);
+  double fb = 0.0;
+  double cudnn = 0.0;
+  double caffe = 0.0;
+  double theano = 0.0;
+  for (const auto& r : rs) {
+    switch (r.framework) {
+      case frameworks::FrameworkId::kFbfft:
+        fb = r.runtime_ms;
+        break;
+      case frameworks::FrameworkId::kCudnn:
+        cudnn = r.runtime_ms;
+        break;
+      case frameworks::FrameworkId::kCaffe:
+        caffe = r.runtime_ms;
+        break;
+      case frameworks::FrameworkId::kTheanoFft:
+        theano = r.runtime_ms;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_LT(fb, cudnn);      // fbfft fastest at k=11
+  EXPECT_LT(cudnn, caffe);   // cuDNN best unrolling
+  EXPECT_GT(theano, caffe);  // Theano-fft slowest
+}
+
+TEST(TitanX, SmallKernelCrossoverSurvives) {
+  ConvConfig cfg = analysis::base_config();
+  cfg.kernel = 3;
+  const auto dev = gtx_titan_x();
+  const auto cudnn =
+      analysis::evaluate(frameworks::FrameworkId::kCudnn, cfg, dev);
+  const auto fbfft =
+      analysis::evaluate(frameworks::FrameworkId::kFbfft, cfg, dev);
+  EXPECT_LT(cudnn.runtime_ms, fbfft.runtime_ms);
+}
+
+TEST(TitanX, MemoryFootprintIsDeviceIndependent) {
+  // Buffers depend on the workload, not the device (both cards carry
+  // 12 GB here).
+  const auto cfg = analysis::base_config();
+  for (const auto id : frameworks::all_frameworks()) {
+    const auto a = analysis::evaluate(id, cfg, tesla_k40c());
+    const auto b = analysis::evaluate(id, cfg, gtx_titan_x());
+    EXPECT_DOUBLE_EQ(a.peak_mb, b.peak_mb) << frameworks::to_string(id);
+  }
+}
+
+}  // namespace
+}  // namespace gpucnn::gpusim

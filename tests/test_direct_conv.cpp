@@ -1,0 +1,192 @@
+#include "conv/direct_conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace gpucnn::conv {
+namespace {
+
+TEST(DirectConv, IdentityKernelPassesThrough) {
+  const ConvConfig cfg{.batch = 2, .input = 4, .channels = 1, .filters = 1,
+                       .kernel = 1, .stride = 1};
+  Tensor input(cfg.input_shape());
+  Rng rng(1);
+  input.fill_uniform(rng);
+  Tensor filters(cfg.filter_shape());
+  filters.fill(1.0F);
+  Tensor output(cfg.output_shape());
+  DirectConv{}.forward(cfg, input, filters, output);
+  EXPECT_EQ(max_abs_diff(input, output), 0.0);
+}
+
+TEST(DirectConv, BoxFilterSumsWindow) {
+  const ConvConfig cfg{.batch = 1, .input = 3, .channels = 1, .filters = 1,
+                       .kernel = 2, .stride = 1};
+  Tensor input(cfg.input_shape());
+  for (std::size_t i = 0; i < 9; ++i) {
+    input.data()[i] = static_cast<float>(i + 1);
+  }
+  Tensor filters(cfg.filter_shape());
+  filters.fill(1.0F);
+  Tensor output(cfg.output_shape());
+  DirectConv{}.forward(cfg, input, filters, output);
+  EXPECT_FLOAT_EQ(output(0, 0, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(output(0, 0, 0, 1), 2 + 3 + 5 + 6);
+  EXPECT_FLOAT_EQ(output(0, 0, 1, 0), 4 + 5 + 7 + 8);
+  EXPECT_FLOAT_EQ(output(0, 0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(DirectConv, CrossCorrelationNotFlipped) {
+  // Asymmetric kernel [1 0; 0 0] at stride 1 must read the top-left
+  // element of each window (cross-correlation), not the bottom-right
+  // (which true convolution's flip would give).
+  const ConvConfig cfg{.batch = 1, .input = 2, .channels = 1, .filters = 1,
+                       .kernel = 2, .stride = 1};
+  Tensor input(cfg.input_shape());
+  input(0, 0, 0, 0) = 5.0F;
+  input(0, 0, 1, 1) = 7.0F;
+  Tensor filters(cfg.filter_shape());
+  filters(0, 0, 0, 0) = 1.0F;
+  Tensor output(cfg.output_shape());
+  DirectConv{}.forward(cfg, input, filters, output);
+  EXPECT_FLOAT_EQ(output(0, 0, 0, 0), 5.0F);
+}
+
+TEST(DirectConv, ChannelsAreSummed) {
+  const ConvConfig cfg{.batch = 1, .input = 2, .channels = 3, .filters = 1,
+                       .kernel = 2, .stride = 1};
+  Tensor input(cfg.input_shape());
+  input.fill(1.0F);
+  Tensor filters(cfg.filter_shape());
+  filters.fill(1.0F);
+  Tensor output(cfg.output_shape());
+  DirectConv{}.forward(cfg, input, filters, output);
+  EXPECT_FLOAT_EQ(output(0, 0, 0, 0), 12.0F);  // 3 channels * 4 taps
+}
+
+TEST(DirectConv, PaddingContributesZero) {
+  const ConvConfig cfg{.batch = 1, .input = 2, .channels = 1, .filters = 1,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  Tensor input(cfg.input_shape());
+  input.fill(1.0F);
+  Tensor filters(cfg.filter_shape());
+  filters.fill(1.0F);
+  Tensor output(cfg.output_shape());
+  DirectConv{}.forward(cfg, input, filters, output);
+  // Output is 2x2; each window covers the full 2x2 input plus padding.
+  for (std::size_t y = 0; y < 2; ++y) {
+    for (std::size_t x = 0; x < 2; ++x) {
+      EXPECT_FLOAT_EQ(output(0, 0, y, x), 4.0F);
+    }
+  }
+}
+
+TEST(DirectConv, StrideSubsamples) {
+  const ConvConfig cfg{.batch = 1, .input = 5, .channels = 1, .filters = 1,
+                       .kernel = 1, .stride = 2};
+  Tensor input(cfg.input_shape());
+  for (std::size_t i = 0; i < 25; ++i) {
+    input.data()[i] = static_cast<float>(i);
+  }
+  Tensor filters(cfg.filter_shape());
+  filters.fill(1.0F);
+  Tensor output(cfg.output_shape());
+  DirectConv{}.forward(cfg, input, filters, output);
+  EXPECT_EQ(cfg.output(), 3U);
+  EXPECT_FLOAT_EQ(output(0, 0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(output(0, 0, 0, 1), 2.0F);
+  EXPECT_FLOAT_EQ(output(0, 0, 1, 0), 10.0F);
+  EXPECT_FLOAT_EQ(output(0, 0, 2, 2), 24.0F);
+}
+
+TEST(DirectConv, ShapeValidation) {
+  const ConvConfig cfg{.batch = 1, .input = 4, .channels = 1, .filters = 1,
+                       .kernel = 2, .stride = 1};
+  Tensor input(cfg.input_shape());
+  Tensor filters(cfg.filter_shape());
+  Tensor bad_output(1, 1, 2, 2);  // should be 3x3
+  DirectConv engine;
+  EXPECT_THROW(engine.forward(cfg, input, filters, bad_output), Error);
+}
+
+// Finite-difference gradient checks: the analytic backward passes must
+// match numeric derivatives of the forward pass.
+class DirectConvGradient : public ::testing::Test {
+ protected:
+  static double loss(const Tensor& out, const Tensor& weights) {
+    // L = sum(out * weights) gives dL/dout = weights.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.count(); ++i) {
+      acc += static_cast<double>(out.data()[i]) * weights.data()[i];
+    }
+    return acc;
+  }
+};
+
+TEST_F(DirectConvGradient, BackwardDataMatchesFiniteDifference) {
+  const ConvConfig cfg{.batch = 2, .input = 5, .channels = 2, .filters = 3,
+                       .kernel = 3, .stride = 2, .pad = 1};
+  Rng rng(42);
+  Tensor input(cfg.input_shape());
+  input.fill_uniform(rng);
+  Tensor filters(cfg.filter_shape());
+  filters.fill_uniform(rng);
+  Tensor loss_w(cfg.output_shape());
+  loss_w.fill_uniform(rng);
+
+  DirectConv engine;
+  Tensor grad_input(cfg.input_shape());
+  engine.backward_data(cfg, loss_w, filters, grad_input);
+
+  Tensor output(cfg.output_shape());
+  const float eps = 1e-2F;
+  for (const std::size_t idx : {0UL, 7UL, 23UL, input.count() - 1}) {
+    const float saved = input.data()[idx];
+    input.data()[idx] = saved + eps;
+    engine.forward(cfg, input, filters, output);
+    const double up = loss(output, loss_w);
+    input.data()[idx] = saved - eps;
+    engine.forward(cfg, input, filters, output);
+    const double down = loss(output, loss_w);
+    input.data()[idx] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad_input.data()[idx], numeric, 5e-3)
+        << "at flat index " << idx;
+  }
+}
+
+TEST_F(DirectConvGradient, BackwardFilterMatchesFiniteDifference) {
+  const ConvConfig cfg{.batch = 2, .input = 6, .channels = 2, .filters = 2,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  Rng rng(43);
+  Tensor input(cfg.input_shape());
+  input.fill_uniform(rng);
+  Tensor filters(cfg.filter_shape());
+  filters.fill_uniform(rng);
+  Tensor loss_w(cfg.output_shape());
+  loss_w.fill_uniform(rng);
+
+  DirectConv engine;
+  Tensor grad_filters(cfg.filter_shape());
+  engine.backward_filter(cfg, input, loss_w, grad_filters);
+
+  Tensor output(cfg.output_shape());
+  const float eps = 1e-2F;
+  for (const std::size_t idx : {0UL, 5UL, 17UL, filters.count() - 1}) {
+    const float saved = filters.data()[idx];
+    filters.data()[idx] = saved + eps;
+    engine.forward(cfg, input, filters, output);
+    const double up = loss(output, loss_w);
+    filters.data()[idx] = saved - eps;
+    engine.forward(cfg, input, filters, output);
+    const double down = loss(output, loss_w);
+    filters.data()[idx] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad_filters.data()[idx], numeric, 5e-2)
+        << "at flat index " << idx;
+  }
+}
+
+}  // namespace
+}  // namespace gpucnn::conv

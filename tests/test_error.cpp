@@ -1,0 +1,46 @@
+#include "core/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpucnn {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(check(true, "fine")); }
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(check(false, "boom"), Error);
+}
+
+TEST(Error, MessageContainsTextAndLocation) {
+  try {
+    check(false, "needle-message");
+    FAIL() << "check should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("needle-message"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckFmtFormatsParts) {
+  try {
+    check_fmt(false, std::source_location::current(), "value=", 42,
+              " name=", "x");
+    FAIL() << "check_fmt should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value=42 name=x"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckFmtNoThrowOnTrue) {
+  EXPECT_NO_THROW(
+      check_fmt(true, std::source_location::current(), "unused"));
+}
+
+TEST(Error, ErrorIsRuntimeError) {
+  static_assert(std::is_base_of_v<std::runtime_error, Error>);
+}
+
+}  // namespace
+}  // namespace gpucnn

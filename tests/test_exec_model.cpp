@@ -1,0 +1,165 @@
+#include "gpusim/exec_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace gpucnn::gpusim {
+namespace {
+
+const DeviceSpec kDev = tesla_k40c();
+
+KernelProfile compute_kernel(double flops) {
+  KernelProfile k;
+  k.name = "compute";
+  k.block_threads = 256;
+  k.regs_per_thread = 32;
+  k.flops = flops;
+  k.compute_efficiency = 0.5;
+  k.gld_dram_factor = 1.0;
+  k.gst_dram_factor = 1.0;
+  return k;
+}
+
+KernelProfile memory_kernel(double bytes) {
+  KernelProfile k;
+  k.name = "copy";
+  k.block_threads = 256;
+  k.regs_per_thread = 32;
+  k.global_load_bytes = bytes / 2;
+  k.global_store_bytes = bytes / 2;
+  k.gld_dram_factor = 1.0;
+  k.gst_dram_factor = 1.0;
+  return k;
+}
+
+TEST(ExecModel, ComputeBoundDuration) {
+  // 1e9 flops at 4291 GFLOP/s peak and 0.5 efficiency: ~0.47 ms + launch.
+  const auto m = simulate_kernel(kDev, compute_kernel(1e9));
+  const double expect_ms =
+      1e9 / (kDev.peak_sp_gflops() * 1e9 * 0.5 * 1.0) * 1e3;
+  EXPECT_NEAR(m.duration_ms, expect_ms + kDev.launch_overhead_us * 1e-3,
+              expect_ms * 0.02);
+  EXPECT_EQ(m.bottleneck, Bottleneck::kCompute);
+}
+
+TEST(ExecModel, MemoryBoundDuration) {
+  const auto m = simulate_kernel(kDev, memory_kernel(1e9));
+  const double expect_ms =
+      1e9 / (kDev.sustained_bandwidth_gbs() * 1e9) * 1e3;
+  EXPECT_NEAR(m.duration_ms, expect_ms + kDev.launch_overhead_us * 1e-3,
+              expect_ms * 0.02);
+  EXPECT_EQ(m.bottleneck, Bottleneck::kGlobalMemory);
+}
+
+TEST(ExecModel, LaunchBoundForTinyKernels) {
+  const auto m = simulate_kernel(kDev, compute_kernel(1e3));
+  EXPECT_EQ(m.bottleneck, Bottleneck::kLaunch);
+  EXPECT_NEAR(m.duration_ms, kDev.launch_overhead_us * 1e-3, 1e-4);
+}
+
+TEST(ExecModel, SharedMemoryBound) {
+  KernelProfile k = compute_kernel(1e6);
+  k.shared_bytes = 1e10;
+  k.shared_efficiency = 1.0;
+  const auto m = simulate_kernel(kDev, k);
+  EXPECT_EQ(m.bottleneck, Bottleneck::kSharedMemory);
+}
+
+TEST(ExecModel, BankConflictsSlowSharedPipeline) {
+  KernelProfile k = compute_kernel(1e6);
+  k.shared_bytes = 1e10;
+  k.shared_efficiency = 1.0;
+  const auto clean = simulate_kernel(kDev, k);
+  k.shared_efficiency = 0.25;  // 4-way conflicts
+  const auto conflicted = simulate_kernel(kDev, k);
+  EXPECT_NEAR(conflicted.duration_ms / clean.duration_ms, 4.0, 0.2);
+  EXPECT_GT(conflicted.shared_load_bank_conflicts, 0.0);
+  EXPECT_GT(conflicted.shared_store_bank_conflicts, 0.0);
+  EXPECT_EQ(clean.shared_load_bank_conflicts, 0.0);
+}
+
+TEST(ExecModel, DivergenceSlowsCompute) {
+  KernelProfile k = compute_kernel(1e9);
+  const auto full = simulate_kernel(kDev, k);
+  k.warp_exec_efficiency = 0.5;
+  const auto divergent = simulate_kernel(kDev, k);
+  EXPECT_NEAR(divergent.duration_ms / full.duration_ms, 2.0, 0.1);
+  EXPECT_DOUBLE_EQ(divergent.warp_execution_efficiency, 50.0);
+}
+
+TEST(ExecModel, LowOccupancyDegradesLatencyHiding) {
+  KernelProfile k = compute_kernel(1e9);
+  k.occupancy_needed = 0.5;
+  k.regs_per_thread = 128;  // 16 warps -> 25% theoretical
+  k.achieved_occupancy_factor = 0.8;  // 20% achieved < 50% needed
+  const auto m = simulate_kernel(kDev, k);
+  EXPECT_LT(m.latency_hiding, 0.5);
+  // Duration scales with the deficit.
+  KernelProfile light = compute_kernel(1e9);
+  light.occupancy_needed = 0.5;
+  const auto fast = simulate_kernel(kDev, light);
+  EXPECT_GT(m.duration_ms, fast.duration_ms * 1.5);
+}
+
+TEST(ExecModel, DramFactorDefaultsToInverseEfficiency) {
+  KernelProfile k = memory_kernel(1e9);
+  k.gld_dram_factor = 0.0;  // derive from efficiency
+  k.gst_dram_factor = 0.0;
+  k.gld_efficiency = 0.25;
+  k.gst_efficiency = 0.25;
+  const auto replayed = simulate_kernel(kDev, k);
+  const auto clean = simulate_kernel(kDev, memory_kernel(1e9));
+  EXPECT_NEAR(replayed.duration_ms / clean.duration_ms, 4.0, 0.2);
+}
+
+TEST(ExecModel, MetricsEchoProfileFactors) {
+  KernelProfile k = compute_kernel(1e9);
+  k.gld_efficiency = 0.13;
+  k.gst_efficiency = 0.5;
+  k.shared_efficiency = 1.32;
+  k.warp_exec_efficiency = 0.97;
+  const auto m = simulate_kernel(kDev, k);
+  EXPECT_DOUBLE_EQ(m.gld_efficiency, 13.0);
+  EXPECT_DOUBLE_EQ(m.gst_efficiency, 50.0);
+  EXPECT_DOUBLE_EQ(m.shared_efficiency, 132.0);
+  EXPECT_DOUBLE_EQ(m.warp_execution_efficiency, 97.0);
+}
+
+TEST(ExecModel, AchievedOccupancyBelowTheoretical) {
+  KernelProfile k = compute_kernel(1e9);
+  k.achieved_occupancy_factor = 0.8;
+  const auto m = simulate_kernel(kDev, k);
+  EXPECT_LE(m.achieved_occupancy, m.occupancy.theoretical);
+  EXPECT_NEAR(m.achieved_occupancy, m.occupancy.theoretical * 0.8, 1e-9);
+}
+
+TEST(ExecModel, IpcPositiveAndBounded) {
+  const auto m = simulate_kernel(kDev, compute_kernel(1e10));
+  EXPECT_GT(m.ipc, 0.0);
+  EXPECT_LE(m.ipc, 7.0);
+}
+
+TEST(ExecModel, SustainedGflopsNeverExceedPeak) {
+  for (const double eff : {0.1, 0.5, 1.0}) {
+    KernelProfile k = compute_kernel(1e11);
+    k.compute_efficiency = eff;
+    const auto m = simulate_kernel(kDev, k);
+    EXPECT_LE(m.sustained_gflops, kDev.peak_sp_gflops() * 1.001);
+  }
+}
+
+TEST(ExecModel, RejectsInvalidFactors) {
+  KernelProfile k = compute_kernel(1e9);
+  k.warp_exec_efficiency = 0.0;
+  EXPECT_THROW((void)simulate_kernel(kDev, k), Error);
+  k = compute_kernel(1e9);
+  k.compute_efficiency = 1.5;
+  EXPECT_THROW((void)simulate_kernel(kDev, k), Error);
+  k = compute_kernel(1e9);
+  k.gld_efficiency = 0.0;
+  EXPECT_THROW((void)simulate_kernel(kDev, k), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,252 @@
+#include "fft/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace gpucnn::fft {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) {
+    x = Complex(static_cast<float>(rng.uniform(-1.0, 1.0)),
+                static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  return v;
+}
+
+double max_err(std::span<const Complex> a, std::span<const Complex> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return m;
+}
+
+TEST(FftUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(FftUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1U);
+  EXPECT_EQ(next_pow2(2), 2U);
+  EXPECT_EQ(next_pow2(3), 4U);
+  EXPECT_EQ(next_pow2(129), 256U);
+  EXPECT_EQ(next_pow2(138), 256U);  // the fbfft padding case in Fig. 5
+}
+
+TEST(FftPlan, RejectsNonPow2) { EXPECT_THROW(Plan(12), Error); }
+
+TEST(FftPlan, LengthTwoByHand) {
+  Plan plan(2);
+  std::vector<Complex> data{{1.0F, 0.0F}, {2.0F, 0.0F}};
+  plan.transform(data, Direction::kForward);
+  EXPECT_NEAR(data[0].real(), 3.0F, 1e-6F);
+  EXPECT_NEAR(data[1].real(), -1.0F, 1e-6F);
+}
+
+TEST(FftPlan, ImpulseGivesFlatSpectrum) {
+  Plan plan(16);
+  std::vector<Complex> data(16, Complex{});
+  data[0] = Complex(1.0F, 0.0F);
+  plan.transform(data, Direction::kForward);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0F, 1e-6F);
+    EXPECT_NEAR(v.imag(), 0.0F, 1e-6F);
+  }
+}
+
+class FftMatchesDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftMatchesDft, DitForward) {
+  const std::size_t n = GetParam();
+  const auto input = random_signal(n, n);
+  std::vector<Complex> want(n);
+  dft_reference(input, want, Direction::kForward);
+  auto got = input;
+  Plan(n, Schedule::kDit).transform(got, Direction::kForward);
+  EXPECT_LT(max_err(got, want), 1e-3 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(FftMatchesDft, DifForward) {
+  const std::size_t n = GetParam();
+  const auto input = random_signal(n, n + 1);
+  std::vector<Complex> want(n);
+  dft_reference(input, want, Direction::kForward);
+  auto got = input;
+  Plan(n, Schedule::kDif).transform(got, Direction::kForward);
+  EXPECT_LT(max_err(got, want), 1e-3 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(FftMatchesDft, RoundTripDit) {
+  const std::size_t n = GetParam();
+  const auto input = random_signal(n, 3 * n);
+  auto data = input;
+  const Plan plan(n);
+  plan.transform(data, Direction::kForward);
+  plan.transform(data, Direction::kInverse);
+  EXPECT_LT(max_err(data, input), 1e-5 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(FftMatchesDft, RoundTripDif) {
+  const std::size_t n = GetParam();
+  const auto input = random_signal(n, 7 * n);
+  auto data = input;
+  const Plan plan(n, Schedule::kDif);
+  plan.transform(data, Direction::kForward);
+  plan.transform(data, Direction::kInverse);
+  EXPECT_LT(max_err(data, input), 1e-5 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(FftMatchesDft, SchedulesAgree) {
+  const std::size_t n = GetParam();
+  const auto input = random_signal(n, 11 * n);
+  auto dit = input;
+  auto dif = input;
+  Plan(n, Schedule::kDit).transform(dit, Direction::kForward);
+  Plan(n, Schedule::kDif).transform(dif, Direction::kForward);
+  EXPECT_LT(max_err(dit, dif), 1e-4 * std::sqrt(static_cast<double>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftMatchesDft,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           512));
+
+TEST(FftPlan, LinearityProperty) {
+  const std::size_t n = 64;
+  const auto a = random_signal(n, 1);
+  const auto b = random_signal(n, 2);
+  const Plan plan(n);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i] = 2.0F * a[i] + Complex{0.0F, 1.0F} * b[i];
+  }
+  auto fa = a;
+  auto fb = b;
+  auto fsum = sum;
+  plan.transform(fa, Direction::kForward);
+  plan.transform(fb, Direction::kForward);
+  plan.transform(fsum, Direction::kForward);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex want = 2.0F * fa[i] + Complex{0.0F, 1.0F} * fb[i];
+    EXPECT_NEAR(std::abs(fsum[i] - want), 0.0F, 1e-3F);
+  }
+}
+
+TEST(FftPlan, ParsevalProperty) {
+  const std::size_t n = 128;
+  const auto x = random_signal(n, 99);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  auto fx = x;
+  Plan(n).transform(fx, Direction::kForward);
+  double freq_energy = 0.0;
+  for (const auto& v : fx) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-3 * time_energy);
+}
+
+TEST(FftPlan, StridedColumnTransform) {
+  // A 4x4 matrix where each column is an impulse in a different row; the
+  // column transform along stride=4 must equal per-column dense FFTs.
+  const std::size_t n = 4;
+  std::vector<Complex> mat(n * n, Complex{});
+  for (std::size_t c = 0; c < n; ++c) mat[c * n + c] = Complex(1.0F, 0.0F);
+  const Plan plan(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    plan.transform_strided(std::span(mat).subspan(c), n,
+                           Direction::kForward);
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<Complex> col(n, Complex{});
+    col[c] = Complex(1.0F, 0.0F);
+    plan.transform(col, Direction::kForward);
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_NEAR(std::abs(mat[r * n + c] - col[r]), 0.0F, 1e-6F);
+    }
+  }
+}
+
+TEST(Fft2d, RoundTrip) {
+  const std::size_t rows = 8;
+  const std::size_t cols = 16;
+  const auto input = random_signal(rows * cols, 5);
+  auto data = input;
+  const Plan row_plan(cols);
+  const Plan col_plan(rows);
+  transform_2d(data, row_plan, col_plan, Direction::kForward);
+  transform_2d(data, row_plan, col_plan, Direction::kInverse);
+  EXPECT_LT(max_err(data, input), 1e-4);
+}
+
+TEST(Fft2d, SeparableAgainstReferenceDft) {
+  const std::size_t n = 8;
+  const auto input = random_signal(n * n, 21);
+  auto fast = input;
+  const Plan plan(n);
+  transform_2d(fast, plan, plan, Direction::kForward);
+  // Reference: row DFTs then column DFTs.
+  std::vector<Complex> ref = input;
+  std::vector<Complex> tmp(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    dft_reference(std::span(ref).subspan(r * n, n), tmp,
+                  Direction::kForward);
+    std::copy(tmp.begin(), tmp.end(), ref.begin() + r * n);
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<Complex> col(n);
+    for (std::size_t r = 0; r < n; ++r) col[r] = ref[r * n + c];
+    dft_reference(col, tmp, Direction::kForward);
+    for (std::size_t r = 0; r < n; ++r) ref[r * n + c] = tmp[r];
+  }
+  EXPECT_LT(max_err(fast, ref), 1e-3);
+}
+
+TEST(Fft2d, CircularConvolutionTheorem) {
+  // conv(a, b) computed via FFT equals direct circular convolution.
+  const std::size_t n = 8;
+  Rng rng(13);
+  std::vector<float> a(n), b(n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  std::vector<Complex> fa(n), fb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fa[i] = Complex(a[i], 0.0F);
+    fb[i] = Complex(b[i], 0.0F);
+  }
+  const Plan plan(n);
+  plan.transform(fa, Direction::kForward);
+  plan.transform(fb, Direction::kForward);
+  std::vector<Complex> prod(n);
+  for (std::size_t i = 0; i < n; ++i) prod[i] = fa[i] * fb[i];
+  plan.transform(prod, Direction::kInverse);
+
+  for (std::size_t y = 0; y < n; ++y) {
+    double want = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      want += static_cast<double>(a[k]) * b[(y + n - k) % n];
+    }
+    EXPECT_NEAR(prod[y].real(), want, 1e-4);
+  }
+}
+
+TEST(DftReference, InverseNormalises) {
+  const auto x = random_signal(16, 8);
+  std::vector<Complex> f(16), back(16);
+  dft_reference(x, f, Direction::kForward);
+  dft_reference(f, back, Direction::kInverse);
+  EXPECT_LT(max_err(back, x), 1e-4);
+}
+
+}  // namespace
+}  // namespace gpucnn::fft

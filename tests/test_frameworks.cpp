@@ -1,0 +1,221 @@
+#include "frameworks/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.hpp"
+#include "core/error.hpp"
+
+namespace gpucnn::frameworks {
+namespace {
+
+const ConvConfig kBase = analysis::base_config();
+
+TEST(Registry, AllSevenPresentWithPaperNames) {
+  ASSERT_EQ(all_frameworks().size(), 7U);
+  EXPECT_EQ(framework(FrameworkId::kCaffe).name(), "Caffe");
+  EXPECT_EQ(framework(FrameworkId::kCudnn).name(), "cuDNN");
+  EXPECT_EQ(framework(FrameworkId::kTorchCunn).name(), "Torch-cunn");
+  EXPECT_EQ(framework(FrameworkId::kTheanoCorrMM).name(), "Theano-CorrMM");
+  EXPECT_EQ(framework(FrameworkId::kCudaConvnet2).name(), "cuda-convnet2");
+  EXPECT_EQ(framework(FrameworkId::kFbfft).name(), "fbfft");
+  EXPECT_EQ(framework(FrameworkId::kTheanoFft).name(), "Theano-fft");
+}
+
+TEST(Registry, IdsRoundTrip) {
+  for (const auto id : all_frameworks()) {
+    EXPECT_EQ(framework(id).id(), id);
+  }
+}
+
+TEST(Registry, StrategiesMatchPaperTaxonomy) {
+  // Paper §II.B assigns each implementation to one of three strategies.
+  EXPECT_EQ(framework(FrameworkId::kCaffe).strategy(),
+            conv::Strategy::kUnrolling);
+  EXPECT_EQ(framework(FrameworkId::kCudnn).strategy(),
+            conv::Strategy::kUnrolling);
+  EXPECT_EQ(framework(FrameworkId::kTorchCunn).strategy(),
+            conv::Strategy::kUnrolling);
+  EXPECT_EQ(framework(FrameworkId::kTheanoCorrMM).strategy(),
+            conv::Strategy::kUnrolling);
+  EXPECT_EQ(framework(FrameworkId::kCudaConvnet2).strategy(),
+            conv::Strategy::kDirect);
+  EXPECT_EQ(framework(FrameworkId::kFbfft).strategy(),
+            conv::Strategy::kFft);
+  EXPECT_EQ(framework(FrameworkId::kTheanoFft).strategy(),
+            conv::Strategy::kFft);
+}
+
+TEST(ShapeLimits, UnrollingSupportsAnything) {
+  // Paper §IV.B: "unrolling-based implementations are most flexible ...
+  // they support any possible shapes."
+  ConvConfig odd{.batch = 7, .input = 33, .channels = 5, .filters = 13,
+                 .kernel = 4, .stride = 3, .pad = 1};
+  for (const auto id :
+       {FrameworkId::kCaffe, FrameworkId::kCudnn, FrameworkId::kTorchCunn,
+        FrameworkId::kTheanoCorrMM}) {
+    EXPECT_TRUE(framework(id).supports(odd).ok);
+  }
+}
+
+TEST(ShapeLimits, Convnet2BatchMultipleOf32) {
+  ConvConfig cfg = kBase;
+  cfg.batch = 33;
+  const auto s = framework(FrameworkId::kCudaConvnet2).supports(cfg);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.reason.find("32"), std::string::npos);
+  cfg.batch = 96;
+  EXPECT_TRUE(framework(FrameworkId::kCudaConvnet2).supports(cfg).ok);
+}
+
+TEST(ShapeLimits, Convnet2FiltersMultipleOf16) {
+  ConvConfig cfg = kBase;
+  cfg.filters = 40;
+  EXPECT_FALSE(framework(FrameworkId::kCudaConvnet2).supports(cfg).ok);
+  cfg.filters = 48;
+  EXPECT_TRUE(framework(FrameworkId::kCudaConvnet2).supports(cfg).ok);
+}
+
+TEST(ShapeLimits, FftImplementationsRequireStrideOne) {
+  ConvConfig cfg = kBase;
+  cfg.stride = 2;
+  for (const auto id : {FrameworkId::kFbfft, FrameworkId::kTheanoFft}) {
+    const auto s = framework(id).supports(cfg);
+    EXPECT_FALSE(s.ok);
+    EXPECT_NE(s.reason.find("stride"), std::string::npos);
+    EXPECT_THROW(framework(id).plan(cfg), Error);
+  }
+}
+
+TEST(ShapeLimits, PlanThrowsOnUnsupportedShape) {
+  ConvConfig cfg = kBase;
+  cfg.batch = 50;
+  EXPECT_THROW(framework(FrameworkId::kCudaConvnet2).plan(cfg), Error);
+}
+
+TEST(TableTwo, MatchesPaperValues) {
+  const struct {
+    FrameworkId id;
+    std::size_t regs;
+    double smem_kb;
+  } rows[] = {
+      {FrameworkId::kCaffe, 86, 8.5},
+      {FrameworkId::kCudnn, 80, 8.4},
+      {FrameworkId::kTorchCunn, 84, 8.1},
+      {FrameworkId::kTheanoCorrMM, 72, 7.0},
+      {FrameworkId::kCudaConvnet2, 116, 16.0},
+      {FrameworkId::kFbfft, 106, 10.0},
+      {FrameworkId::kTheanoFft, 2, 4.5},
+  };
+  for (const auto& row : rows) {
+    const auto& fw = framework(row.id);
+    EXPECT_EQ(fw.table2_registers(), row.regs) << fw.name();
+    EXPECT_DOUBLE_EQ(fw.table2_smem_kb(), row.smem_kb) << fw.name();
+  }
+}
+
+TEST(Plans, DominantKernelUsesTableTwoResources) {
+  // The heaviest kernel of each plan must carry the Table II registers.
+  for (const auto id : all_frameworks()) {
+    const auto& fw = framework(id);
+    const auto plan = fw.plan(kBase);
+    ASSERT_FALSE(plan.kernels.empty()) << fw.name();
+    const gpusim::KernelProfile* heaviest = &plan.kernels.front();
+    gpusim::Profiler profiler(gpusim::tesla_k40c());
+    double best = 0.0;
+    for (const auto& k : plan.kernels) {
+      const double ms = profiler.launch(k).duration_ms;
+      if (ms > best) {
+        best = ms;
+        heaviest = &k;
+      }
+    }
+    EXPECT_EQ(heaviest->regs_per_thread, fw.table2_registers())
+        << fw.name() << " heaviest kernel " << heaviest->name;
+  }
+}
+
+TEST(Plans, MemoryIncludesActivationsAndContext) {
+  for (const auto id : all_frameworks()) {
+    const auto plan = framework(id).plan(kBase);
+    EXPECT_FALSE(plan.memory.empty());
+    // Peak must at least cover input + filters + output.
+    const double lower_bound =
+        (static_cast<double>(kBase.input_shape().count()) +
+         static_cast<double>(kBase.filter_shape().count()) +
+         static_cast<double>(kBase.output_shape().count())) *
+        4.0;
+    EXPECT_GT(plan.peak_bytes(), lower_bound);
+  }
+}
+
+TEST(Plans, DirectConvolutionHasNoWorkspace) {
+  // Paper §V.B: cuda-convnet2 "does not need temporary memory".
+  EXPECT_DOUBLE_EQ(
+      framework(FrameworkId::kCudaConvnet2).plan(kBase).workspace_bytes(),
+      0.0);
+  // Every other implementation allocates workspace.
+  for (const auto id : all_frameworks()) {
+    if (id == FrameworkId::kCudaConvnet2) continue;
+    EXPECT_GT(framework(id).plan(kBase).workspace_bytes(), 0.0)
+        << to_string(id);
+  }
+}
+
+TEST(Plans, EveryKernelSimulates) {
+  for (const auto id : all_frameworks()) {
+    gpusim::Profiler profiler(gpusim::tesla_k40c());
+    for (const auto& k : framework(id).plan(kBase).kernels) {
+      const auto& m = profiler.launch(k);
+      EXPECT_GT(m.duration_ms, 0.0) << k.name;
+      EXPECT_GT(m.achieved_occupancy, 0.0) << k.name;
+    }
+  }
+}
+
+TEST(Plans, EnginesComputeRealConvolutions) {
+  // Each framework's engine must actually compute; engines of the same
+  // strategy are shared instances.
+  const ConvConfig tiny{.batch = 2, .input = 8, .channels = 2,
+                        .filters = 4, .kernel = 3, .stride = 1};
+  Rng rng(5);
+  Tensor in(tiny.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(tiny.filter_shape());
+  w.fill_uniform(rng);
+  Tensor ref(tiny.output_shape());
+  framework(FrameworkId::kCudaConvnet2).engine().forward(tiny, in, w, ref);
+  for (const auto id : all_frameworks()) {
+    Tensor out(tiny.output_shape());
+    framework(id).engine().forward(tiny, in, w, out);
+    EXPECT_LT(max_abs_diff(ref, out), 1e-3) << to_string(id);
+  }
+  EXPECT_EQ(&framework(FrameworkId::kCaffe).engine(),
+            &framework(FrameworkId::kCudnn).engine());
+}
+
+TEST(Plans, FbfftMemoryStepsAtPowerOfTwoBoundary) {
+  // Fig. 5(b): fbfft memory jumps when i crosses a power of two.
+  ConvConfig below = kBase;
+  below.input = 128;  // transform size 128
+  ConvConfig above = kBase;
+  above.input = 144;  // transform size 256
+  const auto& fb = framework(FrameworkId::kFbfft);
+  const double mem_below = fb.plan(below).peak_bytes();
+  const double mem_above = fb.plan(above).peak_bytes();
+  EXPECT_GT(mem_above, mem_below * 1.5);
+}
+
+TEST(Plans, TheanoFftBluesteinSpikes) {
+  // Fig. 5(d): Theano-fft memory is non-monotonic in kernel size because
+  // awkward cuFFT lengths trigger Bluestein fallbacks.
+  const auto& th = framework(FrameworkId::kTheanoFft);
+  ConvConfig cfg = kBase;
+  cfg.kernel = 13;  // length 140 = 2^2*5*7 -> smooth
+  const double smooth = th.plan(cfg).peak_bytes();
+  cfg.kernel = 15;  // length 142 = 2*71 -> Bluestein
+  const double spiky = th.plan(cfg).peak_bytes();
+  EXPECT_GT(spiky, smooth * 1.1);
+}
+
+}  // namespace
+}  // namespace gpucnn::frameworks

@@ -1,0 +1,132 @@
+#include "blas/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace gpucnn::blas {
+namespace {
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 Rng& rng) {
+  std::vector<float> m(rows * cols);
+  for (auto& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+TEST(GemmNaive, TwoByTwoHandComputed) {
+  // A = [1 2; 3 4], B = [5 6; 7 8] -> C = [19 22; 43 50]
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4, 0.0F);
+  sgemm_naive(Trans::kNo, Trans::kNo, 2, 2, 2, 1.0F, a, 2, b, 2, 0.0F, c, 2);
+  EXPECT_FLOAT_EQ(c[0], 19.0F);
+  EXPECT_FLOAT_EQ(c[1], 22.0F);
+  EXPECT_FLOAT_EQ(c[2], 43.0F);
+  EXPECT_FLOAT_EQ(c[3], 50.0F);
+}
+
+TEST(GemmNaive, AlphaBetaSemantics) {
+  const std::vector<float> a{1, 0, 0, 1};  // identity
+  const std::vector<float> b{2, 3, 4, 5};
+  std::vector<float> c{10, 10, 10, 10};
+  sgemm_naive(Trans::kNo, Trans::kNo, 2, 2, 2, 2.0F, a, 2, b, 2, 0.5F, c, 2);
+  EXPECT_FLOAT_EQ(c[0], 2 * 2 + 5.0F);
+  EXPECT_FLOAT_EQ(c[3], 2 * 5 + 5.0F);
+}
+
+TEST(GemmNaive, TransposeAMatchesManual) {
+  // op(A) = A^T where A is k x m = 2x2: A = [1 2; 3 4], A^T = [1 3; 2 4].
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{1, 0, 0, 1};
+  std::vector<float> c(4, 0.0F);
+  sgemm_naive(Trans::kYes, Trans::kNo, 2, 2, 2, 1.0F, a, 2, b, 2, 0.0F, c, 2);
+  EXPECT_FLOAT_EQ(c[0], 1.0F);
+  EXPECT_FLOAT_EQ(c[1], 3.0F);
+  EXPECT_FLOAT_EQ(c[2], 2.0F);
+  EXPECT_FLOAT_EQ(c[3], 4.0F);
+}
+
+struct GemmCase {
+  std::size_t m, n, k;
+  Trans ta, tb;
+};
+
+class GemmAgreement : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmAgreement, BlockedMatchesNaive) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  Rng rng(m * 1000 + n * 100 + k);
+  const auto a = ta == Trans::kNo ? random_matrix(m, k, rng)
+                                  : random_matrix(k, m, rng);
+  const auto b = tb == Trans::kNo ? random_matrix(k, n, rng)
+                                  : random_matrix(n, k, rng);
+  std::vector<float> c_ref(m * n);
+  std::vector<float> c_blk(m * n);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    c_ref[i] = c_blk[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const std::size_t lda = ta == Trans::kNo ? k : m;
+  const std::size_t ldb = tb == Trans::kNo ? n : k;
+  sgemm_naive(ta, tb, m, n, k, 1.3F, a, lda, b, ldb, 0.7F, c_ref, n);
+  sgemm(ta, tb, m, n, k, 1.3F, a, lda, b, ldb, 0.7F, c_blk, n);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c_ref[i], c_blk[i],
+                2e-4F * (1.0F + static_cast<float>(k) * 0.01F))
+        << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmAgreement,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNo, Trans::kNo},
+        GemmCase{3, 5, 7, Trans::kNo, Trans::kNo},
+        GemmCase{64, 64, 64, Trans::kNo, Trans::kNo},
+        GemmCase{65, 67, 63, Trans::kNo, Trans::kNo},
+        GemmCase{128, 96, 256, Trans::kNo, Trans::kNo},
+        GemmCase{200, 300, 100, Trans::kNo, Trans::kNo},
+        GemmCase{129, 257, 255, Trans::kNo, Trans::kNo},
+        GemmCase{100, 100, 300, Trans::kYes, Trans::kNo},
+        GemmCase{100, 300, 100, Trans::kNo, Trans::kYes},
+        GemmCase{150, 150, 150, Trans::kYes, Trans::kYes},
+        GemmCase{8, 2048, 64, Trans::kNo, Trans::kNo},
+        GemmCase{2048, 8, 64, Trans::kNo, Trans::kNo}));
+
+TEST(Gemm, ZeroKScalesByBeta) {
+  std::vector<float> c{4.0F, 8.0F};
+  sgemm(Trans::kNo, Trans::kNo, 1, 2, 0, 1.0F, {}, 1, {}, 2, 0.5F, c, 2);
+  EXPECT_FLOAT_EQ(c[0], 2.0F);
+  EXPECT_FLOAT_EQ(c[1], 4.0F);
+}
+
+TEST(Gemm, ZeroAlphaOnlyAppliesBeta) {
+  Rng rng(3);
+  const auto a = random_matrix(70, 70, rng);
+  const auto b = random_matrix(70, 70, rng);
+  std::vector<float> c(70 * 70, 2.0F);
+  sgemm(Trans::kNo, Trans::kNo, 70, 70, 70, 0.0F, a, 70, b, 70, 3.0F, c, 70);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 6.0F);
+}
+
+TEST(Gemm, ConvenienceOverloadMatchesExplicit) {
+  Rng rng(11);
+  const auto a = random_matrix(90, 110, rng);
+  const auto b = random_matrix(110, 70, rng);
+  std::vector<float> c1(90 * 70, 0.0F);
+  std::vector<float> c2(90 * 70, 0.0F);
+  sgemm(Trans::kNo, Trans::kNo, 90, 70, 110, 1.0F, a, 110, b, 70, 0.0F, c1,
+        70);
+  sgemm(Trans::kNo, Trans::kNo, 90, 70, 110, 1.0F, a, b, 0.0F, c2);
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1[i], c2[i]);
+}
+
+TEST(Gemm, FlopsFormula) {
+  EXPECT_DOUBLE_EQ(gemm_flops(10, 20, 30), 12000.0);
+}
+
+}  // namespace
+}  // namespace gpucnn::blas

@@ -1,0 +1,145 @@
+#include "conv/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace gpucnn::conv {
+namespace {
+
+TEST(Im2col, BufferSizeFormula) {
+  const ConvConfig cfg{.batch = 1, .input = 5, .channels = 2, .filters = 1,
+                       .kernel = 3, .stride = 1};
+  // CKK x OhOw = (2*9) x (3*3)
+  EXPECT_EQ(col_buffer_size(cfg), 18U * 9U);
+}
+
+TEST(Im2col, IdentityKernelCopiesInput) {
+  // k=1, s=1, p=0: the column matrix is exactly the input.
+  const ConvConfig cfg{.batch = 1, .input = 4, .channels = 3, .filters = 1,
+                       .kernel = 1, .stride = 1};
+  Rng rng(1);
+  std::vector<float> input(3 * 16);
+  for (auto& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> col(col_buffer_size(cfg));
+  im2col(cfg, input, col);
+  EXPECT_EQ(col, input);
+}
+
+TEST(Im2col, HandComputedThreeByThree) {
+  // 1 channel, 3x3 input, 2x2 kernel, stride 1 -> 2x2 outputs.
+  const ConvConfig cfg{.batch = 1, .input = 3, .channels = 1, .filters = 1,
+                       .kernel = 2, .stride = 1};
+  const std::vector<float> input{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> col(col_buffer_size(cfg));
+  im2col(cfg, input, col);
+  // Row layout: (ky,kx) major, output position minor.
+  const std::vector<float> want{
+      1, 2, 4, 5,   // (0,0)
+      2, 3, 5, 6,   // (0,1)
+      4, 5, 7, 8,   // (1,0)
+      5, 6, 8, 9};  // (1,1)
+  EXPECT_EQ(col, want);
+}
+
+TEST(Im2col, ZeroPaddingInsertsZeros) {
+  const ConvConfig cfg{.batch = 1, .input = 2, .channels = 1, .filters = 1,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  const std::vector<float> input{1, 2, 3, 4};
+  std::vector<float> col(col_buffer_size(cfg));
+  im2col(cfg, input, col);
+  // Output is 2x2. Row (ky=0,kx=0) reads input at (y-1, x-1):
+  // positions (0,0)->pad, (0,1)->pad, (1,0)->pad, (1,1)->input(0,0)=1.
+  EXPECT_EQ(col[0], 0.0F);
+  EXPECT_EQ(col[1], 0.0F);
+  EXPECT_EQ(col[2], 0.0F);
+  EXPECT_EQ(col[3], 1.0F);
+  // Centre row (ky=1,kx=1) is the input itself.
+  const std::size_t centre = (1 * 3 + 1) * 4;
+  EXPECT_EQ(col[centre + 0], 1.0F);
+  EXPECT_EQ(col[centre + 1], 2.0F);
+  EXPECT_EQ(col[centre + 2], 3.0F);
+  EXPECT_EQ(col[centre + 3], 4.0F);
+}
+
+TEST(Im2col, StrideSkipsPositions) {
+  const ConvConfig cfg{.batch = 1, .input = 5, .channels = 1, .filters = 1,
+                       .kernel = 3, .stride = 2};
+  std::vector<float> input(25);
+  for (std::size_t i = 0; i < 25; ++i) input[i] = static_cast<float>(i);
+  std::vector<float> col(col_buffer_size(cfg));
+  im2col(cfg, input, col);
+  // o = 2. Row (0,0): input(0,0)=0, input(0,2)=2, input(2,0)=10, input(2,2)=12.
+  EXPECT_EQ(col[0], 0.0F);
+  EXPECT_EQ(col[1], 2.0F);
+  EXPECT_EQ(col[2], 10.0F);
+  EXPECT_EQ(col[3], 12.0F);
+}
+
+TEST(Im2col, SizeValidation) {
+  const ConvConfig cfg{.batch = 1, .input = 4, .channels = 1, .filters = 1,
+                       .kernel = 2, .stride = 1};
+  std::vector<float> input(15);  // wrong: should be 16
+  std::vector<float> col(col_buffer_size(cfg));
+  EXPECT_THROW(im2col(cfg, input, col), Error);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y: the defining
+  // property of an adjoint pair, which backward-data correctness rests on.
+  const ConvConfig cfg{.batch = 1, .input = 6, .channels = 2, .filters = 1,
+                       .kernel = 3, .stride = 2, .pad = 1};
+  Rng rng(7);
+  const std::size_t in_elems = cfg.channels * cfg.input * cfg.input;
+  std::vector<float> x(in_elems);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> y(col_buffer_size(cfg));
+  for (auto& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  std::vector<float> col(col_buffer_size(cfg));
+  im2col(cfg, x, col);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    lhs += static_cast<double>(col[i]) * y[i];
+  }
+
+  std::vector<float> back(in_elems, 0.0F);
+  col2im(cfg, y, back);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    rhs += static_cast<double>(back[i]) * x[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4 * (std::abs(lhs) + 1.0));
+}
+
+TEST(Col2im, AccumulatesOverlaps) {
+  // 3x3 input, 2x2 kernel, stride 1: centre pixel (1,1) appears in all
+  // four windows; a col buffer of ones must scatter 4 into it.
+  const ConvConfig cfg{.batch = 1, .input = 3, .channels = 1, .filters = 1,
+                       .kernel = 2, .stride = 1};
+  std::vector<float> col(col_buffer_size(cfg), 1.0F);
+  std::vector<float> image(9, 0.0F);
+  col2im(cfg, col, image);
+  EXPECT_EQ(image[4], 4.0F);  // centre
+  EXPECT_EQ(image[0], 1.0F);  // corner appears once
+  EXPECT_EQ(image[1], 2.0F);  // edge appears twice
+}
+
+TEST(Col2im, RoundTripWithoutOverlapIsIdentity) {
+  // Non-overlapping windows (k == s): col2im(im2col(x)) == x.
+  const ConvConfig cfg{.batch = 1, .input = 6, .channels = 2, .filters = 1,
+                       .kernel = 2, .stride = 2};
+  Rng rng(3);
+  std::vector<float> x(2 * 36);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> col(col_buffer_size(cfg));
+  im2col(cfg, x, col);
+  std::vector<float> back(x.size(), 0.0F);
+  col2im(cfg, col, back);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(back[i], x[i]);
+}
+
+}  // namespace
+}  // namespace gpucnn::conv

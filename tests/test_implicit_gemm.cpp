@@ -1,0 +1,98 @@
+// Implicit-GEMM convolution: numerically identical to the explicit
+// im2col+GEMM path on every pass and geometry.
+#include "conv/implicit_gemm_conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "conv/direct_conv.hpp"
+#include "core/rng.hpp"
+
+namespace gpucnn::conv {
+namespace {
+
+struct Case {
+  ConvConfig cfg;
+  const char* label;
+};
+
+std::ostream& operator<<(std::ostream& os, const Case& c) {
+  return os << c.label;
+}
+
+class ImplicitGemmAgreement : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ImplicitGemmAgreement, AllPassesMatchDirect) {
+  const ConvConfig cfg = GetParam().cfg;
+  Rng rng(77);
+  Tensor x(cfg.input_shape());
+  x.fill_uniform(rng);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  Tensor gout(cfg.output_shape());
+  gout.fill_uniform(rng);
+
+  DirectConv oracle;
+  ImplicitGemmConv engine;
+  const double tol = 1e-3;
+
+  Tensor want_y(cfg.output_shape());
+  Tensor got_y(cfg.output_shape());
+  oracle.forward(cfg, x, w, want_y);
+  engine.forward(cfg, x, w, got_y);
+  EXPECT_LT(max_abs_diff(want_y, got_y), tol);
+
+  Tensor want_gx(cfg.input_shape());
+  Tensor got_gx(cfg.input_shape());
+  oracle.backward_data(cfg, gout, w, want_gx);
+  engine.backward_data(cfg, gout, w, got_gx);
+  EXPECT_LT(max_abs_diff(want_gx, got_gx), tol);
+
+  Tensor want_gw(cfg.filter_shape());
+  Tensor got_gw(cfg.filter_shape());
+  oracle.backward_filter(cfg, x, gout, want_gw);
+  engine.backward_filter(cfg, x, gout, got_gw);
+  EXPECT_LT(max_abs_diff(want_gw, got_gw),
+            tol * (1.0 + 0.05 * static_cast<double>(cfg.batch *
+                                                    cfg.output())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ImplicitGemmAgreement,
+    ::testing::Values(
+        Case{{.batch = 1, .input = 8, .channels = 2, .filters = 3,
+              .kernel = 3, .stride = 1},
+             "basic"},
+        Case{{.batch = 2, .input = 12, .channels = 3, .filters = 4,
+              .kernel = 5, .stride = 2, .pad = 2},
+             "strided_padded"},
+        Case{{.batch = 1, .input = 9, .channels = 1, .filters = 1,
+              .kernel = 1, .stride = 1},
+             "pointwise"},
+        // Output positions not a multiple of the 64-wide tile.
+        Case{{.batch = 1, .input = 19, .channels = 2, .filters = 2,
+              .kernel = 4, .stride = 1},
+             "ragged_tiles"},
+        Case{{.batch = 3, .input = 16, .channels = 4, .filters = 8,
+              .kernel = 3, .stride = 1, .pad = 1},
+             "vgg_ish"}));
+
+TEST(ImplicitGemm, IdentifiesAsUnrollingStrategy) {
+  ImplicitGemmConv engine;
+  EXPECT_EQ(engine.strategy(), Strategy::kUnrolling);
+  EXPECT_EQ(engine.name(), "implicit-gemm");
+  EXPECT_TRUE(engine.supports({.batch = 1, .input = 7, .channels = 1,
+                               .filters = 1, .kernel = 3, .stride = 3}));
+}
+
+TEST(ImplicitGemm, ShapeValidation) {
+  const ConvConfig cfg{.batch = 1, .input = 8, .channels = 1, .filters = 1,
+                       .kernel = 3, .stride = 1};
+  ImplicitGemmConv engine;
+  Tensor x(cfg.input_shape());
+  Tensor w(cfg.filter_shape());
+  Tensor bad(1, 1, 3, 3);
+  EXPECT_THROW(engine.forward(cfg, x, w, bad), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::conv

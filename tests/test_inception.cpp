@@ -1,0 +1,115 @@
+// InceptionLayer: branch/concat semantics, gradients, and the executable
+// GoogLeNet.
+#include "nn/inception_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_spec.hpp"
+
+namespace gpucnn::nn {
+namespace {
+
+InceptionParams tiny_params() {
+  return {"tiny", /*c1=*/2, /*c3_reduce=*/2, /*c3=*/3, /*c5_reduce=*/1,
+          /*c5=*/2, /*pool_proj=*/1};
+}
+
+TEST(Inception, OutputShapeConcatenatesBranches) {
+  InceptionLayer layer("inc", /*in_channels=*/4, /*spatial=*/8,
+                       tiny_params());
+  EXPECT_EQ(layer.output_shape({2, 4, 8, 8}), (TensorShape{2, 8, 8, 8}));
+  EXPECT_THROW((void)layer.output_shape({2, 5, 8, 8}), Error);
+  EXPECT_THROW((void)layer.output_shape({2, 4, 9, 9}), Error);
+}
+
+TEST(Inception, ForwardPreservesSpatialSize) {
+  InceptionLayer layer("inc", 4, 8, tiny_params());
+  Rng rng(1);
+  layer.initialize(rng);
+  Tensor in(2, 4, 8, 8);
+  in.fill_uniform(rng);
+  Tensor out;
+  layer.forward(in, out);
+  EXPECT_EQ(out.shape(), (TensorShape{2, 8, 8, 8}));
+}
+
+TEST(Inception, ParameterCountMatchesBranchArithmetic) {
+  const auto p = tiny_params();
+  InceptionLayer layer("inc", 4, 8, p);
+  std::size_t weights = 0;
+  for (Tensor* t : layer.parameters()) weights += t->count();
+  // 1x1: 2*4*1*1+2 ; 3x3: 2*4+2 + 3*2*9+3 ; 5x5: 1*4+1 + 2*1*25+2 ;
+  // pool: 1*4+1.
+  const std::size_t want = (2 * 4 + 2) + (2 * 4 + 2) + (3 * 2 * 9 + 3) +
+                           (1 * 4 + 1) + (2 * 1 * 25 + 2) + (1 * 4 + 1);
+  EXPECT_EQ(weights, want);
+  EXPECT_EQ(layer.parameters().size(), layer.gradients().size());
+}
+
+TEST(Inception, GradcheckThroughAllBranches) {
+  InceptionLayer layer("inc", 3, 6, tiny_params());
+  Rng rng(2);
+  layer.initialize(rng);
+  Tensor in(1, 3, 6, 6);
+  in.fill_uniform(rng, 0.1F, 1.0F);  // stay off ReLU kinks
+
+  Tensor out;
+  layer.forward(in, out);
+  Tensor loss_w(out.shape());
+  loss_w.fill_uniform(rng);
+
+  layer.forward(in, out);
+  Tensor grad_in;
+  layer.backward(in, loss_w, grad_in);
+
+  const auto loss = [&] {
+    layer.forward(in, out);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.count(); ++i) {
+      acc += static_cast<double>(out.data()[i]) * loss_w.data()[i];
+    }
+    return acc;
+  };
+  const float eps = 1e-2F;
+  for (const std::size_t idx : {0UL, in.count() / 2, in.count() - 1}) {
+    const float saved = in.data()[idx];
+    in.data()[idx] = saved + eps;
+    const double up = loss();
+    in.data()[idx] = saved - eps;
+    const double down = loss();
+    in.data()[idx] = saved;
+    EXPECT_NEAR(grad_in.data()[idx], (up - down) / (2.0 * eps), 2e-2)
+        << "index " << idx;
+  }
+}
+
+TEST(Inception, GoogLeNetTableMatchesPaperChannels) {
+  const auto modules = googlenet_inceptions();
+  ASSERT_EQ(modules.size(), 9U);
+  EXPECT_EQ(modules[0].output_channels(), 256U);   // 3a
+  EXPECT_EQ(modules[1].output_channels(), 480U);   // 3b
+  EXPECT_EQ(modules[6].output_channels(), 832U);   // 4e
+  EXPECT_EQ(modules[8].output_channels(), 1024U);  // 5b
+}
+
+TEST(Inception, ExecutableGoogLeNetShapeChains) {
+  auto net = googlenet_network();
+  EXPECT_EQ(net.output_shape({1, 3, 224, 224}),
+            (TensorShape{1, 1000, 1, 1}));
+}
+
+TEST(Inception, ExecutableGoogLeNetForwardProducesProbabilities) {
+  auto net = googlenet_network();
+  Rng rng(3);
+  net.initialize(rng);
+  net.set_training(false);
+  Tensor in(1, 3, 224, 224);
+  in.fill_uniform(rng);
+  const Tensor& probs = net.forward(in);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < 1000; ++c) sum += probs(0, c, 0, 0);
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace gpucnn::nn

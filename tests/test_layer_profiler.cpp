@@ -1,0 +1,78 @@
+#include "analysis/layer_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "nn/model_spec.hpp"
+
+namespace gpucnn::analysis {
+namespace {
+
+TEST(LayerProfiler, OneEntryPerLayerWithPositiveTimes) {
+  auto net = nn::lenet5(4).instantiate();
+  Rng rng(1);
+  net.initialize(rng);
+  Tensor input(4, 1, 32, 32);
+  input.fill_uniform(rng);
+  const auto profile = profile_network(net, input, 2);
+  EXPECT_EQ(profile.layers.size(), net.size());
+  EXPECT_GT(profile.total_ms, 0.0);
+  double sum = 0.0;
+  for (const auto& l : profile.layers) {
+    EXPECT_GE(l.forward_ms, 0.0) << l.name;
+    EXPECT_GE(l.backward_ms, 0.0) << l.name;
+    sum += l.total_ms();
+  }
+  EXPECT_NEAR(sum, profile.total_ms, 1e-9);
+}
+
+TEST(LayerProfiler, ConvDominatesLeNet) {
+  // The paper's Fig. 2 conclusion reproduced on real CPU numerics: the
+  // convolutional layers take the bulk of the iteration.
+  auto net = nn::lenet5(16).instantiate();
+  Rng rng(2);
+  net.initialize(rng);
+  Tensor input(16, 1, 32, 32);
+  input.fill_uniform(rng);
+  const auto profile = profile_network(net, input, 3);
+  const auto shares = profile.share_by_type();
+  ASSERT_TRUE(shares.count("conv"));
+  EXPECT_GT(shares.at("conv"), 0.5);
+}
+
+TEST(LayerProfiler, SharesSumToOne) {
+  auto net = nn::lenet5(2).instantiate();
+  Rng rng(3);
+  net.initialize(rng);
+  Tensor input(2, 1, 32, 32);
+  input.fill_uniform(rng);
+  const auto profile = profile_network(net, input, 1);
+  double total = 0.0;
+  for (const auto& [type, share] : profile.share_by_type()) total += share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LayerProfiler, DoesNotUpdateParameters) {
+  auto net = nn::lenet5(2).instantiate();
+  Rng rng(4);
+  net.initialize(rng);
+  const Tensor before = [&] {
+    Tensor t(net.parameters()[0]->shape());
+    std::copy(net.parameters()[0]->data().begin(),
+              net.parameters()[0]->data().end(), t.data().begin());
+    return t;
+  }();
+  Tensor input(2, 1, 32, 32);
+  input.fill_uniform(rng);
+  (void)profile_network(net, input, 1);
+  EXPECT_EQ(max_abs_diff(before, *net.parameters()[0]), 0.0);
+}
+
+TEST(LayerProfiler, RejectsZeroIterations) {
+  auto net = nn::lenet5(2).instantiate();
+  Tensor input(2, 1, 32, 32);
+  EXPECT_THROW(profile_network(net, input, 0), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::analysis

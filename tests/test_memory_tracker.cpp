@@ -1,0 +1,76 @@
+#include "gpusim/memory_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpucnn::gpusim {
+namespace {
+
+constexpr double kMB = 1048576.0;
+
+TEST(MemoryTracker, TracksCurrentAndPeak) {
+  MemoryTracker t(tesla_k40c());
+  const auto a = t.allocate("a", 100 * kMB);
+  const auto b = t.allocate("b", 50 * kMB);
+  EXPECT_DOUBLE_EQ(t.current_bytes(), 150 * kMB);
+  EXPECT_DOUBLE_EQ(t.peak_mb(), 150.0);
+  t.release(a);
+  EXPECT_DOUBLE_EQ(t.current_bytes(), 50 * kMB);
+  EXPECT_DOUBLE_EQ(t.peak_mb(), 150.0);  // peak sticks
+  t.release(b);
+  EXPECT_DOUBLE_EQ(t.current_bytes(), 0.0);
+}
+
+TEST(MemoryTracker, ThrowsOnExhaustion) {
+  MemoryTracker t(tesla_k40c());
+  t.allocate("big", 11000 * kMB);
+  EXPECT_THROW(t.allocate("straw", 2000 * kMB), OutOfDeviceMemory);
+  // The failed allocation does not count.
+  EXPECT_DOUBLE_EQ(t.current_bytes(), 11000 * kMB);
+}
+
+TEST(MemoryTracker, ExhaustionMessageNamesAllocation) {
+  MemoryTracker t(tesla_k40c());
+  t.allocate("base", 12000 * kMB);
+  try {
+    t.allocate("fbfft-spectra", 1000 * kMB);
+    FAIL();
+  } catch (const OutOfDeviceMemory& e) {
+    EXPECT_NE(std::string(e.what()).find("fbfft-spectra"),
+              std::string::npos);
+  }
+}
+
+TEST(MemoryTracker, ReleaseUnknownIdThrows) {
+  MemoryTracker t(tesla_k40c());
+  EXPECT_THROW(t.release(999), Error);
+}
+
+TEST(MemoryTracker, LiveBreakdownSortedDescending) {
+  MemoryTracker t(tesla_k40c());
+  t.allocate("small", 10 * kMB);
+  t.allocate("large", 100 * kMB);
+  t.allocate("medium", 50 * kMB);
+  const auto live = t.live();
+  ASSERT_EQ(live.size(), 3U);
+  EXPECT_EQ(live[0].first, "large");
+  EXPECT_EQ(live[2].first, "small");
+  EXPECT_EQ(t.live_allocations(), 3U);
+}
+
+TEST(MemoryTracker, ResetClearsEverything) {
+  MemoryTracker t(tesla_k40c());
+  t.allocate("x", 100 * kMB);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.current_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(t.peak_bytes(), 0.0);
+  EXPECT_EQ(t.live_allocations(), 0U);
+}
+
+TEST(MemoryTracker, ZeroByteAllocationAllowed) {
+  MemoryTracker t(tesla_k40c());
+  EXPECT_NO_THROW(t.allocate("empty", 0.0));
+  EXPECT_THROW(t.allocate("negative", -1.0), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,188 @@
+// Network container, optimiser and end-to-end training tests.
+#include <gtest/gtest.h>
+
+#include "conv/conv_engine.hpp"
+#include "nn/activation_layer.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/fc_layer.hpp"
+#include "nn/network.hpp"
+#include "nn/pool_layer.hpp"
+#include "nn/sgd.hpp"
+#include "nn/softmax.hpp"
+#include "nn/synthetic_data.hpp"
+
+namespace gpucnn::nn {
+namespace {
+
+Network tiny_net(conv::Strategy strategy = conv::Strategy::kUnrolling) {
+  Network net;
+  net.emplace<ConvLayer>("conv",
+                         ConvConfig{.batch = 1, .input = 8, .channels = 1,
+                                    .filters = 4, .kernel = 3, .stride = 1,
+                                    .pad = 1},
+                         strategy);
+  net.emplace<ActivationLayer>("relu");
+  net.emplace<PoolLayer>("pool", 2, 2);
+  net.emplace<FcLayer>("fc", 4 * 4 * 4, 3);
+  net.emplace<SoftmaxLayer>("prob");
+  return net;
+}
+
+TEST(Network, OutputShapePropagates) {
+  auto net = tiny_net();
+  EXPECT_EQ(net.output_shape({5, 1, 8, 8}), (TensorShape{5, 3, 1, 1}));
+}
+
+TEST(Network, ForwardProducesProbabilities) {
+  auto net = tiny_net();
+  Rng rng(1);
+  net.initialize(rng);
+  Tensor in(2, 1, 8, 8);
+  in.fill_uniform(rng);
+  const Tensor& out = net.forward(in);
+  for (std::size_t n = 0; n < 2; ++n) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += out(n, c, 0, 0);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Network, BackwardRequiresForward) {
+  auto net = tiny_net();
+  Tensor grad(2, 3, 1, 1);
+  EXPECT_THROW(net.backward(grad), Error);
+}
+
+TEST(Network, ParametersAndGradientsAligned) {
+  auto net = tiny_net();
+  EXPECT_EQ(net.parameters().size(), net.gradients().size());
+  EXPECT_EQ(net.parameters().size(), 4U);  // conv W/b + fc W/b
+  for (std::size_t i = 0; i < net.parameters().size(); ++i) {
+    EXPECT_EQ(net.parameters()[i]->shape(), net.gradients()[i]->shape());
+  }
+}
+
+TEST(Network, ZeroGradClearsGradients) {
+  auto net = tiny_net();
+  Rng rng(2);
+  net.initialize(rng);
+  Tensor in(2, 1, 8, 8);
+  in.fill_uniform(rng);
+  const Tensor& probs = net.forward(in);
+  // A uniform output gradient would vanish through softmax (it is
+  // orthogonal to the probability simplex); use a real loss gradient.
+  Tensor grad;
+  cross_entropy_prob_grad(probs, std::vector<std::size_t>{0, 1}, grad);
+  net.backward(grad);
+  bool any_nonzero = false;
+  for (Tensor* g : net.gradients()) any_nonzero |= g->max_abs() > 0.0F;
+  EXPECT_TRUE(any_nonzero);
+  net.zero_grad();
+  for (Tensor* g : net.gradients()) EXPECT_EQ(g->max_abs(), 0.0F);
+}
+
+TEST(Network, EndToEndGradcheckThroughWholeStack) {
+  auto net = tiny_net();
+  Rng rng(3);
+  net.initialize(rng);
+  Tensor in(2, 1, 8, 8);
+  in.fill_uniform(rng);
+  const std::vector<std::size_t> labels{0, 2};
+
+  net.zero_grad();
+  const Tensor& probs = net.forward(in);
+  Tensor grad;
+  cross_entropy_prob_grad(probs, labels, grad);
+  net.backward(grad);
+
+  // Finite differences on a few parameters of each tensor.
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+  const float eps = 1e-2F;
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    for (const std::size_t idx : {0UL, params[t]->count() / 2}) {
+      const float saved = params[t]->data()[idx];
+      params[t]->data()[idx] = saved + eps;
+      const double up =
+          cross_entropy_loss(net.forward(in), labels);
+      params[t]->data()[idx] = saved - eps;
+      const double down =
+          cross_entropy_loss(net.forward(in), labels);
+      params[t]->data()[idx] = saved;
+      EXPECT_NEAR(grads[t]->data()[idx], (up - down) / (2.0 * eps), 2e-2)
+          << "tensor " << t << " index " << idx;
+    }
+  }
+}
+
+TEST(Sgd, MovesAgainstGradient) {
+  Network net;
+  net.emplace<FcLayer>("fc", 2, 1);
+  auto& fc = dynamic_cast<FcLayer&>(net.layer(0));
+  fc.parameters()[0]->fill(1.0F);
+  fc.gradients()[0]->fill(0.5F);
+  Sgd sgd(net, {.learning_rate = 0.1, .momentum = 0.0});
+  sgd.step();
+  EXPECT_FLOAT_EQ(fc.parameters()[0]->data()[0], 1.0F - 0.05F);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Network net;
+  net.emplace<FcLayer>("fc", 1, 1);
+  auto& fc = dynamic_cast<FcLayer&>(net.layer(0));
+  fc.parameters()[0]->fill(0.0F);
+  Sgd sgd(net, {.learning_rate = 1.0, .momentum = 0.5});
+  fc.gradients()[0]->fill(1.0F);
+  sgd.step();  // v = 1, p = -1
+  sgd.step();  // v = 1.5, p = -2.5
+  EXPECT_FLOAT_EQ(fc.parameters()[0]->data()[0], -2.5F);
+}
+
+TEST(Sgd, WeightDecayShrinksParameters) {
+  Network net;
+  net.emplace<FcLayer>("fc", 1, 1);
+  auto& fc = dynamic_cast<FcLayer&>(net.layer(0));
+  fc.parameters()[0]->fill(10.0F);
+  fc.gradients()[0]->fill(0.0F);
+  Sgd sgd(net, {.learning_rate = 0.1, .momentum = 0.0,
+                .weight_decay = 0.1});
+  sgd.step();
+  EXPECT_LT(fc.parameters()[0]->data()[0], 10.0F);
+}
+
+class TrainingConvergence
+    : public ::testing::TestWithParam<conv::Strategy> {};
+
+TEST_P(TrainingConvergence, LossDropsOnSyntheticTask) {
+  // The same training run must converge under every convolution
+  // strategy — the paper's interchangeability premise.
+  auto net = tiny_net(GetParam());
+  Rng rng(4);
+  net.initialize(rng);
+  SyntheticDataset data(3, 1, 8, 0.3);
+  Sgd sgd(net, {.learning_rate = 0.05, .momentum = 0.9});
+
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  Tensor grad;
+  for (int step = 0; step < 60; ++step) {
+    const auto batch = data.sample(16);
+    net.zero_grad();
+    const Tensor& probs = net.forward(batch.images);
+    const double loss = cross_entropy_loss(probs, batch.labels);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    cross_entropy_prob_grad(probs, batch.labels, grad);
+    net.backward(grad);
+    sgd.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, TrainingConvergence,
+                         ::testing::Values(conv::Strategy::kDirect,
+                                           conv::Strategy::kUnrolling,
+                                           conv::Strategy::kFft));
+
+}  // namespace
+}  // namespace gpucnn::nn

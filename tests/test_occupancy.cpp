@@ -1,0 +1,106 @@
+#include "gpusim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace gpucnn::gpusim {
+namespace {
+
+const DeviceSpec kDev = tesla_k40c();
+
+TEST(Occupancy, FullOccupancyForLightKernel) {
+  // 256 threads, 32 regs, no smem: 8 blocks x 8 warps = 64 warps = 100%.
+  const auto occ = compute_occupancy(kDev, 256, 32, 0);
+  EXPECT_EQ(occ.active_warps_per_sm, 64U);
+  EXPECT_DOUBLE_EQ(occ.theoretical, 1.0);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kWarps);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  // 128 regs x 256 threads = 32768 regs/block -> 2 blocks -> 16 warps.
+  const auto occ = compute_occupancy(kDev, 256, 128, 0);
+  EXPECT_EQ(occ.active_blocks_per_sm, 2U);
+  EXPECT_EQ(occ.active_warps_per_sm, 16U);
+  EXPECT_DOUBLE_EQ(occ.theoretical, 0.25);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(Occupancy, PaperConvnet2Case) {
+  // The paper's §V.C.1 analysis: 116 regs/thread on cuda-convnet2 caps
+  // theoretical active threads near 564 (we quantise to whole blocks).
+  const auto occ = compute_occupancy(kDev, 128, 116, 16 * 1024);
+  // smem: 48KB/16KB = 3 blocks; regs: 65536/(116*128) = 4 blocks.
+  EXPECT_EQ(occ.active_blocks_per_sm, 3U);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMemory);
+  EXPECT_LT(occ.theoretical, 0.25);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  // 24KB smem -> 2 blocks regardless of registers.
+  const auto occ = compute_occupancy(kDev, 128, 16, 24 * 1024);
+  EXPECT_EQ(occ.active_blocks_per_sm, 2U);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMemory);
+}
+
+TEST(Occupancy, BlockCountLimited) {
+  // Tiny blocks: 32 threads -> warp limit would allow 64 blocks, but the
+  // hardware caps at 16 resident blocks.
+  const auto occ = compute_occupancy(kDev, 32, 16, 0);
+  EXPECT_EQ(occ.active_blocks_per_sm, 16U);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kBlocks);
+  EXPECT_DOUBLE_EQ(occ.theoretical, 0.25);
+}
+
+TEST(Occupancy, TheanoFftHighOccupancy) {
+  // 2 regs, 4.5KB smem, 128 threads: smem allows 10 blocks -> 40 warps.
+  const auto occ = compute_occupancy(
+      kDev, 128, 2, static_cast<std::size_t>(4.5 * 1024));
+  EXPECT_EQ(occ.active_blocks_per_sm, 10U);
+  EXPECT_DOUBLE_EQ(occ.theoretical, 40.0 / 64.0);
+}
+
+TEST(Occupancy, PartialWarpRoundsUp) {
+  // 33 threads occupy two warps.
+  const auto occ = compute_occupancy(kDev, 33, 16, 0);
+  EXPECT_EQ(occ.active_warps_per_sm % 2, 0U);
+}
+
+TEST(Occupancy, InvalidConfigsThrow) {
+  EXPECT_THROW((void)compute_occupancy(kDev, 0, 32, 0), Error);
+  EXPECT_THROW((void)compute_occupancy(kDev, 2048, 32, 0), Error);  // > 1024
+  EXPECT_THROW((void)compute_occupancy(kDev, 128, 300, 0), Error);  // > 255 regs
+  EXPECT_THROW((void)compute_occupancy(kDev, 128, 32, 64 * 1024), Error);
+}
+
+TEST(Occupancy, CannotFitSingleBlockThrows) {
+  // 1024 threads x 255 regs = 261k regs > 64k register file.
+  EXPECT_THROW((void)compute_occupancy(kDev, 1024, 255, 0), Error);
+}
+
+TEST(Occupancy, MonotoneInRegisters) {
+  double last = 2.0;
+  for (const std::size_t regs : {16, 32, 64, 96, 128, 200}) {
+    const auto occ = compute_occupancy(kDev, 256, regs, 0);
+    EXPECT_LE(occ.theoretical, last);
+    last = occ.theoretical;
+  }
+}
+
+TEST(Occupancy, LimiterNames) {
+  EXPECT_EQ(to_string(OccupancyLimiter::kWarps), "warps");
+  EXPECT_EQ(to_string(OccupancyLimiter::kRegisters), "registers");
+  EXPECT_EQ(to_string(OccupancyLimiter::kSharedMemory), "shared-memory");
+  EXPECT_EQ(to_string(OccupancyLimiter::kBlocks), "blocks");
+}
+
+TEST(DeviceSpec, K40cDerivedQuantities) {
+  const DeviceSpec dev = tesla_k40c();
+  // Paper §III.A: 2880 cores at 745 MHz -> 4.29 TFLOPS single precision.
+  EXPECT_NEAR(dev.peak_sp_gflops(), 4291.2, 0.1);
+  EXPECT_NEAR(dev.sustained_bandwidth_gbs(), 288.0 * 0.78, 0.1);
+  EXPECT_GT(dev.shared_bandwidth_gbs(), 1000.0);
+}
+
+}  // namespace
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,493 @@
+// The paper's qualitative findings, encoded as tests over the simulator.
+// Each test cites the claim it checks; together they pin the *shape* of
+// every figure (who wins, where crossovers fall, which bands hold).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/conv_runner.hpp"
+#include "analysis/model_breakdown.hpp"
+#include "analysis/sweep.hpp"
+
+namespace gpucnn::analysis {
+namespace {
+
+using frameworks::FrameworkId;
+
+const LayerResult& of(const std::vector<LayerResult>& rs, FrameworkId id) {
+  for (const auto& r : rs) {
+    if (r.framework == id) return r;
+  }
+  throw Error("framework missing from results");
+}
+
+double runtime(const ConvConfig& cfg, FrameworkId id) {
+  const auto r = evaluate(id, cfg);
+  check(r.supported, "unsupported config in claim test");
+  return r.runtime_ms;
+}
+
+// ---- Figure 3 -------------------------------------------------------
+
+TEST(Fig3, FbfftFastestAtBaseConfiguration) {
+  // §IV.B: "fbfft is the overall fastest convolutional implementation".
+  const auto rs = evaluate_all(base_config());
+  const double fb = of(rs, FrameworkId::kFbfft).runtime_ms;
+  for (const auto& r : rs) {
+    if (r.framework == FrameworkId::kFbfft || !r.supported) continue;
+    EXPECT_GT(r.runtime_ms, fb) << frameworks::to_string(r.framework);
+  }
+}
+
+TEST(Fig3, CudnnSecondBestAtBase) {
+  // §IV.B: "cuDNN performs the second best in most scenarios."
+  const auto rs = evaluate_all(base_config());
+  const double cudnn = of(rs, FrameworkId::kCudnn).runtime_ms;
+  int faster = 0;
+  for (const auto& r : rs) {
+    if (!r.supported) continue;
+    faster += r.runtime_ms < cudnn ? 1 : 0;
+  }
+  EXPECT_LE(faster, 1);  // only fbfft ahead
+}
+
+TEST(Fig3, FbfftFastestAcrossBatchSweep) {
+  // Fig. 3(a): fbfft leads at every mini-batch size.
+  SweepSpec spec{SweepParameter::kBatch, {32, 64, 128, 256, 512}};
+  for (const auto& p : run_sweep(spec)) {
+    const double fb = of(p.results, FrameworkId::kFbfft).runtime_ms;
+    for (const auto& r : p.results) {
+      if (r.framework == FrameworkId::kFbfft || !r.supported ||
+          r.out_of_memory) {
+        continue;
+      }
+      EXPECT_GT(r.runtime_ms, fb)
+          << "b=" << p.value << " " << frameworks::to_string(r.framework);
+    }
+  }
+}
+
+TEST(Fig3, TheanoFftSlowestAcrossBatchSweep) {
+  // Fig. 3(a): "Theano-fft results in the slowest speed."
+  SweepSpec spec{SweepParameter::kBatch, {32, 64, 128, 256}};
+  for (const auto& p : run_sweep(spec)) {
+    const double th = of(p.results, FrameworkId::kTheanoFft).runtime_ms;
+    for (const auto& r : p.results) {
+      if (r.framework == FrameworkId::kTheanoFft || !r.supported) continue;
+      EXPECT_LT(r.runtime_ms, th)
+          << "b=" << p.value << " " << frameworks::to_string(r.framework);
+    }
+  }
+}
+
+TEST(Fig3, CudnnFastestUnrollingImplementation) {
+  // §IV.B: "For unrolling-based convolution, cuDNN has consistent
+  // superior performance in all given mini-batch and input sizes."
+  for (const std::size_t b : {32UL, 128UL, 512UL}) {
+    ConvConfig cfg = base_config();
+    cfg.batch = b;
+    const auto rs = evaluate_all(cfg);
+    const double cudnn = of(rs, FrameworkId::kCudnn).runtime_ms;
+    for (const auto id :
+         {FrameworkId::kCaffe, FrameworkId::kTorchCunn,
+          FrameworkId::kTheanoCorrMM}) {
+      EXPECT_GT(of(rs, id).runtime_ms, cudnn) << "b=" << b;
+    }
+  }
+}
+
+TEST(Fig3, Convnet2ShinesAtMultiplesOf128) {
+  // §IV.B: "cuda-convnet2 performs well only for certain cases, such as
+  // for mini-batch sizes of multiple of 128": per-image cost drops at
+  // the 128-multiple sweet spots.
+  ConvConfig cfg = base_config();
+  cfg.batch = 96;
+  const double off = runtime(cfg, FrameworkId::kCudaConvnet2) / 96.0;
+  cfg.batch = 128;
+  const double on = runtime(cfg, FrameworkId::kCudaConvnet2) / 128.0;
+  EXPECT_LT(on, off * 0.9);
+}
+
+TEST(Fig3, CudnnBeatsFbfftForSmallKernels) {
+  // §IV.B: "For small kernels (smaller than 7 in our experiment), cuDNN
+  // outperforms fbfft" — by 1.21x to 2.62x.
+  for (const std::size_t k : {3UL, 5UL}) {
+    ConvConfig cfg = base_config();
+    cfg.kernel = k;
+    const double ratio = runtime(cfg, FrameworkId::kFbfft) /
+                         runtime(cfg, FrameworkId::kCudnn);
+    EXPECT_GT(ratio, 1.1) << "k=" << k;
+    EXPECT_LT(ratio, 3.0) << "k=" << k;
+  }
+}
+
+TEST(Fig3, FbfftBeatsCudnnForLargeKernels) {
+  // §IV.B: "Otherwise, fbfft is faster than cuDNN" with the advantage
+  // growing in kernel size (up to 19x in the paper's sweep).
+  double last_ratio = 0.0;
+  for (const std::size_t k : {9UL, 15UL, 23UL, 31UL}) {
+    ConvConfig cfg = base_config();
+    cfg.kernel = k;
+    const double ratio = runtime(cfg, FrameworkId::kCudnn) /
+                         runtime(cfg, FrameworkId::kFbfft);
+    EXPECT_GT(ratio, 1.0) << "k=" << k;
+    EXPECT_GT(ratio, last_ratio) << "k=" << k;  // monotone growth
+    last_ratio = ratio;
+  }
+  EXPECT_GT(last_ratio, 8.0);  // double-digit advantage at k=31
+}
+
+TEST(Fig3, FbfftRuntimeIndependentOfKernelSize) {
+  // Fig. 3(d): "the runtime of fbfft tends to be a constant value."
+  ConvConfig small = base_config();
+  small.kernel = 3;
+  ConvConfig large = base_config();
+  large.kernel = 31;
+  const double a = runtime(small, FrameworkId::kFbfft);
+  const double b = runtime(large, FrameworkId::kFbfft);
+  EXPECT_NEAR(a, b, 0.15 * a);
+}
+
+TEST(Fig3, CorrMMOvertakesCudnnAtLargeFilterCounts) {
+  // §IV.B: "for large filter numbers (greater than 160 in our
+  // experiment), Theano-CorrMM slightly outperforms cuDNN."
+  ConvConfig cfg = base_config();
+  cfg.filters = 64;
+  EXPECT_LT(runtime(cfg, FrameworkId::kCudnn),
+            runtime(cfg, FrameworkId::kTheanoCorrMM));
+  cfg.filters = 512;
+  const double cudnn = runtime(cfg, FrameworkId::kCudnn);
+  const double corrmm = runtime(cfg, FrameworkId::kTheanoCorrMM);
+  EXPECT_LT(corrmm, cudnn);
+  EXPECT_GT(corrmm, cudnn * 0.8);  // "slightly"
+}
+
+TEST(Fig3, CudnnBestForStridedConvolution) {
+  // Fig. 3(e): "For greater stride (greater than 1), cuDNN results in
+  // the best performance" (FFT engines cannot run at all).
+  for (const std::size_t s : {2UL, 3UL, 4UL}) {
+    ConvConfig cfg = base_config();
+    cfg.stride = s;
+    const auto rs = evaluate_all(cfg);
+    EXPECT_FALSE(of(rs, FrameworkId::kFbfft).supported);
+    EXPECT_FALSE(of(rs, FrameworkId::kTheanoFft).supported);
+    const double cudnn = of(rs, FrameworkId::kCudnn).runtime_ms;
+    for (const auto& r : rs) {
+      if (!r.supported || r.framework == FrameworkId::kCudnn) continue;
+      EXPECT_GT(r.runtime_ms, cudnn) << "s=" << s;
+    }
+  }
+}
+
+// ---- Figure 4 -------------------------------------------------------
+
+TEST(Fig4, GemmDominatesExplicitUnrollingImplementations) {
+  // §V.A: GEMM takes 87%/83%/80% of Caffe/Torch-cunn/Theano-CorrMM.
+  for (const auto id :
+       {FrameworkId::kCaffe, FrameworkId::kTorchCunn,
+        FrameworkId::kTheanoCorrMM}) {
+    const auto r = evaluate(id, base_config());
+    double gemm_ms = 0.0;
+    double total = 0.0;
+    for (const auto& h : r.hotspots) {
+      if (h.kind == gpusim::KernelClass::kGemm) gemm_ms += h.total_ms;
+      total += h.total_ms;
+    }
+    const double share = gemm_ms / total;
+    EXPECT_GT(share, 0.75) << frameworks::to_string(id);
+    EXPECT_LT(share, 0.95) << frameworks::to_string(id);
+  }
+}
+
+TEST(Fig4, UnrollKernelsTakeTheRest) {
+  const auto r = evaluate(FrameworkId::kCaffe, base_config());
+  double unroll_ms = 0.0;
+  double total = 0.0;
+  for (const auto& h : r.hotspots) {
+    if (h.kind == gpusim::KernelClass::kUnroll) unroll_ms += h.total_ms;
+    total += h.total_ms;
+  }
+  EXPECT_GT(unroll_ms / total, 0.05);
+  EXPECT_LT(unroll_ms / total, 0.25);
+}
+
+TEST(Fig4, CudnnDominatedByWgradAndGemmKernels) {
+  // §V.A: "wgrad_alg0_engine and cuDNN_gemm dominate the runtime."
+  const auto r = evaluate(FrameworkId::kCudnn, base_config());
+  ASSERT_GE(r.hotspots.size(), 2U);
+  for (const auto& h : {r.hotspots[0], r.hotspots[1]}) {
+    EXPECT_TRUE(h.name.find("cuDNN_gemm") != std::string::npos ||
+                h.name.find("wgrad_alg0_engine") != std::string::npos)
+        << h.name;
+  }
+}
+
+TEST(Fig4, Convnet2UsesThreeDirectKernels) {
+  // §V.A: filterActs / img_acts / weight_acts.
+  const auto r = evaluate(FrameworkId::kCudaConvnet2, base_config());
+  ASSERT_EQ(r.hotspots.size(), 3U);
+  for (const auto& h : r.hotspots) {
+    EXPECT_EQ(h.kind, gpusim::KernelClass::kDirectConv);
+  }
+}
+
+TEST(Fig4, FbfftSplitsAcrossFftTransposeCgemm) {
+  // §V.A: "GEMM, FFT transform, FFT inverse and data transposition
+  // account for most of the runtime in fbfft."
+  const auto r = evaluate(FrameworkId::kFbfft, base_config());
+  double fft = 0.0;
+  double transpose = 0.0;
+  double gemm = 0.0;
+  double total = 0.0;
+  for (const auto& h : r.hotspots) {
+    using KC = gpusim::KernelClass;
+    if (h.kind == KC::kFft || h.kind == KC::kFftInverse) fft += h.total_ms;
+    if (h.kind == KC::kTranspose) transpose += h.total_ms;
+    if (h.kind == KC::kGemm) gemm += h.total_ms;
+    total += h.total_ms;
+  }
+  EXPECT_GT((fft + transpose + gemm) / total, 0.80);
+  EXPECT_GT(fft / total, 0.10);
+  EXPECT_GT(transpose / total, 0.10);
+  EXPECT_GT(gemm / total, 0.05);
+}
+
+TEST(Fig4, TheanoFftDominatedByPreparationAndTransfer) {
+  // §V.A: "most of the runtime is spent on data preparation and data
+  // transfer between CPU and GPU in Theano-fft" — a visible share, far
+  // above other implementations'.
+  const auto th = evaluate(FrameworkId::kTheanoFft, base_config());
+  const auto fb = evaluate(FrameworkId::kFbfft, base_config());
+  EXPECT_GT(th.transfer_share, 5.0 * fb.transfer_share);
+  EXPECT_GT(th.transfer_ms, 5.0);
+}
+
+// ---- Figure 5 -------------------------------------------------------
+
+TEST(Fig5, Convnet2MostMemoryEfficientEverywhere) {
+  // §V.B: "cuda-convnet2 is the most memory efficient one in all
+  // scenarios given in our experiment."
+  for (const auto& spec : paper_sweeps()) {
+    for (const std::size_t v : {spec.values.front(), spec.values.back()}) {
+      const auto rs = evaluate_all(spec.config_for(v));
+      const double cn2 = of(rs, FrameworkId::kCudaConvnet2).peak_mb;
+      for (const auto& r : rs) {
+        if (!r.supported || r.framework == FrameworkId::kCudaConvnet2) {
+          continue;
+        }
+        EXPECT_GE(r.peak_mb, cn2)
+            << to_string(spec.parameter) << "=" << v << " "
+            << frameworks::to_string(r.framework);
+      }
+    }
+  }
+}
+
+TEST(Fig5, TorchMostMemoryEfficientUnrolling) {
+  // §V.B: "Torch-cunn is the overall most memory efficient implementation
+  // in unrolling-based convolution."
+  const auto rs = evaluate_all(base_config());
+  const double torch = of(rs, FrameworkId::kTorchCunn).peak_mb;
+  for (const auto id :
+       {FrameworkId::kCaffe, FrameworkId::kCudnn,
+        FrameworkId::kTheanoCorrMM}) {
+    EXPECT_GT(of(rs, id).peak_mb, torch);
+  }
+}
+
+TEST(Fig5, FbfftRequiresTheMostMemory) {
+  // §V.B: "fbfft requires the most memory, followed by Theano-fft."
+  const auto rs = evaluate_all(base_config());
+  const double fb = of(rs, FrameworkId::kFbfft).peak_mb;
+  const double th = of(rs, FrameworkId::kTheanoFft).peak_mb;
+  for (const auto& r : rs) {
+    if (r.framework == FrameworkId::kFbfft) continue;
+    EXPECT_LT(r.peak_mb, fb) << frameworks::to_string(r.framework);
+  }
+  for (const auto& r : rs) {
+    if (r.framework == FrameworkId::kFbfft ||
+        r.framework == FrameworkId::kTheanoFft) {
+      continue;
+    }
+    EXPECT_LT(r.peak_mb, th) << frameworks::to_string(r.framework);
+  }
+}
+
+TEST(Fig5, MemoryBandsMatchPaperOrders) {
+  // Spot checks against the paper's reported ranges (within 2x).
+  ConvConfig big = base_config();
+  big.batch = 512;
+  const auto rs = evaluate_all(big);
+  EXPECT_NEAR(of(rs, FrameworkId::kCudaConvnet2).peak_mb, 2076, 600);
+  EXPECT_NEAR(of(rs, FrameworkId::kCaffe).peak_mb, 3809, 1000);
+  EXPECT_NEAR(of(rs, FrameworkId::kTorchCunn).peak_mb, 2093, 600);
+  EXPECT_NEAR(of(rs, FrameworkId::kFbfft).peak_mb, 10866, 2500);
+}
+
+// ---- Figure 6 -------------------------------------------------------
+
+TEST(Fig6, MostImplementationsBelowThirtyPercentOccupancy) {
+  // §V.C.1: "most implementations have relatively low achieved occupancy
+  // (less than 30%)."
+  const auto rs = evaluate_all(TableOne::layer(0));
+  int below = 0;
+  int total = 0;
+  for (const auto& r : rs) {
+    if (!r.supported) continue;
+    ++total;
+    below += r.metrics.achieved_occupancy < 33.0 ? 1 : 0;
+  }
+  EXPECT_GE(below, total - 2);
+}
+
+TEST(Fig6, Convnet2OccupancyInPaperBand) {
+  // §V.C.1: cuda-convnet2 achieved occupancy 14%–22%.
+  for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+    const auto r = evaluate(FrameworkId::kCudaConvnet2, TableOne::layer(i));
+    EXPECT_GT(r.metrics.achieved_occupancy, 12.0) << i;
+    EXPECT_LT(r.metrics.achieved_occupancy, 24.0) << i;
+  }
+}
+
+TEST(Fig6, TheanoFftHighOccupancyButWorstPerformance) {
+  // §V.C.1: "Theano-fft has higher percentages (39% to 59%) but worse
+  // performance."
+  for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+    const auto cfg = TableOne::layer(i);
+    const auto th = evaluate(FrameworkId::kTheanoFft, cfg);
+    EXPECT_GT(th.metrics.achieved_occupancy, 37.0) << i;
+    EXPECT_LT(th.metrics.achieved_occupancy, 61.0) << i;
+    EXPECT_GT(th.runtime_ms,
+              evaluate(FrameworkId::kFbfft, cfg).runtime_ms)
+        << i;
+  }
+}
+
+TEST(Fig6, CorrMMGlobalLoadEfficiencyBand) {
+  // §V.C.2: Theano-CorrMM gld efficiency 11.64%–15.79%.
+  for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+    const auto r = evaluate(FrameworkId::kTheanoCorrMM, TableOne::layer(i));
+    EXPECT_GT(r.metrics.gld_efficiency, 10.0) << i;
+    EXPECT_LT(r.metrics.gld_efficiency, 17.0) << i;
+  }
+}
+
+TEST(Fig6, CudnnGlobalEfficiencyNearZero) {
+  // §V.C.2: cuDNN's top kernels compute on shared memory only; their
+  // global access efficiency is ~0%.
+  const auto r = evaluate(FrameworkId::kCudnn, TableOne::layer(0));
+  EXPECT_LT(r.metrics.gld_efficiency, 8.0);
+}
+
+TEST(Fig6, WarpExecutionEfficiencyBands) {
+  // §V.C.4: WEE > 97% everywhere except Theano-fft (66%–81%).
+  const auto rs = evaluate_all(TableOne::layer(1));
+  for (const auto& r : rs) {
+    if (!r.supported) continue;
+    if (r.framework == FrameworkId::kTheanoFft) {
+      EXPECT_GT(r.metrics.warp_execution_efficiency, 64.0);
+      EXPECT_LT(r.metrics.warp_execution_efficiency, 83.0);
+    } else {
+      EXPECT_GT(r.metrics.warp_execution_efficiency, 96.0)
+          << frameworks::to_string(r.framework);
+    }
+  }
+}
+
+TEST(Fig6, SharedEfficiencyBands) {
+  // §V.C.3: Theano-fft 8%–20%; cuDNN over 130%; cuBLAS-based unrolling
+  // implementations high.
+  const auto rs = evaluate_all(TableOne::layer(0));
+  EXPECT_LT(of(rs, FrameworkId::kTheanoFft).metrics.shared_efficiency,
+            21.0);
+  EXPECT_GT(of(rs, FrameworkId::kTheanoFft).metrics.shared_efficiency,
+            7.0);
+  EXPECT_GT(of(rs, FrameworkId::kCudnn).metrics.shared_efficiency, 130.0);
+  EXPECT_GT(of(rs, FrameworkId::kCaffe).metrics.shared_efficiency, 95.0);
+}
+
+TEST(Fig6, CudnnFastestUnrollingOnTableOne) {
+  // §V.C intro: "cuDNN is the fastest implementation in unrolling-based
+  // convolution and fbfft is the fastest one in FFT-based convolution."
+  for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+    const auto cfg = TableOne::layer(i);
+    const auto rs = evaluate_all(cfg);
+    const double cudnn = of(rs, FrameworkId::kCudnn).kernel_ms;
+    for (const auto id :
+         {FrameworkId::kCaffe, FrameworkId::kTorchCunn}) {
+      EXPECT_GT(of(rs, id).kernel_ms, cudnn) << "Conv" << i + 1;
+    }
+    EXPECT_LT(of(rs, FrameworkId::kFbfft).kernel_ms,
+              of(rs, FrameworkId::kTheanoFft).kernel_ms)
+        << "Conv" << i + 1;
+  }
+}
+
+// ---- Figure 7 -------------------------------------------------------
+
+TEST(Fig7, PrefetchingImplementationsNearZeroTransfer) {
+  // Caffe, cuDNN and fbfft hide their copies (~0%).
+  for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+    for (const auto id :
+         {FrameworkId::kCaffe, FrameworkId::kCudnn, FrameworkId::kFbfft}) {
+      const auto r = evaluate(id, TableOne::layer(i));
+      EXPECT_LT(r.transfer_share, 0.02)
+          << frameworks::to_string(id) << " Conv" << i + 1;
+    }
+  }
+}
+
+TEST(Fig7, SynchronousImplementationsLowButVisible) {
+  // Torch-cunn, cuda-convnet2 and Theano-fft: 1%–15% (we allow up to 20).
+  for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+    for (const auto id :
+         {FrameworkId::kTorchCunn, FrameworkId::kCudaConvnet2,
+          FrameworkId::kTheanoFft}) {
+      const auto r = evaluate(id, TableOne::layer(i));
+      EXPECT_GT(r.transfer_share, 0.002)
+          << frameworks::to_string(id) << " Conv" << i + 1;
+      EXPECT_LT(r.transfer_share, 0.20)
+          << frameworks::to_string(id) << " Conv" << i + 1;
+    }
+  }
+}
+
+TEST(Fig7, CorrMMAnomalyAtConv2) {
+  // "Theano-CorrMM in the second configuration (Conv2) has a significant
+  // data transfer overhead (more than 60% of its total runtime)."
+  const auto conv2 = evaluate(FrameworkId::kTheanoCorrMM,
+                              TableOne::layer(1));
+  EXPECT_GT(conv2.transfer_share, 0.60);
+  // And it is an anomaly: every other Table I configuration stays low.
+  for (const std::size_t i : {0UL, 2UL, 3UL, 4UL}) {
+    const auto r = evaluate(FrameworkId::kTheanoCorrMM, TableOne::layer(i));
+    EXPECT_LT(r.transfer_share, 0.10) << "Conv" << i + 1;
+  }
+}
+
+// ---- Figure 2 -------------------------------------------------------
+
+TEST(Fig2, ConvolutionDominatesAllFourModels) {
+  // §IV.A: conv consumes 86%/89%/90%/94% of GoogLeNet/VGG/OverFeat/
+  // AlexNet runtime.
+  for (const auto& model : nn::figure2_models()) {
+    const auto b = breakdown_model(model);
+    EXPECT_GT(b.share(nn::LayerSpec::Kind::kConv), 0.85) << model.name;
+    EXPECT_LT(b.share(nn::LayerSpec::Kind::kConv), 0.99) << model.name;
+  }
+}
+
+TEST(Fig2, OnlyGoogLeNetHasConcatTime) {
+  for (const auto& model : nn::figure2_models()) {
+    const auto b = breakdown_model(model);
+    const double concat = b.share(nn::LayerSpec::Kind::kConcat);
+    if (model.name == "GoogLeNet") {
+      EXPECT_GT(concat, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(concat, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpucnn::analysis

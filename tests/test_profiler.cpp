@@ -1,0 +1,97 @@
+#include "gpusim/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpucnn::gpusim {
+namespace {
+
+KernelProfile named_kernel(const char* name, double flops) {
+  KernelProfile k;
+  k.name = name;
+  k.block_threads = 256;
+  k.regs_per_thread = 32;
+  k.flops = flops;
+  k.compute_efficiency = 0.5;
+  k.gld_dram_factor = 1.0;
+  k.gst_dram_factor = 1.0;
+  return k;
+}
+
+TEST(Profiler, AggregatesByKernelName) {
+  Profiler p(tesla_k40c());
+  p.launch(named_kernel("gemm", 1e9));
+  p.launch(named_kernel("gemm", 1e9));
+  p.launch(named_kernel("im2col", 1e8));
+  const auto hot = p.hotspots();
+  ASSERT_EQ(hot.size(), 2U);
+  EXPECT_EQ(hot[0].name, "gemm");
+  EXPECT_EQ(hot[0].launches, 2U);
+  EXPECT_GT(hot[0].share, 0.9);
+  EXPECT_NEAR(hot[0].share + hot[1].share, 1.0, 1e-9);
+}
+
+TEST(Profiler, KernelTimeIsSumOfLaunches) {
+  Profiler p(tesla_k40c());
+  const auto& m1 = p.launch(named_kernel("a", 1e9));
+  const double first = m1.duration_ms;
+  p.launch(named_kernel("b", 1e9));
+  EXPECT_NEAR(p.kernel_ms(), 2.0 * first, first * 0.01);
+}
+
+TEST(Profiler, TransferShare) {
+  Profiler p(tesla_k40c());
+  p.launch(named_kernel("a", 1e9));
+  const double kernel = p.kernel_ms();
+  // Pick a transfer costing exactly as much as the kernels: share = 50%.
+  const double bytes = kernel * 1e-3 * 6.0e9 -
+                       p.device().pcie_latency_us * 1e-6 * 6.0e9;
+  p.transfer({"input", TransferDirection::kHostToDevice, bytes, false,
+              0.0});
+  EXPECT_NEAR(p.transfer_share(), 0.5, 0.01);
+  EXPECT_NEAR(p.total_ms(), 2.0 * kernel, kernel * 0.02);
+}
+
+TEST(Profiler, WeightedMetricsWeightByRuntime) {
+  Profiler p(tesla_k40c());
+  auto heavy = named_kernel("heavy", 1e10);
+  heavy.warp_exec_efficiency = 1.0;
+  auto light = named_kernel("light", 1e8);
+  light.warp_exec_efficiency = 0.5;
+  p.launch(heavy);
+  p.launch(light);
+  // Coverage 1.0 includes both; the heavy kernel dominates the average.
+  const auto wm = p.weighted_metrics(1.0);
+  EXPECT_GT(wm.warp_execution_efficiency, 95.0);
+}
+
+TEST(Profiler, CoverageLimitsToTopKernels) {
+  Profiler p(tesla_k40c());
+  auto heavy = named_kernel("heavy", 1e10);
+  heavy.warp_exec_efficiency = 1.0;
+  auto light = named_kernel("light", 1e8);
+  light.warp_exec_efficiency = 0.5;
+  p.launch(heavy);
+  p.launch(light);
+  // 90% coverage is satisfied by the heavy kernel alone.
+  const auto wm = p.weighted_metrics(0.9);
+  EXPECT_DOUBLE_EQ(wm.warp_execution_efficiency, 100.0);
+}
+
+TEST(Profiler, EmptyProfilerIsZero) {
+  Profiler p(tesla_k40c());
+  EXPECT_DOUBLE_EQ(p.kernel_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(p.transfer_share(), 0.0);
+  EXPECT_TRUE(p.hotspots().empty());
+}
+
+TEST(Profiler, ResetClearsRecords) {
+  Profiler p(tesla_k40c());
+  p.launch(named_kernel("a", 1e9));
+  p.transfer({"t", TransferDirection::kHostToDevice, 1e6, false, 0.0});
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.total_ms(), 0.0);
+  EXPECT_TRUE(p.launches().empty());
+}
+
+}  // namespace
+}  // namespace gpucnn::gpusim

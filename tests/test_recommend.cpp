@@ -1,0 +1,93 @@
+#include "analysis/recommend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.hpp"
+
+namespace gpucnn::analysis {
+namespace {
+
+using frameworks::FrameworkId;
+
+TEST(Recommend, BaseConfigMatchesPaperSummary) {
+  // §IV.B/V.B summaries at the representative configuration: fbfft is
+  // fastest, cuda-convnet2 is the memory pick.
+  const auto rec = recommend(base_config());
+  ASSERT_TRUE(rec.fastest.has_value());
+  EXPECT_EQ(*rec.fastest, FrameworkId::kFbfft);
+  ASSERT_TRUE(rec.most_memory_lean.has_value());
+  EXPECT_EQ(*rec.most_memory_lean, FrameworkId::kCudaConvnet2);
+  ASSERT_TRUE(rec.balanced.has_value());
+  // The balanced pick must actually satisfy the footprint constraint.
+  double lean_mb = 0.0;
+  double balanced_mb = 0.0;
+  for (const auto& r : rec.results) {
+    if (r.framework == *rec.most_memory_lean) lean_mb = r.peak_mb;
+    if (r.framework == *rec.balanced) balanced_mb = r.peak_mb;
+  }
+  EXPECT_LE(balanced_mb, 2.0 * lean_mb);
+}
+
+TEST(Recommend, SmallKernelsSwingTheFastestPick) {
+  // §IV.B: "For small kernels, cuDNN would be a good choice."
+  ConvConfig cfg = base_config();
+  cfg.kernel = 3;
+  const auto rec = recommend(cfg);
+  ASSERT_TRUE(rec.fastest.has_value());
+  EXPECT_NE(*rec.fastest, FrameworkId::kFbfft);
+}
+
+TEST(Recommend, StridedConfigsPickCudnn) {
+  ConvConfig cfg = base_config();
+  cfg.stride = 2;
+  const auto rec = recommend(cfg);
+  ASSERT_TRUE(rec.fastest.has_value());
+  EXPECT_EQ(*rec.fastest, FrameworkId::kCudnn);
+}
+
+TEST(Recommend, OomImplementationsAreExcluded) {
+  // At an extreme shape fbfft exceeds the card; it must not be picked
+  // even though it is the fastest on paper.
+  ConvConfig cfg = base_config();
+  cfg.batch = 128;
+  cfg.filters = 512;
+  const auto rec = recommend(cfg);
+  // fbfft's spectra exceed the card at this shape...
+  for (const auto& r : rec.results) {
+    if (r.framework == FrameworkId::kFbfft) {
+      ASSERT_TRUE(r.out_of_memory);
+    }
+  }
+  // ...so the pick falls to a fitting implementation.
+  ASSERT_TRUE(rec.fastest.has_value());
+  EXPECT_NE(*rec.fastest, FrameworkId::kFbfft);
+}
+
+TEST(Recommend, GroupedConfigsExcludeFftImplementations) {
+  ConvConfig cfg = base_config();
+  cfg.channels = 4;
+  cfg.filters = 64;
+  cfg.groups = 2;
+  const auto rec = recommend(cfg);
+  ASSERT_TRUE(rec.fastest.has_value());
+  EXPECT_NE(*rec.fastest, FrameworkId::kFbfft);
+  EXPECT_NE(*rec.fastest, FrameworkId::kTheanoFft);
+}
+
+TEST(Recommend, BalanceFactorOneMeansLeanest) {
+  const auto rec = recommend(base_config(), 1.0);
+  ASSERT_TRUE(rec.balanced.has_value());
+  EXPECT_EQ(*rec.balanced, *rec.most_memory_lean);
+}
+
+TEST(Recommend, RejectsInvalidBalanceFactor) {
+  EXPECT_THROW((void)recommend(base_config(), 0.5), Error);
+}
+
+TEST(Recommend, ResultsAlwaysComplete) {
+  const auto rec = recommend(base_config());
+  EXPECT_EQ(rec.results.size(), 7U);
+}
+
+}  // namespace
+}  // namespace gpucnn::analysis

@@ -1,0 +1,110 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/fc_layer.hpp"
+
+namespace gpucnn::nn {
+namespace {
+
+Network small_net() {
+  Network net;
+  net.emplace<ConvLayer>("c",
+                         ConvConfig{.batch = 1, .input = 6, .channels = 1,
+                                    .filters = 2, .kernel = 3,
+                                    .stride = 1});
+  net.emplace<FcLayer>("fc", 2 * 4 * 4, 3);
+  return net;
+}
+
+TEST(Serialize, RoundTripRestoresExactBits) {
+  auto a = small_net();
+  Rng rng(1);
+  a.initialize(rng);
+  std::stringstream buf;
+  save_parameters(a, buf);
+
+  auto b = small_net();
+  Rng other(2);
+  b.initialize(other);
+  load_parameters(b, buf);
+
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(*pa[i], *pb[i]), 0.0) << "tensor " << i;
+  }
+}
+
+TEST(Serialize, RestoredNetworkComputesIdentically) {
+  auto a = small_net();
+  Rng rng(3);
+  a.initialize(rng);
+  std::stringstream buf;
+  save_parameters(a, buf);
+  auto b = small_net();
+  load_parameters(b, buf);
+
+  Tensor in(2, 1, 6, 6);
+  in.fill_uniform(rng);
+  const Tensor out_a = [&] {
+    Tensor t(a.forward(in).shape());
+    std::copy(a.forward(in).data().begin(), a.forward(in).data().end(),
+              t.data().begin());
+    return t;
+  }();
+  EXPECT_EQ(max_abs_diff(out_a, b.forward(in)), 0.0);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  auto net = small_net();
+  std::stringstream buf("NOPE-not-a-checkpoint");
+  EXPECT_THROW(load_parameters(net, buf), Error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  auto net = small_net();
+  Rng rng(4);
+  net.initialize(rng);
+  std::stringstream buf;
+  save_parameters(net, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_parameters(net, cut), Error);
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  auto a = small_net();
+  Rng rng(5);
+  a.initialize(rng);
+  std::stringstream buf;
+  save_parameters(a, buf);
+
+  Network different;
+  different.emplace<FcLayer>("fc", 8, 2);
+  EXPECT_THROW(load_parameters(different, buf), Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  auto a = small_net();
+  Rng rng(6);
+  a.initialize(rng);
+  const std::string path = ::testing::TempDir() + "/gpucnn_ckpt.bin";
+  save_parameters(a, path);
+  auto b = small_net();
+  load_parameters(b, path);
+  EXPECT_EQ(max_abs_diff(*a.parameters()[0], *b.parameters()[0]), 0.0);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  auto net = small_net();
+  EXPECT_THROW(load_parameters(net, "/nonexistent/dir/ckpt.bin"), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::nn

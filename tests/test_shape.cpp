@@ -1,0 +1,91 @@
+#include "core/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gpucnn {
+namespace {
+
+TEST(TensorShape, CountMultipliesDims) {
+  const TensorShape s{2, 3, 4, 5};
+  EXPECT_EQ(s.count(), 120U);
+  EXPECT_EQ(s.spatial(), 20U);
+}
+
+TEST(TensorShape, Equality) {
+  EXPECT_EQ((TensorShape{1, 2, 3, 4}), (TensorShape{1, 2, 3, 4}));
+  EXPECT_NE((TensorShape{1, 2, 3, 4}), (TensorShape{1, 2, 3, 5}));
+}
+
+TEST(ConvConfig, OutputSizeBasic) {
+  const ConvConfig cfg{.batch = 1, .input = 128, .channels = 3,
+                       .filters = 4, .kernel = 11, .stride = 1};
+  EXPECT_EQ(cfg.output(), 118U);
+}
+
+TEST(ConvConfig, OutputSizeWithStride) {
+  const ConvConfig cfg{.batch = 1, .input = 227, .channels = 3,
+                       .filters = 96, .kernel = 11, .stride = 4};
+  EXPECT_EQ(cfg.output(), 55U);  // AlexNet conv1
+}
+
+TEST(ConvConfig, OutputSizeWithPadding) {
+  const ConvConfig cfg{.batch = 1, .input = 13, .channels = 384,
+                       .filters = 384, .kernel = 3, .stride = 1, .pad = 1};
+  EXPECT_EQ(cfg.output(), 13U);  // "same" conv
+}
+
+TEST(ConvConfig, ThrowsWhenKernelExceedsInput) {
+  const ConvConfig cfg{.batch = 1, .input = 4, .channels = 1, .filters = 1,
+                       .kernel = 7, .stride = 1};
+  EXPECT_THROW((void)cfg.output(), Error);
+}
+
+TEST(ConvConfig, ShapesAreConsistent) {
+  const ConvConfig cfg{.batch = 64, .input = 128, .channels = 3,
+                       .filters = 64, .kernel = 11, .stride = 1};
+  EXPECT_EQ(cfg.input_shape(), (TensorShape{64, 3, 128, 128}));
+  EXPECT_EQ(cfg.filter_shape(), (TensorShape{64, 3, 11, 11}));
+  EXPECT_EQ(cfg.output_shape(), (TensorShape{64, 64, 118, 118}));
+}
+
+TEST(ConvConfig, ForwardFlopsFormula) {
+  const ConvConfig cfg{.batch = 2, .input = 8, .channels = 3, .filters = 4,
+                       .kernel = 3, .stride = 1};
+  // 2 * N * F * C * o^2 * k^2 = 2*2*4*3*36*9
+  EXPECT_DOUBLE_EQ(cfg.forward_flops(), 2.0 * 2 * 4 * 3 * 36 * 9);
+}
+
+TEST(ConvConfig, StreamFormatMatchesPaperTuple) {
+  const ConvConfig cfg{.batch = 64, .input = 128, .channels = 3,
+                       .filters = 64, .kernel = 11, .stride = 1};
+  std::ostringstream os;
+  os << cfg;
+  EXPECT_EQ(os.str(), "(64,128,64,11,1)");
+  EXPECT_EQ(cfg.to_string(), "(64,128,64,11,1)");
+}
+
+TEST(TableOne, MatchesPaperTable) {
+  EXPECT_EQ(TableOne::layer(0).to_string(), "(128,128,96,11,1)");
+  EXPECT_EQ(TableOne::layer(1).to_string(), "(128,128,96,3,1)");
+  EXPECT_EQ(TableOne::layer(2).to_string(), "(128,32,128,9,1)");
+  EXPECT_EQ(TableOne::layer(3).to_string(), "(128,16,128,7,1)");
+  EXPECT_EQ(TableOne::layer(4).to_string(), "(128,13,384,3,1)");
+}
+
+TEST(TableOne, NamesAndBounds) {
+  EXPECT_EQ(TableOne::name(0), "Conv1");
+  EXPECT_EQ(TableOne::name(4), "Conv5");
+  EXPECT_THROW(TableOne::layer(5), Error);
+  EXPECT_THROW(TableOne::name(5), Error);
+}
+
+TEST(TableOne, AllLayersHaveValidGeometry) {
+  for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+    EXPECT_GT(TableOne::layer(i).output(), 0U);
+  }
+}
+
+}  // namespace
+}  // namespace gpucnn

@@ -1,0 +1,80 @@
+#include "nn/synthetic_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace gpucnn::nn {
+namespace {
+
+TEST(SyntheticData, BatchShapesAndLabels) {
+  SyntheticDataset data(5, 3, 16);
+  const auto batch = data.sample(8);
+  EXPECT_EQ(batch.images.shape(), (TensorShape{8, 3, 16, 16}));
+  ASSERT_EQ(batch.labels.size(), 8U);
+  for (const auto l : batch.labels) EXPECT_LT(l, 5U);
+}
+
+TEST(SyntheticData, DeterministicForSameSeed) {
+  SyntheticDataset a(4, 1, 8, 0.3, 42);
+  SyntheticDataset b(4, 1, 8, 0.3, 42);
+  const auto ba = a.sample(16);
+  const auto bb = b.sample(16);
+  EXPECT_EQ(ba.labels, bb.labels);
+  EXPECT_EQ(max_abs_diff(ba.images, bb.images), 0.0);
+}
+
+TEST(SyntheticData, TemplatesDifferAcrossClasses) {
+  SyntheticDataset data(4, 1, 16);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_GT(max_abs_diff(data.class_template(i),
+                             data.class_template(j)),
+                0.5)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(SyntheticData, SamplesClusterAroundTemplates) {
+  SyntheticDataset data(3, 1, 12, /*noise=*/0.1);
+  const auto batch = data.sample(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    // The matching template must be the nearest of the three.
+    double best = 1e18;
+    std::size_t best_label = 99;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const auto& tpl = data.class_template(c);
+      double dist = 0.0;
+      for (std::size_t p = 0; p < tpl.count(); ++p) {
+        const double d = batch.images.plane(i, 0)[p] - tpl.data()[p];
+        dist += d * d;
+      }
+      if (dist < best) {
+        best = dist;
+        best_label = c;
+      }
+    }
+    EXPECT_EQ(best_label, batch.labels[i]) << "sample " << i;
+  }
+}
+
+TEST(SyntheticData, AllClassesAppear) {
+  SyntheticDataset data(4, 1, 8);
+  const auto batch = data.sample(256);
+  std::vector<int> seen(4, 0);
+  for (const auto l : batch.labels) ++seen[l];
+  for (const int count : seen) EXPECT_GT(count, 20);
+}
+
+TEST(SyntheticData, RequiresTwoClasses) {
+  EXPECT_THROW(SyntheticDataset(1, 1, 8), Error);
+}
+
+TEST(SyntheticData, TemplateOutOfRangeThrows) {
+  SyntheticDataset data(3, 1, 8);
+  EXPECT_THROW((void)data.class_template(3), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::nn

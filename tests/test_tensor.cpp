@@ -1,0 +1,116 @@
+#include "core/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace gpucnn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  const Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.count(), 0U);
+}
+
+TEST(Tensor, ConstructZeroInitialises) {
+  const Tensor t(2, 3, 4, 5);
+  EXPECT_EQ(t.count(), 120U);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, NchwIndexing) {
+  Tensor t(2, 3, 4, 5);
+  t(1, 2, 3, 4) = 42.0F;
+  // offset = ((1*3 + 2)*4 + 3)*5 + 4 = 119 — the very last element
+  EXPECT_EQ(t.data()[119], 42.0F);
+  EXPECT_EQ(t(1, 2, 3, 4), 42.0F);
+}
+
+TEST(Tensor, AtChecksBounds) {
+  Tensor t(1, 1, 2, 2);
+  EXPECT_NO_THROW(t.at(0, 0, 1, 1));
+  EXPECT_THROW(t.at(0, 0, 2, 0), Error);
+  EXPECT_THROW(t.at(1, 0, 0, 0), Error);
+}
+
+TEST(Tensor, PlanePointsIntoStorage) {
+  Tensor t(2, 2, 2, 2);
+  t(1, 0, 0, 0) = 7.0F;
+  EXPECT_EQ(t.plane(1, 0)[0], 7.0F);
+  EXPECT_EQ(t.plane(0, 0), t.raw());
+}
+
+TEST(Tensor, FillSetsEveryElement) {
+  Tensor t(1, 2, 3, 4);
+  t.fill(1.5F);
+  for (const float v : t.data()) EXPECT_EQ(v, 1.5F);
+}
+
+TEST(Tensor, FillUniformRespectsRangeAndSeed) {
+  Tensor a(1, 1, 8, 8);
+  Tensor b(1, 1, 8, 8);
+  Rng r1(99);
+  Rng r2(99);
+  a.fill_uniform(r1, -2.0F, 2.0F);
+  b.fill_uniform(r2, -2.0F, 2.0F);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  for (const float v : a.data()) {
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 2.0F);
+  }
+}
+
+TEST(Tensor, FillNormalIsDeterministic) {
+  Tensor a(1, 1, 16, 16);
+  Tensor b(1, 1, 16, 16);
+  Rng r1(5);
+  Rng r2(5);
+  a.fill_normal(r1);
+  b.fill_normal(r2);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(1, 2, 3, 4);
+  t(0, 1, 2, 3) = 9.0F;
+  t.reshape({2, 2, 3, 2});
+  EXPECT_EQ(t.shape(), (TensorShape{2, 2, 3, 2}));
+  EXPECT_EQ(t.data()[23], 9.0F);
+}
+
+TEST(Tensor, ReshapeRejectsCountChange) {
+  Tensor t(1, 2, 3, 4);
+  EXPECT_THROW(t.reshape({1, 1, 1, 1}), Error);
+}
+
+TEST(Tensor, ResizeZeroes) {
+  Tensor t(1, 1, 2, 2);
+  t.fill(3.0F);
+  t.resize({1, 1, 4, 4});
+  EXPECT_EQ(t.count(), 16U);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, SumAndMaxAbs) {
+  Tensor t(1, 1, 1, 4);
+  t(0, 0, 0, 0) = 1.0F;
+  t(0, 0, 0, 1) = -5.0F;
+  t(0, 0, 0, 2) = 2.0F;
+  EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+  EXPECT_EQ(t.max_abs(), 5.0F);
+}
+
+TEST(Tensor, MaxAbsDiffRejectsShapeMismatch) {
+  const Tensor a(1, 1, 2, 2);
+  const Tensor b(1, 1, 2, 3);
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+}
+
+TEST(Tensor, StorageIsCacheLineAligned) {
+  const Tensor t(1, 1, 3, 3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.raw()) % 64, 0U);
+}
+
+}  // namespace
+}  // namespace gpucnn

@@ -1,0 +1,102 @@
+#include "gpusim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace gpucnn::gpusim {
+namespace {
+
+using Kind = TimelineItem::Kind;
+
+TEST(Timeline, SingleStreamSerialises) {
+  const std::vector<TimelineItem> items{
+      {Kind::kKernel, "a", 0, 10.0, {}},
+      {Kind::kKernel, "b", 0, 5.0, {}},
+  };
+  const auto r = schedule(items);
+  EXPECT_DOUBLE_EQ(r.start_ms[1], 10.0);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 15.0);
+  EXPECT_DOUBLE_EQ(r.compute_idle_fraction, 0.0);
+}
+
+TEST(Timeline, IndependentStreamsOverlap) {
+  const std::vector<TimelineItem> items{
+      {Kind::kKernel, "compute", 0, 10.0, {}},
+      {Kind::kTransfer, "copy", 1, 8.0, {}},
+  };
+  const auto r = schedule(items);
+  EXPECT_DOUBLE_EQ(r.start_ms[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 10.0);  // copy fully hidden
+}
+
+TEST(Timeline, DependencyOrdersAcrossStreams) {
+  const std::vector<TimelineItem> items{
+      {Kind::kTransfer, "h2d", 1, 4.0, {}},
+      {Kind::kKernel, "gemm", 0, 10.0, {0}},  // waits for the copy
+  };
+  const auto r = schedule(items);
+  EXPECT_DOUBLE_EQ(r.start_ms[1], 4.0);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 14.0);
+  EXPECT_NEAR(r.compute_idle_fraction, 4.0 / 14.0, 1e-12);
+}
+
+TEST(Timeline, SyncVsAsyncPipelining) {
+  // Two iterations, copy then compute. Synchronous: everything on one
+  // stream. Asynchronous: copies on stream 1, each compute depending
+  // only on its own copy — the second copy hides under the first
+  // compute, the Fig. 7 prefetch effect.
+  const double copy = 4.0;
+  const double compute = 10.0;
+  const std::vector<TimelineItem> sync{
+      {Kind::kTransfer, "c1", 0, copy, {}},
+      {Kind::kKernel, "k1", 0, compute, {}},
+      {Kind::kTransfer, "c2", 0, copy, {}},
+      {Kind::kKernel, "k2", 0, compute, {}},
+  };
+  const std::vector<TimelineItem> async{
+      {Kind::kTransfer, "c1", 1, copy, {}},
+      {Kind::kKernel, "k1", 0, compute, {0}},
+      {Kind::kTransfer, "c2", 1, copy, {}},
+      {Kind::kKernel, "k2", 0, compute, {2}},
+  };
+  const double sync_ms = schedule(sync).makespan_ms;
+  const double async_ms = schedule(async).makespan_ms;
+  EXPECT_DOUBLE_EQ(sync_ms, 2 * (copy + compute));
+  EXPECT_DOUBLE_EQ(async_ms, copy + 2 * compute);
+  EXPECT_LT(async_ms, sync_ms);
+}
+
+TEST(Timeline, ChainedDependenciesAccumulate) {
+  const std::vector<TimelineItem> items{
+      {Kind::kKernel, "a", 0, 3.0, {}},
+      {Kind::kKernel, "b", 1, 4.0, {0}},
+      {Kind::kKernel, "c", 2, 5.0, {1}},
+  };
+  const auto r = schedule(items);
+  EXPECT_DOUBLE_EQ(r.end_ms[2], 12.0);
+}
+
+TEST(Timeline, EmptyScheduleIsZero) {
+  const auto r = schedule({});
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.compute_idle_fraction, 0.0);
+}
+
+TEST(Timeline, RejectsForwardDependencies) {
+  const std::vector<TimelineItem> items{
+      {Kind::kKernel, "a", 0, 1.0, {1}},
+      {Kind::kKernel, "b", 0, 1.0, {}},
+  };
+  EXPECT_THROW(schedule(items), Error);
+}
+
+TEST(Timeline, RejectsNegativeDuration) {
+  const std::vector<TimelineItem> items{
+      {Kind::kKernel, "a", 0, -1.0, {}},
+  };
+  EXPECT_THROW(schedule(items), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::gpusim

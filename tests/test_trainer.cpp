@@ -1,0 +1,84 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation_layer.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/fc_layer.hpp"
+#include "nn/softmax.hpp"
+
+namespace gpucnn::nn {
+namespace {
+
+Network classifier() {
+  Network net;
+  net.emplace<ConvLayer>("c",
+                         ConvConfig{.batch = 1, .input = 8, .channels = 1,
+                                    .filters = 4, .kernel = 3, .stride = 1,
+                                    .pad = 1});
+  net.emplace<ActivationLayer>("r");
+  net.emplace<FcLayer>("fc", 4 * 8 * 8, 3);
+  net.emplace<SoftmaxLayer>("s");
+  Rng rng(1);
+  net.initialize(rng);
+  return net;
+}
+
+TEST(Trainer, HistoryHasOneEntryPerStep) {
+  auto net = classifier();
+  SyntheticDataset data(3, 1, 8);
+  const auto history = fit(net, data, {.steps = 12, .batch_size = 8});
+  EXPECT_EQ(history.steps.size(), 12U);
+  for (const auto& s : history.steps) {
+    EXPECT_GE(s.loss, 0.0);
+    EXPECT_GE(s.accuracy, 0.0);
+    EXPECT_LE(s.accuracy, 1.0);
+  }
+}
+
+TEST(Trainer, LossDecreases) {
+  auto net = classifier();
+  SyntheticDataset data(3, 1, 8, 0.25);
+  const auto history =
+      fit(net, data,
+          {.steps = 80, .batch_size = 16,
+           .sgd = {.learning_rate = 0.05, .momentum = 0.9}});
+  EXPECT_LT(history.tail_loss(), history.first_loss() * 0.5);
+}
+
+TEST(Trainer, EvaluateRunsInInferenceModeAndRestoresTraining) {
+  auto net = classifier();
+  SyntheticDataset data(3, 1, 8);
+  (void)evaluate(net, data, 32);
+  EXPECT_TRUE(net.layer(0).training());
+}
+
+TEST(Trainer, EvaluateAfterTrainingBeatsChance) {
+  auto net = classifier();
+  SyntheticDataset data(3, 1, 8, 0.25);
+  (void)fit(net, data,
+      {.steps = 100, .batch_size = 16,
+       .sgd = {.learning_rate = 0.05, .momentum = 0.9}});
+  const auto result = evaluate(net, data, 256);
+  EXPECT_GT(result.accuracy, 0.7);  // chance is 1/3
+}
+
+TEST(Trainer, RejectsEmptyRuns) {
+  auto net = classifier();
+  SyntheticDataset data(3, 1, 8);
+  EXPECT_THROW((void)fit(net, data, {.steps = 0}), Error);
+}
+
+TEST(Trainer, TailLossWindowing) {
+  TrainHistory h;
+  for (const double l : {10.0, 8.0, 6.0, 4.0, 2.0}) {
+    h.steps.push_back({l, 0.0});
+  }
+  EXPECT_DOUBLE_EQ(h.tail_loss(2), 3.0);
+  EXPECT_DOUBLE_EQ(h.tail_loss(100), 6.0);  // clamps to size
+  EXPECT_DOUBLE_EQ(h.first_loss(), 10.0);
+  EXPECT_DOUBLE_EQ(h.last_loss(), 2.0);
+}
+
+}  // namespace
+}  // namespace gpucnn::nn

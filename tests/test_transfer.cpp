@@ -1,0 +1,58 @@
+#include "gpusim/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace gpucnn::gpusim {
+namespace {
+
+const DeviceSpec kDev = tesla_k40c();
+
+TEST(Transfer, BandwidthModel) {
+  const Transfer t{"x", TransferDirection::kHostToDevice, 6e9, false, 0.0};
+  // 6 GB over 6 GB/s pageable = 1000 ms + 8 us latency.
+  EXPECT_NEAR(raw_transfer_ms(kDev, t), 1000.0 + 0.008, 0.1);
+}
+
+TEST(Transfer, PinnedIsFaster) {
+  Transfer t{"x", TransferDirection::kHostToDevice, 1e9, false, 0.0};
+  const double pageable = raw_transfer_ms(kDev, t);
+  t.pinned = true;
+  EXPECT_LT(raw_transfer_ms(kDev, t), pageable);
+}
+
+TEST(Transfer, LatencyDominatesSmallCopies) {
+  const Transfer t{"x", TransferDirection::kDeviceToHost, 64.0, true, 0.0};
+  EXPECT_NEAR(raw_transfer_ms(kDev, t), kDev.pcie_latency_us * 1e-3, 1e-4);
+}
+
+TEST(Transfer, OverlapHidesCost) {
+  Transfer t{"x", TransferDirection::kHostToDevice, 1e9, true, 0.98};
+  EXPECT_NEAR(exposed_transfer_ms(kDev, t),
+              raw_transfer_ms(kDev, t) * 0.02, 1e-6);
+  t.overlap = 1.0;
+  EXPECT_DOUBLE_EQ(exposed_transfer_ms(kDev, t), 0.0);
+}
+
+TEST(Transfer, TotalSumsExposedCosts) {
+  const std::vector<Transfer> ts{
+      {"a", TransferDirection::kHostToDevice, 1e9, false, 0.0},
+      {"b", TransferDirection::kHostToDevice, 1e9, false, 0.5},
+  };
+  EXPECT_NEAR(total_exposed_ms(kDev, ts),
+              exposed_transfer_ms(kDev, ts[0]) +
+                  exposed_transfer_ms(kDev, ts[1]),
+              1e-9);
+}
+
+TEST(Transfer, RejectsInvalidInputs) {
+  Transfer t{"x", TransferDirection::kHostToDevice, -1.0, false, 0.0};
+  EXPECT_THROW((void)raw_transfer_ms(kDev, t), Error);
+  t.bytes = 1.0;
+  t.overlap = 1.5;
+  EXPECT_THROW((void)raw_transfer_ms(kDev, t), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::gpusim

@@ -1,0 +1,72 @@
+#include "blas/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace gpucnn::blas {
+namespace {
+
+TEST(VectorOps, Axpy) {
+  const std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  axpy(2.0F, x, y);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+}
+
+TEST(VectorOps, AxpySizeMismatchThrows) {
+  const std::vector<float> x{1, 2};
+  std::vector<float> y{1};
+  EXPECT_THROW(axpy(1.0F, x, y), Error);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<float> x{2, 4, 6};
+  scale(0.5F, x);
+  EXPECT_EQ(x, (std::vector<float>{1, 2, 3}));
+}
+
+TEST(VectorOps, DotAccumulatesInDouble) {
+  const std::vector<float> x{1, 2, 3, 4};
+  const std::vector<float> y{4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dot(x, y), 20.0);
+}
+
+TEST(VectorOps, AddBiasPerChannel) {
+  // outer=2, channels=2, inner=3
+  std::vector<float> data(12, 0.0F);
+  const std::vector<float> bias{1.0F, -2.0F};
+  add_bias(data, bias, 2, 2, 3);
+  for (std::size_t o = 0; o < 2; ++o) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(data[(o * 2 + 0) * 3 + i], 1.0F);
+      EXPECT_EQ(data[(o * 2 + 1) * 3 + i], -2.0F);
+    }
+  }
+}
+
+TEST(VectorOps, AddBiasValidatesSizes) {
+  std::vector<float> data(11, 0.0F);
+  const std::vector<float> bias{1.0F, 2.0F};
+  EXPECT_THROW(add_bias(data, bias, 2, 2, 3), Error);
+}
+
+TEST(VectorOps, ReduceBiasGradSumsChannels) {
+  // outer=2, channels=2, inner=2; channel 0 holds ones, channel 1 twos.
+  std::vector<float> data{1, 1, 2, 2, 1, 1, 2, 2};
+  std::vector<float> grad(2, 0.5F);
+  reduce_bias_grad(data, grad, 2, 2, 2);
+  EXPECT_FLOAT_EQ(grad[0], 0.5F + 4.0F);
+  EXPECT_FLOAT_EQ(grad[1], 0.5F + 8.0F);
+}
+
+TEST(VectorOps, ReduceBiasGradValidatesSizes) {
+  std::vector<float> data(8, 0.0F);
+  std::vector<float> grad(3, 0.0F);
+  EXPECT_THROW(reduce_bias_grad(data, grad, 2, 2, 2), Error);
+}
+
+}  // namespace
+}  // namespace gpucnn::blas

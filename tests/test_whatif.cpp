@@ -1,0 +1,160 @@
+// What-if optimisation analysis: the paper's §V suggestions as plan
+// transforms, with their predicted effects.
+#include "analysis/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.hpp"
+
+namespace gpucnn::analysis {
+namespace {
+
+using frameworks::FrameworkId;
+
+TEST(WhatIf, CoversAllSuggestions) {
+  const auto results = what_if(FrameworkId::kCaffe, base_config());
+  EXPECT_EQ(results.size(), std::size(kAllOptimizations));
+  for (const auto& r : results) {
+    EXPECT_GT(r.baseline_ms, 0.0);
+    EXPECT_GT(r.optimized_ms, 0.0);
+  }
+}
+
+TEST(WhatIf, OptimizationsNeverHurt) {
+  // Every transform is an improvement or a no-op on every framework.
+  for (const auto id : frameworks::all_frameworks()) {
+    for (const auto& r : what_if(id, base_config())) {
+      EXPECT_GE(r.speedup(), 0.999)
+          << frameworks::to_string(id) << " " << to_string(r.optimization);
+    }
+  }
+}
+
+TEST(WhatIf, BankConflictFixHelpsTheanoFftMost) {
+  // §V.C.3: "Bank conflicts are the primary concern to improve the
+  // performance of Theano-fft."
+  const auto pick = [](FrameworkId id) {
+    for (const auto& r : what_if(id, base_config())) {
+      if (r.optimization == Optimization::kFixBankConflicts) {
+        return r.speedup();
+      }
+    }
+    return 0.0;
+  };
+  const double theano = pick(FrameworkId::kTheanoFft);
+  EXPECT_GT(theano, 1.3);
+  for (const auto id : frameworks::all_frameworks()) {
+    if (id == FrameworkId::kTheanoFft) continue;
+    EXPECT_GE(theano, pick(id)) << frameworks::to_string(id);
+  }
+}
+
+TEST(WhatIf, DivergenceFixIsNoopWhereWeeIsAlreadyHigh) {
+  // §V.C.4: WEE is already > 97% everywhere except Theano-fft, so the
+  // control-flow restructuring suggestion cannot help those
+  // implementations.
+  for (const auto id : frameworks::all_frameworks()) {
+    if (id == FrameworkId::kTheanoFft) continue;
+    for (const auto& r : what_if(id, base_config())) {
+      if (r.optimization != Optimization::kReduceDivergence) continue;
+      EXPECT_LT(r.speedup(), 1.05) << frameworks::to_string(id);
+    }
+  }
+}
+
+TEST(WhatIf, TheanoFftNeedsTheFullSuggestionStack) {
+  // §V.C summary for Theano-fft: conflicts first, then divergence and
+  // coalescing. Applying all three recovers a multiple of its runtime.
+  const auto plan =
+      frameworks::framework(FrameworkId::kTheanoFft).plan(base_config());
+  auto fixed = apply_optimization(plan, Optimization::kFixBankConflicts);
+  fixed = apply_optimization(fixed, Optimization::kReduceDivergence);
+  fixed = apply_optimization(fixed, Optimization::kCoalesceGlobal);
+  const double before = plan_runtime_ms(plan, gpusim::tesla_k40c());
+  const double after = plan_runtime_ms(fixed, gpusim::tesla_k40c());
+  EXPECT_GT(before / after, 1.5);
+}
+
+TEST(WhatIf, AsyncTransfersFixTheCorrMMAnomaly) {
+  // Fig. 7's Conv2 spike disappears once the host staging overlaps.
+  const auto conv2 = TableOne::layer(1);
+  for (const auto& r : what_if(FrameworkId::kTheanoCorrMM, conv2)) {
+    if (r.optimization == Optimization::kAsyncTransfers) {
+      EXPECT_GT(r.speedup(), 2.0);
+    }
+  }
+  // Caffe already overlaps; the same fix is a no-op there.
+  for (const auto& r : what_if(FrameworkId::kCaffe, conv2)) {
+    if (r.optimization == Optimization::kAsyncTransfers) {
+      EXPECT_LT(r.speedup(), 1.01);
+    }
+  }
+}
+
+TEST(WhatIf, PinnedTransfersHelpPageableCopiers) {
+  for (const auto& r : what_if(FrameworkId::kTorchCunn, TableOne::layer(1))) {
+    if (r.optimization == Optimization::kPinnedTransfers) {
+      EXPECT_GT(r.speedup(), 1.03);
+    }
+  }
+}
+
+TEST(WhatIf, BatchingMergesTransfers) {
+  const auto plan =
+      frameworks::framework(FrameworkId::kTheanoFft).plan(base_config());
+  const auto batched = apply_optimization(
+      plan, Optimization::kBatchSmallTransfers);
+  EXPECT_LE(batched.transfers.size(), 2U);
+  double before = 0.0;
+  double after = 0.0;
+  for (const auto& t : plan.transfers) before += t.bytes;
+  for (const auto& t : batched.transfers) after += t.bytes;
+  EXPECT_DOUBLE_EQ(before, after);  // bytes conserved
+}
+
+TEST(WhatIf, OccupancyRebalanceTargetsLatencyBoundKernels) {
+  // A latency-bound kernel (occupancy need above what its register
+  // pressure allows) gets its registers trimmed; a healthy kernel is
+  // left alone.
+  frameworks::ExecutionPlan plan;
+  gpusim::KernelProfile starved;
+  starved.name = "starved";
+  starved.block_threads = 256;
+  starved.regs_per_thread = 128;  // 25% theoretical occupancy
+  starved.flops = 1e9;
+  starved.occupancy_needed = 0.5;
+  starved.gld_dram_factor = 1.0;
+  starved.gst_dram_factor = 1.0;
+  gpusim::KernelProfile healthy = starved;
+  healthy.name = "healthy";
+  healthy.regs_per_thread = 40;
+  healthy.occupancy_needed = 0.2;
+  plan.kernels = {starved, healthy};
+
+  const auto fixed =
+      apply_optimization(plan, Optimization::kRebalanceOccupancy);
+  EXPECT_LT(fixed.kernels[0].regs_per_thread, 128U);
+  EXPECT_EQ(fixed.kernels[1].regs_per_thread, 40U);
+  EXPECT_LT(plan_runtime_ms(fixed, gpusim::tesla_k40c()),
+            plan_runtime_ms(plan, gpusim::tesla_k40c()));
+}
+
+TEST(WhatIf, TransformsDoNotMutateOriginalPlan) {
+  const auto plan =
+      frameworks::framework(FrameworkId::kTheanoFft).plan(base_config());
+  const double before = plan_runtime_ms(plan, gpusim::tesla_k40c());
+  for (const auto opt : kAllOptimizations) {
+    (void)apply_optimization(plan, opt);
+  }
+  EXPECT_DOUBLE_EQ(plan_runtime_ms(plan, gpusim::tesla_k40c()), before);
+}
+
+TEST(WhatIf, NamesAreHumanReadable) {
+  for (const auto opt : kAllOptimizations) {
+    EXPECT_FALSE(to_string(opt).empty());
+    EXPECT_NE(to_string(opt), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace gpucnn::analysis
