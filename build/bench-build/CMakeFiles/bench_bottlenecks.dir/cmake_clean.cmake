@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bottlenecks"
+  "../bench/bench_bottlenecks.pdb"
+  "CMakeFiles/bench_bottlenecks.dir/bench_bottlenecks.cpp.o"
+  "CMakeFiles/bench_bottlenecks.dir/bench_bottlenecks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

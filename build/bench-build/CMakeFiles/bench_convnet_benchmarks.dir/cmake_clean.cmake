@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_convnet_benchmarks"
+  "../bench/bench_convnet_benchmarks.pdb"
+  "CMakeFiles/bench_convnet_benchmarks.dir/bench_convnet_benchmarks.cpp.o"
+  "CMakeFiles/bench_convnet_benchmarks.dir/bench_convnet_benchmarks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convnet_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_hotspot_kernels"
+  "../bench/bench_fig4_hotspot_kernels.pdb"
+  "CMakeFiles/bench_fig4_hotspot_kernels.dir/bench_fig4_hotspot_kernels.cpp.o"
+  "CMakeFiles/bench_fig4_hotspot_kernels.dir/bench_fig4_hotspot_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hotspot_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

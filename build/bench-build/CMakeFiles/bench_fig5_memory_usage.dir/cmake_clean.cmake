@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_memory_usage"
+  "../bench/bench_fig5_memory_usage.pdb"
+  "CMakeFiles/bench_fig5_memory_usage.dir/bench_fig5_memory_usage.cpp.o"
+  "CMakeFiles/bench_fig5_memory_usage.dir/bench_fig5_memory_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_memory_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whatif_optimizations"
+  "../bench/bench_whatif_optimizations.pdb"
+  "CMakeFiles/bench_whatif_optimizations.dir/bench_whatif_optimizations.cpp.o"
+  "CMakeFiles/bench_whatif_optimizations.dir/bench_whatif_optimizations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

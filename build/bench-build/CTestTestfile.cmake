@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_fig2_model_breakdown "/root/repo/build/bench/bench_fig2_model_breakdown")
+set_tests_properties(smoke_bench_fig2_model_breakdown PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig3_runtime_sweep "/root/repo/build/bench/bench_fig3_runtime_sweep")
+set_tests_properties(smoke_bench_fig3_runtime_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig4_hotspot_kernels "/root/repo/build/bench/bench_fig4_hotspot_kernels")
+set_tests_properties(smoke_bench_fig4_hotspot_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig5_memory_usage "/root/repo/build/bench/bench_fig5_memory_usage")
+set_tests_properties(smoke_bench_fig5_memory_usage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig6_gpu_metrics "/root/repo/build/bench/bench_fig6_gpu_metrics")
+set_tests_properties(smoke_bench_fig6_gpu_metrics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig7_transfer_overhead "/root/repo/build/bench/bench_fig7_transfer_overhead")
+set_tests_properties(smoke_bench_fig7_transfer_overhead PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_whatif_optimizations "/root/repo/build/bench/bench_whatif_optimizations")
+set_tests_properties(smoke_bench_whatif_optimizations PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_device_comparison "/root/repo/build/bench/bench_device_comparison")
+set_tests_properties(smoke_bench_device_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_streams_ablation "/root/repo/build/bench/bench_streams_ablation")
+set_tests_properties(smoke_bench_streams_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_convnet_benchmarks "/root/repo/build/bench/bench_convnet_benchmarks")
+set_tests_properties(smoke_bench_convnet_benchmarks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_bottlenecks "/root/repo/build/bench/bench_bottlenecks")
+set_tests_properties(smoke_bench_bottlenecks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_cpu_kernels "/root/repo/build/bench/bench_cpu_kernels" "--benchmark_min_time=0.01")
+set_tests_properties(smoke_bench_cpu_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

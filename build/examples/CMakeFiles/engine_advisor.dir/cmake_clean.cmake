@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_advisor.dir/engine_advisor.cpp.o"
+  "CMakeFiles/engine_advisor.dir/engine_advisor.cpp.o.d"
+  "engine_advisor"
+  "engine_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

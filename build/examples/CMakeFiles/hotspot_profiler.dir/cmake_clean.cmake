@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_profiler.dir/hotspot_profiler.cpp.o"
+  "CMakeFiles/hotspot_profiler.dir/hotspot_profiler.cpp.o.d"
+  "hotspot_profiler"
+  "hotspot_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

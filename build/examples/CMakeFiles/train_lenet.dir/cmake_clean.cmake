@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_lenet.dir/train_lenet.cpp.o"
+  "CMakeFiles/train_lenet.dir/train_lenet.cpp.o.d"
+  "train_lenet"
+  "train_lenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_lenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

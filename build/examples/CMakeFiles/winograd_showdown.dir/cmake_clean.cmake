@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winograd_showdown.dir/winograd_showdown.cpp.o"
+  "CMakeFiles/winograd_showdown.dir/winograd_showdown.cpp.o.d"
+  "winograd_showdown"
+  "winograd_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winograd_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

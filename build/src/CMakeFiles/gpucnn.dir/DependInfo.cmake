@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/conv_runner.cpp" "src/CMakeFiles/gpucnn.dir/analysis/conv_runner.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/analysis/conv_runner.cpp.o.d"
+  "/root/repo/src/analysis/layer_profiler.cpp" "src/CMakeFiles/gpucnn.dir/analysis/layer_profiler.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/analysis/layer_profiler.cpp.o.d"
+  "/root/repo/src/analysis/model_breakdown.cpp" "src/CMakeFiles/gpucnn.dir/analysis/model_breakdown.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/analysis/model_breakdown.cpp.o.d"
+  "/root/repo/src/analysis/recommend.cpp" "src/CMakeFiles/gpucnn.dir/analysis/recommend.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/analysis/recommend.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/gpucnn.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/CMakeFiles/gpucnn.dir/analysis/sweep.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/analysis/sweep.cpp.o.d"
+  "/root/repo/src/analysis/whatif.cpp" "src/CMakeFiles/gpucnn.dir/analysis/whatif.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/analysis/whatif.cpp.o.d"
+  "/root/repo/src/blas/cgemm.cpp" "src/CMakeFiles/gpucnn.dir/blas/cgemm.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/blas/cgemm.cpp.o.d"
+  "/root/repo/src/blas/gemm.cpp" "src/CMakeFiles/gpucnn.dir/blas/gemm.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/blas/gemm.cpp.o.d"
+  "/root/repo/src/blas/vector_ops.cpp" "src/CMakeFiles/gpucnn.dir/blas/vector_ops.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/blas/vector_ops.cpp.o.d"
+  "/root/repo/src/conv/conv_engine.cpp" "src/CMakeFiles/gpucnn.dir/conv/conv_engine.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/conv/conv_engine.cpp.o.d"
+  "/root/repo/src/conv/direct_conv.cpp" "src/CMakeFiles/gpucnn.dir/conv/direct_conv.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/conv/direct_conv.cpp.o.d"
+  "/root/repo/src/conv/fft_conv.cpp" "src/CMakeFiles/gpucnn.dir/conv/fft_conv.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/conv/fft_conv.cpp.o.d"
+  "/root/repo/src/conv/gemm_conv.cpp" "src/CMakeFiles/gpucnn.dir/conv/gemm_conv.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/conv/gemm_conv.cpp.o.d"
+  "/root/repo/src/conv/im2col.cpp" "src/CMakeFiles/gpucnn.dir/conv/im2col.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/conv/im2col.cpp.o.d"
+  "/root/repo/src/conv/implicit_gemm_conv.cpp" "src/CMakeFiles/gpucnn.dir/conv/implicit_gemm_conv.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/conv/implicit_gemm_conv.cpp.o.d"
+  "/root/repo/src/conv/tiled_fft_conv.cpp" "src/CMakeFiles/gpucnn.dir/conv/tiled_fft_conv.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/conv/tiled_fft_conv.cpp.o.d"
+  "/root/repo/src/conv/winograd_conv.cpp" "src/CMakeFiles/gpucnn.dir/conv/winograd_conv.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/conv/winograd_conv.cpp.o.d"
+  "/root/repo/src/core/shape.cpp" "src/CMakeFiles/gpucnn.dir/core/shape.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/core/shape.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/CMakeFiles/gpucnn.dir/core/tensor.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/core/tensor.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/CMakeFiles/gpucnn.dir/core/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/core/thread_pool.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/gpucnn.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/frameworks/caffe.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/caffe.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/caffe.cpp.o.d"
+  "/root/repo/src/frameworks/common.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/common.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/common.cpp.o.d"
+  "/root/repo/src/frameworks/cuda_convnet2.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/cuda_convnet2.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/cuda_convnet2.cpp.o.d"
+  "/root/repo/src/frameworks/cudnn.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/cudnn.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/cudnn.cpp.o.d"
+  "/root/repo/src/frameworks/fbfft.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/fbfft.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/fbfft.cpp.o.d"
+  "/root/repo/src/frameworks/registry.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/registry.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/registry.cpp.o.d"
+  "/root/repo/src/frameworks/theano_corrmm.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/theano_corrmm.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/theano_corrmm.cpp.o.d"
+  "/root/repo/src/frameworks/theano_fft.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/theano_fft.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/theano_fft.cpp.o.d"
+  "/root/repo/src/frameworks/torch_cunn.cpp" "src/CMakeFiles/gpucnn.dir/frameworks/torch_cunn.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/frameworks/torch_cunn.cpp.o.d"
+  "/root/repo/src/gpusim/exec_model.cpp" "src/CMakeFiles/gpucnn.dir/gpusim/exec_model.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/gpusim/exec_model.cpp.o.d"
+  "/root/repo/src/gpusim/kernel.cpp" "src/CMakeFiles/gpucnn.dir/gpusim/kernel.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/gpusim/kernel.cpp.o.d"
+  "/root/repo/src/gpusim/memory_tracker.cpp" "src/CMakeFiles/gpucnn.dir/gpusim/memory_tracker.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/gpusim/memory_tracker.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/CMakeFiles/gpucnn.dir/gpusim/occupancy.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/gpusim/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/profiler.cpp" "src/CMakeFiles/gpucnn.dir/gpusim/profiler.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/gpusim/profiler.cpp.o.d"
+  "/root/repo/src/gpusim/timeline.cpp" "src/CMakeFiles/gpucnn.dir/gpusim/timeline.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/gpusim/timeline.cpp.o.d"
+  "/root/repo/src/gpusim/transfer.cpp" "src/CMakeFiles/gpucnn.dir/gpusim/transfer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/gpusim/transfer.cpp.o.d"
+  "/root/repo/src/nn/activation_layer.cpp" "src/CMakeFiles/gpucnn.dir/nn/activation_layer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/activation_layer.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/gpucnn.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/conv_layer.cpp" "src/CMakeFiles/gpucnn.dir/nn/conv_layer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/conv_layer.cpp.o.d"
+  "/root/repo/src/nn/dropout_layer.cpp" "src/CMakeFiles/gpucnn.dir/nn/dropout_layer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/dropout_layer.cpp.o.d"
+  "/root/repo/src/nn/fc_layer.cpp" "src/CMakeFiles/gpucnn.dir/nn/fc_layer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/fc_layer.cpp.o.d"
+  "/root/repo/src/nn/inception_layer.cpp" "src/CMakeFiles/gpucnn.dir/nn/inception_layer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/inception_layer.cpp.o.d"
+  "/root/repo/src/nn/lrn_layer.cpp" "src/CMakeFiles/gpucnn.dir/nn/lrn_layer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/lrn_layer.cpp.o.d"
+  "/root/repo/src/nn/model_spec.cpp" "src/CMakeFiles/gpucnn.dir/nn/model_spec.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/model_spec.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/gpucnn.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/pool_layer.cpp" "src/CMakeFiles/gpucnn.dir/nn/pool_layer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/pool_layer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/gpucnn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/CMakeFiles/gpucnn.dir/nn/sgd.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/sgd.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/CMakeFiles/gpucnn.dir/nn/softmax.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/softmax.cpp.o.d"
+  "/root/repo/src/nn/synthetic_data.cpp" "src/CMakeFiles/gpucnn.dir/nn/synthetic_data.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/synthetic_data.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/gpucnn.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/gpucnn.dir/nn/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cgemm.cpp" "tests/CMakeFiles/test_blas.dir/test_cgemm.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/test_cgemm.cpp.o.d"
+  "/root/repo/tests/test_gemm.cpp" "tests/CMakeFiles/test_blas.dir/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/test_gemm.cpp.o.d"
+  "/root/repo/tests/test_vector_ops.cpp" "tests/CMakeFiles/test_blas.dir/test_vector_ops.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/test_vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpucnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

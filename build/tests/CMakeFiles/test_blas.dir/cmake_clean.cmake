@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas.dir/test_cgemm.cpp.o"
+  "CMakeFiles/test_blas.dir/test_cgemm.cpp.o.d"
+  "CMakeFiles/test_blas.dir/test_gemm.cpp.o"
+  "CMakeFiles/test_blas.dir/test_gemm.cpp.o.d"
+  "CMakeFiles/test_blas.dir/test_vector_ops.cpp.o"
+  "CMakeFiles/test_blas.dir/test_vector_ops.cpp.o.d"
+  "test_blas"
+  "test_blas.pdb"
+  "test_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_conv_agreement.cpp" "tests/CMakeFiles/test_conv.dir/test_conv_agreement.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_conv_agreement.cpp.o.d"
+  "/root/repo/tests/test_conv_property.cpp" "tests/CMakeFiles/test_conv.dir/test_conv_property.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_conv_property.cpp.o.d"
+  "/root/repo/tests/test_direct_conv.cpp" "tests/CMakeFiles/test_conv.dir/test_direct_conv.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_direct_conv.cpp.o.d"
+  "/root/repo/tests/test_grouped_conv.cpp" "tests/CMakeFiles/test_conv.dir/test_grouped_conv.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_grouped_conv.cpp.o.d"
+  "/root/repo/tests/test_im2col.cpp" "tests/CMakeFiles/test_conv.dir/test_im2col.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_im2col.cpp.o.d"
+  "/root/repo/tests/test_implicit_gemm.cpp" "tests/CMakeFiles/test_conv.dir/test_implicit_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_implicit_gemm.cpp.o.d"
+  "/root/repo/tests/test_tiled_fft.cpp" "tests/CMakeFiles/test_conv.dir/test_tiled_fft.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_tiled_fft.cpp.o.d"
+  "/root/repo/tests/test_winograd.cpp" "tests/CMakeFiles/test_conv.dir/test_winograd.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_winograd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpucnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv.dir/test_conv_agreement.cpp.o"
+  "CMakeFiles/test_conv.dir/test_conv_agreement.cpp.o.d"
+  "CMakeFiles/test_conv.dir/test_conv_property.cpp.o"
+  "CMakeFiles/test_conv.dir/test_conv_property.cpp.o.d"
+  "CMakeFiles/test_conv.dir/test_direct_conv.cpp.o"
+  "CMakeFiles/test_conv.dir/test_direct_conv.cpp.o.d"
+  "CMakeFiles/test_conv.dir/test_grouped_conv.cpp.o"
+  "CMakeFiles/test_conv.dir/test_grouped_conv.cpp.o.d"
+  "CMakeFiles/test_conv.dir/test_im2col.cpp.o"
+  "CMakeFiles/test_conv.dir/test_im2col.cpp.o.d"
+  "CMakeFiles/test_conv.dir/test_implicit_gemm.cpp.o"
+  "CMakeFiles/test_conv.dir/test_implicit_gemm.cpp.o.d"
+  "CMakeFiles/test_conv.dir/test_tiled_fft.cpp.o"
+  "CMakeFiles/test_conv.dir/test_tiled_fft.cpp.o.d"
+  "CMakeFiles/test_conv.dir/test_winograd.cpp.o"
+  "CMakeFiles/test_conv.dir/test_winograd.cpp.o.d"
+  "test_conv"
+  "test_conv.pdb"
+  "test_conv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

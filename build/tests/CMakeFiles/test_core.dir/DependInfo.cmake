@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_error.cpp" "tests/CMakeFiles/test_core.dir/test_error.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_error.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_core.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_shape.cpp" "tests/CMakeFiles/test_core.dir/test_shape.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_shape.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/test_core.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/test_core.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpucnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_error.cpp.o"
+  "CMakeFiles/test_core.dir/test_error.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_rng.cpp.o"
+  "CMakeFiles/test_core.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_shape.cpp.o"
+  "CMakeFiles/test_core.dir/test_shape.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_tensor.cpp.o"
+  "CMakeFiles/test_core.dir/test_tensor.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/test_core.dir/test_thread_pool.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

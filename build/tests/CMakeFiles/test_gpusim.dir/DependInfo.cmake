@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_devices.cpp" "tests/CMakeFiles/test_gpusim.dir/test_devices.cpp.o" "gcc" "tests/CMakeFiles/test_gpusim.dir/test_devices.cpp.o.d"
+  "/root/repo/tests/test_exec_model.cpp" "tests/CMakeFiles/test_gpusim.dir/test_exec_model.cpp.o" "gcc" "tests/CMakeFiles/test_gpusim.dir/test_exec_model.cpp.o.d"
+  "/root/repo/tests/test_memory_tracker.cpp" "tests/CMakeFiles/test_gpusim.dir/test_memory_tracker.cpp.o" "gcc" "tests/CMakeFiles/test_gpusim.dir/test_memory_tracker.cpp.o.d"
+  "/root/repo/tests/test_occupancy.cpp" "tests/CMakeFiles/test_gpusim.dir/test_occupancy.cpp.o" "gcc" "tests/CMakeFiles/test_gpusim.dir/test_occupancy.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/test_gpusim.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/test_gpusim.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_timeline.cpp" "tests/CMakeFiles/test_gpusim.dir/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_gpusim.dir/test_timeline.cpp.o.d"
+  "/root/repo/tests/test_transfer.cpp" "tests/CMakeFiles/test_gpusim.dir/test_transfer.cpp.o" "gcc" "tests/CMakeFiles/test_gpusim.dir/test_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpucnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim.dir/test_devices.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_devices.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_exec_model.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_exec_model.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_memory_tracker.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_memory_tracker.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_occupancy.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_occupancy.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_profiler.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_profiler.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_timeline.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_timeline.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_transfer.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_transfer.cpp.o.d"
+  "test_gpusim"
+  "test_gpusim.pdb"
+  "test_gpusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

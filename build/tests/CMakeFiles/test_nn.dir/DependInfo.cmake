@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adam.cpp" "tests/CMakeFiles/test_nn.dir/test_adam.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_adam.cpp.o.d"
+  "/root/repo/tests/test_inception.cpp" "tests/CMakeFiles/test_nn.dir/test_inception.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_inception.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/test_nn.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/test_nn.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/test_nn.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/test_nn.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_synthetic_data.cpp" "tests/CMakeFiles/test_nn.dir/test_synthetic_data.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_synthetic_data.cpp.o.d"
+  "/root/repo/tests/test_trainer.cpp" "tests/CMakeFiles/test_nn.dir/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpucnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/test_adam.cpp.o"
+  "CMakeFiles/test_nn.dir/test_adam.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_inception.cpp.o"
+  "CMakeFiles/test_nn.dir/test_inception.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_models.cpp.o"
+  "CMakeFiles/test_nn.dir/test_models.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_network.cpp.o"
+  "CMakeFiles/test_nn.dir/test_network.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_serialize.cpp.o"
+  "CMakeFiles/test_nn.dir/test_serialize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_synthetic_data.cpp.o"
+  "CMakeFiles/test_nn.dir/test_synthetic_data.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_trainer.cpp.o"
+  "CMakeFiles/test_nn.dir/test_trainer.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
