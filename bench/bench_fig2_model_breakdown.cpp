@@ -9,6 +9,7 @@
 
 #include "analysis/model_breakdown.hpp"
 #include "analysis/report.hpp"
+#include "obs/exporter.hpp"
 
 namespace {
 
@@ -25,7 +26,11 @@ constexpr LayerSpec::Kind kKinds[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = obs::ExportOptions::parse(argc, argv);
+  obs::RunExporter exporter(opts, "bench_fig2_model_breakdown");
+  exporter.annotate("device", gpusim::tesla_k40c().name);
+
   std::cout << "Reproduction of Figure 2 (ICPP'16 GPU-CNN study): per-layer-"
                "type runtime breakdown of one training iteration.\n"
                "Paper anchors: conv share 86% / 89% / 90% / 94% for "
@@ -44,6 +49,7 @@ int main() {
     table.row(row);
   }
   table.print(std::cout);
+  export_table(exporter, table, "fig2_breakdown");
 
   // Per-layer detail for AlexNet (the paper's headline model).
   const auto alex = breakdown_model(nn::alexnet());
@@ -54,5 +60,6 @@ int main() {
                 fmt(l.time_ms, 2)});
   }
   detail.print(std::cout);
+  export_table(exporter, detail, "fig2_alexnet_layers");
   return 0;
 }

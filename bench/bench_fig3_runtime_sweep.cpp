@@ -10,6 +10,7 @@
 
 #include "analysis/report.hpp"
 #include "analysis/sweep.hpp"
+#include "obs/exporter.hpp"
 
 namespace {
 
@@ -45,7 +46,7 @@ double fbfft_speedup(const SweepPoint& p) {
   return best_other / fb->runtime_ms;
 }
 
-void print_sweep(const SweepSpec& spec) {
+void print_sweep(const SweepSpec& spec, obs::RunExporter& exporter) {
   const auto points = run_sweep(spec);
   Table table("Fig. 3: runtime (ms) vs " + to_string(spec.parameter) +
               ", base " + base_config().to_string());
@@ -62,6 +63,8 @@ void print_sweep(const SweepSpec& spec) {
     table.row(row);
   }
   table.print(std::cout);
+  export_table(exporter, table,
+               "fig3_" + obs::sanitize_column(to_string(spec.parameter)));
 
   if (spec.parameter == SweepParameter::kBatch ||
       spec.parameter == SweepParameter::kInput) {
@@ -93,10 +96,15 @@ void print_sweep(const SweepSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = obs::ExportOptions::parse(argc, argv);
+  obs::RunExporter exporter(opts, "bench_fig3_runtime_sweep");
+  exporter.annotate("device", gpusim::tesla_k40c().name);
+  exporter.annotate("base_config", base_config().to_string());
+
   std::cout << "Reproduction of Figure 3 (ICPP'16 GPU-CNN study): runtime of "
                "one training iteration\nof a single convolutional layer, "
                "simulated on a Tesla K40c device model.\n";
-  for (const auto& spec : paper_sweeps()) print_sweep(spec);
+  for (const auto& spec : paper_sweeps()) print_sweep(spec, exporter);
   return 0;
 }

@@ -15,13 +15,19 @@
 #include "analysis/conv_runner.hpp"
 #include "analysis/report.hpp"
 #include "analysis/sweep.hpp"
+#include "obs/exporter.hpp"
 
 namespace {
 
 using namespace gpucnn;
 using namespace gpucnn::analysis;
 
-void print_breakdown(const LayerResult& r) {
+void print_breakdown(const LayerResult& r, Table& combined) {
+  for (const auto& h : r.hotspots) {
+    combined.row({std::string(frameworks::to_string(r.framework)), h.name,
+                  gpusim::to_string(h.kind), std::to_string(h.launches),
+                  fmt(h.total_ms, 3), fmt(h.share, 4)});
+  }
   Table table(std::string("Fig. 4: hotspot kernels of ") +
               std::string(frameworks::to_string(r.framework)) + " at " +
               r.config.to_string());
@@ -55,15 +61,24 @@ void print_breakdown(const LayerResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = obs::ExportOptions::parse(argc, argv);
+  obs::RunExporter exporter(opts, "bench_fig4_hotspot_kernels");
+  exporter.annotate("device", gpusim::tesla_k40c().name);
+  exporter.annotate("base_config", base_config().to_string());
+
   std::cout << "Reproduction of Figure 4 (ICPP'16 GPU-CNN study): hotspot "
                "kernel breakdown at the representative configuration.\n"
                "Paper anchors: GEMM share 87%/83%/80% for "
                "Caffe/Torch-cunn/Theano-CorrMM.\n";
   const ConvConfig cfg = base_config();
+  Table combined("Fig. 4: hotspot kernels at " + cfg.to_string());
+  combined.header({"implementation", "kernel", "class", "launches",
+                   "time (ms)", "share"});
   for (const auto& r : evaluate_all(cfg)) {
     if (!r.supported) continue;
-    print_breakdown(r);
+    print_breakdown(r, combined);
   }
+  export_table(exporter, combined, "fig4_hotspots");
   return 0;
 }

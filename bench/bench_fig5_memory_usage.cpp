@@ -14,6 +14,7 @@
 
 #include "analysis/report.hpp"
 #include "analysis/sweep.hpp"
+#include "obs/exporter.hpp"
 
 namespace {
 
@@ -27,7 +28,7 @@ std::string cell(const LayerResult& r) {
   return s;
 }
 
-void print_sweep(const SweepSpec& spec) {
+void print_sweep(const SweepSpec& spec, obs::RunExporter& exporter) {
   const auto points = run_sweep(spec);
   Table table("Fig. 5: peak GPU memory (MB) vs " +
               to_string(spec.parameter) + ", base " +
@@ -43,9 +44,11 @@ void print_sweep(const SweepSpec& spec) {
     table.row(row);
   }
   table.print(std::cout);
+  export_table(exporter, table,
+               "fig5_" + obs::sanitize_column(to_string(spec.parameter)));
 }
 
-void print_band_summary() {
+void print_band_summary(obs::RunExporter& exporter) {
   struct Band {
     double lo = std::numeric_limits<double>::max();
     double hi = 0.0;
@@ -72,14 +75,20 @@ void print_band_summary() {
                fmt(bands[i].lo, 0), fmt(bands[i].hi, 0), paper[i]});
   }
   table.print(std::cout);
+  export_table(exporter, table, "fig5_bands");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = obs::ExportOptions::parse(argc, argv);
+  obs::RunExporter exporter(opts, "bench_fig5_memory_usage");
+  exporter.annotate("device", gpusim::tesla_k40c().name);
+  exporter.annotate("base_config", base_config().to_string());
+
   std::cout << "Reproduction of Figure 5 (ICPP'16 GPU-CNN study): peak device "
                "memory across the five parameter sweeps.\n";
-  for (const auto& spec : paper_sweeps()) print_sweep(spec);
-  print_band_summary();
+  for (const auto& spec : paper_sweeps()) print_sweep(spec, exporter);
+  print_band_summary(exporter);
   return 0;
 }

@@ -16,26 +16,28 @@
 
 #include "analysis/conv_runner.hpp"
 #include "analysis/report.hpp"
+#include "obs/exporter.hpp"
 
 namespace {
 
 using namespace gpucnn;
 using namespace gpucnn::analysis;
 
-void print_table1() {
+void print_table1(obs::RunExporter& exporter) {
   Table table("Table I: convolution configurations for benchmarking");
-  table.header({"Layer", "Configuration (b,i,f,k,s)", "channels"});
+  table.header({"layer", "configuration", "channels"});
   for (std::size_t i = 0; i < TableOne::kCount; ++i) {
     const auto cfg = TableOne::layer(i);
     table.row({TableOne::name(i), cfg.to_string(),
                std::to_string(cfg.channels)});
   }
   table.print(std::cout);
+  export_table(exporter, table, "table1_configs");
 }
 
-void print_table2() {
+void print_table2(obs::RunExporter& exporter) {
   Table table("Table II: registers per thread and shared memory per block");
-  table.header({"Implementation", "Registers", "Shared Memory (KB)"});
+  table.header({"implementation", "registers", "shared memory (KB)"});
   for (const auto id : frameworks::all_frameworks()) {
     const auto& fw = frameworks::framework(id);
     table.row({std::string(fw.name()),
@@ -43,9 +45,10 @@ void print_table2() {
                fmt(fw.table2_smem_kb(), 1)});
   }
   table.print(std::cout);
+  export_table(exporter, table, "table2_resources");
 }
 
-void print_metric_rows(std::size_t layer) {
+void print_metric_rows(std::size_t layer, Table& combined) {
   const auto cfg = TableOne::layer(layer);
   Table table("Fig. 6 @ " + TableOne::name(layer) + " " + cfg.to_string());
   table.header({"implementation", "runtime(ms)", "occ(%)", "ipc", "wee(%)",
@@ -62,11 +65,17 @@ void print_metric_rows(std::size_t layer) {
                fmt(m.ipc, 2), fmt(m.warp_execution_efficiency, 1),
                fmt(m.gld_efficiency, 1), fmt(m.gst_efficiency, 1),
                fmt(m.shared_efficiency, 1)});
+    combined.row({TableOne::name(layer),
+                  std::string(frameworks::to_string(r.framework)),
+                  fmt(r.kernel_ms, 2), fmt(m.achieved_occupancy, 2),
+                  fmt(m.ipc, 3), fmt(m.warp_execution_efficiency, 2),
+                  fmt(m.gld_efficiency, 2), fmt(m.gst_efficiency, 2),
+                  fmt(m.shared_efficiency, 2)});
   }
   table.print(std::cout);
 }
 
-void print_bank_conflict_events() {
+void print_bank_conflict_events(obs::RunExporter& exporter) {
   // The two nvprof *events* the paper collects alongside the metrics.
   const auto cfg = TableOne::layer(0);
   Table table(
@@ -87,17 +96,28 @@ void print_bank_conflict_events() {
                fmt(ld / 1e6, 1), fmt(st / 1e6, 1)});
   }
   table.print(std::cout);
+  export_table(exporter, table, "fig6_bank_conflicts");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = obs::ExportOptions::parse(argc, argv);
+  obs::RunExporter exporter(opts, "bench_fig6_gpu_metrics");
+  exporter.annotate("device", gpusim::tesla_k40c().name);
+
   std::cout << "Reproduction of Figure 6 and Tables I-II (ICPP'16 GPU-CNN "
                "study): nvprof-style metrics\nover the five benchmark "
                "configurations, runtime-weighted across top kernels.\n";
-  print_table1();
-  print_table2();
-  for (std::size_t i = 0; i < TableOne::kCount; ++i) print_metric_rows(i);
-  print_bank_conflict_events();
+  print_table1(exporter);
+  print_table2(exporter);
+  Table combined("Fig. 6: runtime-weighted nvprof metrics over Table I");
+  combined.header({"layer", "implementation", "runtime (ms)", "occupancy",
+                   "ipc", "wee", "gld", "gst", "shared"});
+  for (std::size_t i = 0; i < TableOne::kCount; ++i) {
+    print_metric_rows(i, combined);
+  }
+  export_table(exporter, combined, "fig6_metrics");
+  print_bank_conflict_events(exporter);
   return 0;
 }

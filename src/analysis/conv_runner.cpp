@@ -1,6 +1,8 @@
 #include "analysis/conv_runner.hpp"
 
 #include "gpusim/memory_tracker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpucnn::analysis {
 
@@ -23,9 +25,15 @@ LayerResult evaluate(frameworks::FrameworkId id, const ConvConfig& cfg,
   result.framework = id;
   result.config = cfg;
 
+  const std::string fw_name(frameworks::to_string(id));
+  obs::Span span(obs::tracer(), "evaluate " + fw_name, "analysis");
+  span.arg("config", cfg.to_string());
+  obs::metrics().counter("analysis.evaluate.calls").add(1);
+
   const auto& fw = frameworks::framework(id);
   const auto support = fw.supports(cfg);
   if (!support.ok) {
+    obs::metrics().counter("analysis.evaluate.unsupported").add(1);
     result.supported = false;
     result.unsupported_reason = support.reason;
     return result;
@@ -57,6 +65,18 @@ LayerResult evaluate(frameworks::FrameworkId id, const ConvConfig& cfg,
   result.transfer_share = profiler.transfer_share();
   result.hotspots = profiler.hotspots();
   result.metrics = profiler.weighted_metrics();
+
+  if (result.out_of_memory) {
+    obs::metrics().counter("analysis.evaluate.oom").add(1);
+  }
+  obs::metrics()
+      .histogram("analysis.evaluate.runtime_ms")
+      .record(result.runtime_ms);
+  obs::metrics().histogram("analysis.evaluate.peak_mb").record(result.peak_mb);
+  obs::metrics()
+      .histogram("analysis.evaluate.transfer_share")
+      .record(result.transfer_share);
+  profiler.replay_trace(obs::tracer(), fw_name + " " + cfg.to_string());
   return result;
 }
 

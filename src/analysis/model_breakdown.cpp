@@ -1,6 +1,8 @@
 #include "analysis/model_breakdown.hpp"
 
 #include "gpusim/profiler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpucnn::analysis {
 namespace {
@@ -92,13 +94,18 @@ double ModelBreakdown::share(nn::LayerSpec::Kind k) const {
 ModelBreakdown breakdown_model(const nn::ModelSpec& model,
                                frameworks::FrameworkId conv_framework,
                                const gpusim::DeviceSpec& dev) {
+  obs::Span span(obs::tracer(), "breakdown " + model.name, "analysis");
+  obs::metrics().counter("analysis.breakdown.models").add(1);
   ModelBreakdown out;
   out.model = model.name;
   for (const auto& l : model.layers) {
+    obs::Span layer_span(obs::tracer(), model.name + "/" + l.name,
+                         "analysis");
     LayerTime t;
     t.name = l.name;
     t.kind = l.kind;
     t.time_ms = layer_time_ms(l, conv_framework, dev);
+    layer_span.arg("simulated_ms", std::to_string(t.time_ms));
     out.by_kind[l.kind] += t.time_ms;
     out.total_ms += t.time_ms;
     out.layers.push_back(std::move(t));

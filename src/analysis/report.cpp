@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/exporter.hpp"
+
 namespace gpucnn::analysis {
 
 Table& Table::header(std::vector<std::string> cells) {
@@ -73,6 +75,12 @@ void write_csv_row(std::ostream& os, const std::vector<std::string>& row) {
 void Table::to_csv(std::ostream& os) const {
   if (!header_.empty()) write_csv_row(os, header_);
   for (const auto& r : rows_) write_csv_row(os, r);
+}
+
+void export_table(obs::RunExporter& exporter, const Table& table,
+                  const std::string& stem) {
+  exporter.add_table(stem, table.title(), table.header_cells(),
+                     table.data_rows());
 }
 
 std::string fmt(double value, int digits) {

@@ -6,6 +6,10 @@
 #include <string>
 #include <vector>
 
+namespace gpucnn::obs {
+class RunExporter;
+}
+
 namespace gpucnn::analysis {
 
 /// A simple column-aligned table with a title, header row and data rows.
@@ -24,12 +28,26 @@ class Table {
   void to_csv(std::ostream& os) const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header_cells() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data_rows()
+      const {
+    return rows_;
+  }
 
  private:
   std::string title_;
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Registers `table` with a run exporter under `<stem>.csv` / `<stem>.json`
+/// (schema: docs/METRICS.md); the table's title becomes the artifact
+/// description. No-op when the exporter is inactive.
+void export_table(obs::RunExporter& exporter, const Table& table,
+                  const std::string& stem);
 
 /// Formats a double with `digits` decimals.
 [[nodiscard]] std::string fmt(double value, int digits = 1);

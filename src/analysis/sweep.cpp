@@ -1,6 +1,8 @@
 #include "analysis/sweep.hpp"
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpucnn::analysis {
 
@@ -64,9 +66,16 @@ std::vector<SweepSpec> paper_sweeps() {
 }
 
 std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
+  obs::Span span(obs::tracer(), "sweep " + to_string(spec.parameter),
+                 "analysis");
   std::vector<SweepPoint> points;
   points.reserve(spec.values.size());
   for (const std::size_t value : spec.values) {
+    obs::Span point_span(obs::tracer(),
+                         to_string(spec.parameter) + "=" +
+                             std::to_string(value),
+                         "analysis");
+    obs::metrics().counter("analysis.sweep.points").add(1);
     SweepPoint point;
     point.value = value;
     point.config = spec.config_for(value);

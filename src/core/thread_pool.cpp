@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gpucnn {
 namespace {
 // Set while a thread is executing pool work; nested parallel_for calls
@@ -40,6 +43,11 @@ void ThreadPool::run_task(const Task& task) {
   const bool was_in_task = tls_in_pool_task;
   tls_in_pool_task = true;
   try {
+    // One span per chunk on the executing thread's track, so a trace
+    // shows how evenly the pool's workers are loaded.
+    obs::Span span(obs::tracer(),
+                   "chunk[" + std::to_string(task.end - task.begin) + "]",
+                   "core");
     (*task.body)(task.begin, task.end);
   } catch (...) {
     error = std::current_exception();
@@ -78,6 +86,12 @@ void ThreadPool::parallel_for_chunks(
     body(begin, end);
     return;
   }
+  obs::metrics().counter("core.parallel_for.calls").add(1);
+  obs::metrics()
+      .histogram("core.parallel_for.items")
+      .record(static_cast<double>(end - begin));
+  obs::Span span(obs::tracer(),
+                 "parallel_for[" + std::to_string(end - begin) + "]", "core");
   const std::size_t total = end - begin;
   const std::size_t chunks = std::min(total, workers_.size());
   const std::size_t base = total / chunks;

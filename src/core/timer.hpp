@@ -18,6 +18,13 @@ class Timer {
         .count();
   }
 
+  /// Elapsed microseconds; the timebase of obs trace events, which the
+  /// Chrome trace_event format expresses in us.
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_)
+        .count();
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;

@@ -42,6 +42,7 @@ class Caffe final : public Framework {
     return {};  // unrolling supports any shape (paper §IV.B summary)
   }
   [[nodiscard]] ExecutionPlan plan(const ConvConfig& cfg) const override {
+    const PlanScope obs_scope("caffe");
     return make_unrolling_plan(cfg, caffe_traits(), "caffe");
   }
   [[nodiscard]] const conv::ConvEngine& engine() const override {

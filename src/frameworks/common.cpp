@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace gpucnn::frameworks::detail {
+
+PlanScope::PlanScope(const char* framework)
+    : span(obs::tracer(), std::string("plan ") + framework, "frameworks") {
+  obs::metrics().counter("frameworks.plan.calls").add(1);
+}
 
 double input_bytes(const ConvConfig& cfg) {
   return static_cast<double>(cfg.input_shape().count()) * kFloatBytes;

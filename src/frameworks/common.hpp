@@ -13,8 +13,16 @@
 #include "core/shape.hpp"
 #include "frameworks/framework.hpp"
 #include "gpusim/kernel.hpp"
+#include "obs/trace.hpp"
 
 namespace gpucnn::frameworks::detail {
+
+/// Observability scope entered by every implementation's plan(): a trace
+/// span on the calling thread plus the frameworks.plan.calls counter.
+struct PlanScope {
+  explicit PlanScope(const char* framework);
+  obs::Span span;
+};
 
 inline constexpr double kFloatBytes = 4.0;
 

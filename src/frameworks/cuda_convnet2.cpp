@@ -73,6 +73,7 @@ class CudaConvnet2 final : public Framework {
   }
 
   [[nodiscard]] ExecutionPlan plan(const ConvConfig& cfg) const override {
+    const PlanScope obs_scope("cuda-convnet2");
     const auto support = supports(cfg);
     check(support.ok, "cuda-convnet2: " + support.reason);
     ExecutionPlan plan;

@@ -98,6 +98,7 @@ class Cudnn final : public Framework {
   }
 
   [[nodiscard]] ExecutionPlan plan(const ConvConfig& cfg) const override {
+    const PlanScope obs_scope("cudnn");
     ExecutionPlan plan;
     plan.kernels.push_back(tagged(
         cudnn_precompute(cfg, "cudnn_transform.fwd"),

@@ -199,6 +199,7 @@ class Fbfft final : public Framework {
   }
 
   [[nodiscard]] ExecutionPlan plan(const ConvConfig& cfg) const override {
+    const PlanScope obs_scope("fbfft");
     const auto support = supports(cfg);
     check(support.ok, "fbfft: " + support.reason);
     const TilePlan tiles = fbfft_tile_plan(cfg);

@@ -46,6 +46,7 @@ class TheanoCorrMM final : public Framework {
     return {};
   }
   [[nodiscard]] ExecutionPlan plan(const ConvConfig& cfg) const override {
+    const PlanScope obs_scope("theano-corrmm");
     return make_unrolling_plan(cfg, corrmm_traits(), "corrmm");
   }
   [[nodiscard]] const conv::ConvEngine& engine() const override {

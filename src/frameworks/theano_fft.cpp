@@ -130,6 +130,7 @@ class TheanoFft final : public Framework {
   }
 
   [[nodiscard]] ExecutionPlan plan(const ConvConfig& cfg) const override {
+    const PlanScope obs_scope("theano-fft");
     const auto support = supports(cfg);
     check(support.ok, "theano-fft: " + support.reason);
     const auto t_int = cufft_size(cfg);

@@ -41,6 +41,7 @@ class TorchCunn final : public Framework {
     return {};
   }
   [[nodiscard]] ExecutionPlan plan(const ConvConfig& cfg) const override {
+    const PlanScope obs_scope("torch-cunn");
     ExecutionPlan plan = make_unrolling_plan(cfg, torch_traits(), "torch");
     // SpatialConvolutionMM keeps a second lowered buffer (fgradInput).
     plan.memory.push_back({"torch:fgradInput-workspace",

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+
 namespace gpucnn::gpusim {
 
 const KernelMetrics& Profiler::launch(const KernelProfile& profile) {
   LaunchRecord rec;
   rec.profile = profile;
   rec.metrics = simulate_kernel(dev_, profile);
+  obs::metrics().counter("sim.kernel.launches").add(1);
+  obs::metrics()
+      .histogram("sim.kernel.duration_ms")
+      .record(rec.metrics.duration_ms);
   records_.push_back(std::move(rec));
   return records_.back().metrics;
 }
@@ -98,6 +104,51 @@ WeightedMetrics Profiler::weighted_metrics(double coverage) const {
 void Profiler::reset() {
   records_.clear();
   transfers_.clear();
+}
+
+void Profiler::replay_trace(obs::Tracer& tracer,
+                            const std::string& label) const {
+  if (!tracer.enabled()) return;
+  const auto gpu = tracer.virtual_track("sim:gpu");
+  const auto pcie = tracer.virtual_track("sim:pcie");
+  // Start both tracks together so the region's copies line up under it.
+  const double t0 = std::max(tracer.cursor_us(gpu), tracer.cursor_us(pcie));
+  tracer.advance_cursor(gpu, t0);
+  tracer.advance_cursor(pcie, t0);
+
+  const double total_us = total_ms() * 1e3;
+  tracer.complete_event(gpu, label, "sim.region", t0, total_us,
+                        {{"kernel_ms", std::to_string(kernel_ms())},
+                         {"transfer_ms", std::to_string(transfer_ms())},
+                         {"device", dev_.name}});
+  for (const auto& r : records_) {
+    tracer.append_at_cursor(
+        gpu, r.profile.name, "sim.kernel", r.metrics.duration_ms * 1e3,
+        {{"class", to_string(r.profile.kind)},
+         {"pass", to_string(r.profile.pass)},
+         {"bottleneck", to_string(r.metrics.bottleneck)},
+         {"achieved_occupancy", std::to_string(r.metrics.achieved_occupancy)},
+         {"ipc", std::to_string(r.metrics.ipc)}});
+  }
+  if (transfer_ms() > 0.0) {
+    tracer.append_at_cursor(gpu, "exposed transfers", "sim.transfer",
+                            transfer_ms() * 1e3);
+  }
+  for (const auto& t : transfers_) {
+    tracer.append_at_cursor(
+        pcie, t.label.empty() ? "copy" : t.label, "sim.transfer",
+        raw_transfer_ms(dev_, t) * 1e3,
+        {{"direction", t.direction == TransferDirection::kHostToDevice
+                           ? "host_to_device"
+                           : "device_to_host"},
+         {"bytes", std::to_string(t.bytes)},
+         {"pinned", t.pinned ? "true" : "false"},
+         {"overlap", std::to_string(t.overlap)},
+         {"exposed_ms", std::to_string(exposed_transfer_ms(dev_, t))}});
+  }
+  // Close the region: both tracks resume after it.
+  tracer.advance_cursor(gpu, t0 + total_us);
+  tracer.advance_cursor(pcie, t0 + total_us);
 }
 
 }  // namespace gpucnn::gpusim

@@ -14,6 +14,7 @@
 
 #include "gpusim/exec_model.hpp"
 #include "gpusim/transfer.hpp"
+#include "obs/trace.hpp"
 
 namespace gpucnn::gpusim {
 
@@ -73,6 +74,15 @@ class Profiler {
   /// `coverage` of kernel time (Fig. 6; the paper weights "top kernels"
   /// by their runtime share).
   [[nodiscard]] WeightedMetrics weighted_metrics(double coverage = 0.9) const;
+
+  /// Replays the recorded launches and transfers onto the tracer's
+  /// virtual "sim:gpu" and "sim:pcie" tracks in *simulated* time: an
+  /// enclosing region named `label`, every kernel back to back, then the
+  /// exposed-transfer tail (so the region's extent equals total_ms());
+  /// raw copies ride the pcie track. Successive replays append after
+  /// whatever is already on the tracks, forming one continuous simulated
+  /// timeline. No-op while the tracer is disabled.
+  void replay_trace(obs::Tracer& tracer, const std::string& label) const;
 
   void reset();
 

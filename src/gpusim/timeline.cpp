@@ -39,4 +39,36 @@ TimelineResult schedule(std::span<const TimelineItem> items) {
   return result;
 }
 
+void append_trace(obs::Tracer& tracer, std::span<const TimelineItem> items,
+                  const TimelineResult& result, const std::string& prefix) {
+  if (!tracer.enabled() || items.empty()) return;
+  check(result.start_ms.size() == items.size() &&
+            result.end_ms.size() == items.size(),
+        "schedule result does not match the item list");
+
+  // One virtual track per stream, shifted past whatever is already there.
+  std::map<std::size_t, std::uint32_t> tracks;
+  double offset_us = 0.0;
+  for (const auto& item : items) {
+    if (tracks.contains(item.stream)) continue;
+    const auto track = tracer.virtual_track(
+        prefix + ":stream" + std::to_string(item.stream));
+    tracks.emplace(item.stream, track);
+    offset_us = std::max(offset_us, tracer.cursor_us(track));
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    tracer.complete_event(
+        tracks.at(item.stream), item.label,
+        item.kind == TimelineItem::Kind::kKernel ? "sim.kernel"
+                                                 : "sim.transfer",
+        offset_us + result.start_ms[i] * 1e3,
+        (result.end_ms[i] - result.start_ms[i]) * 1e3,
+        {{"stream", std::to_string(item.stream)}});
+  }
+  for (const auto& [stream, track] : tracks) {
+    tracer.advance_cursor(track, offset_us + result.makespan_ms * 1e3);
+  }
+}
+
 }  // namespace gpucnn::gpusim

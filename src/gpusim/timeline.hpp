@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace gpucnn::gpusim {
 
 struct TimelineItem {
@@ -39,5 +41,12 @@ struct TimelineResult {
 /// references (an item may only depend on earlier items) or negative
 /// durations.
 [[nodiscard]] TimelineResult schedule(std::span<const TimelineItem> items);
+
+/// Renders a scheduled timeline onto the tracer's virtual tracks
+/// "<prefix>:stream<s>", one per stream, using the schedule's simulated
+/// start/end times. Appends after anything already on those tracks.
+/// No-op while the tracer is disabled.
+void append_trace(obs::Tracer& tracer, std::span<const TimelineItem> items,
+                  const TimelineResult& result, const std::string& prefix);
 
 }  // namespace gpucnn::gpusim

@@ -1,0 +1,160 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace gpucnn::obs {
+
+Json& Json::set(std::string key, Json value) {
+  check(type_ == Type::kObject, "Json::set on a non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::push(Json value) {
+  check(type_ == Type::kArray, "Json::push on a non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray:
+      return items_.size();
+    case Type::kObject:
+      return members_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+void write_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      return;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      os << json_number(number_);
+      return;
+    case Type::kString:
+      os << '"' << json_escape(string_) << '"';
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        os << "[]";
+        return;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) os << ',';
+        write_indent(os, indent, depth + 1);
+        items_[i].dump_impl(os, indent, depth + 1);
+      }
+      write_indent(os, indent, depth);
+      os << ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        return;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) os << ',';
+        write_indent(os, indent, depth + 1);
+        os << '"' << json_escape(members_[i].first) << "\":";
+        if (indent > 0) os << ' ';
+        members_[i].second.dump_impl(os, indent, depth + 1);
+      }
+      write_indent(os, indent, depth);
+      os << '}';
+      return;
+    }
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Json::dump_string(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+}  // namespace gpucnn::obs

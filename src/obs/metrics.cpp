@@ -1,0 +1,115 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpucnn::obs {
+
+namespace {
+
+std::size_t bucket_index(double value) {
+  if (!(value > 0.0)) return 0;
+  const int exp =
+      static_cast<int>(std::ceil(std::log2(value))) - Histogram::kMinExponent;
+  return static_cast<std::size_t>(
+      std::clamp(exp, 0, static_cast<int>(Histogram::kBuckets) - 1));
+}
+
+}  // namespace
+
+void Histogram::record(double value) {
+  const std::scoped_lock lock(mutex_);
+  ++state_.count;
+  state_.sum += value;
+  state_.min = std::min(state_.min, value);
+  state_.max = std::max(state_.max, value);
+  ++state_.buckets[bucket_index(value)];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return state_;
+}
+
+void Histogram::reset() {
+  const std::scoped_lock lock(mutex_);
+  state_ = Snapshot{};
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, kMinExponent + static_cast<int>(i));
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Json MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, static_cast<double>(c->value()));
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->snapshot();
+    Json entry = Json::object();
+    entry.set("count", static_cast<double>(s.count));
+    entry.set("sum", s.sum);
+    entry.set("min", s.count > 0 ? Json(s.min) : Json());
+    entry.set("max", s.count > 0 ? Json(s.max) : Json());
+    entry.set("mean", s.mean());
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;  // sparse: only occupied buckets
+      buckets.push(Json::object()
+                       .set("le", Histogram::bucket_upper_bound(i))
+                       .set("count", static_cast<double>(s.buckets[i])));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(entry));
+  }
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(histograms));
+}
+
+bool MetricsRegistry::empty() const {
+  const std::scoped_lock lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace gpucnn::obs

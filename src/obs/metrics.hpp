@@ -1,0 +1,107 @@
+// Process-wide metrics registry: named counters, gauges and histograms
+// exported as metrics.json (schema: docs/METRICS.md).
+//
+// Lookup is mutex-guarded; the returned references stay valid for the
+// registry's lifetime, and updates are lock-free (counters/gauges) or
+// take a per-histogram mutex, so instrumented hot paths — including
+// parallel_for bodies — may record concurrently.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace gpucnn::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written value (e.g. a configuration knob or high-water mark).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution summary: count/sum/min/max plus power-of-two buckets
+/// covering [2^-20, 2^20) — wide enough for microseconds through
+/// megabytes. Values at or below 0 land in the first bucket.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 41;
+  static constexpr int kMinExponent = -20;
+
+  void record(double value);
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::array<std::int64_t, kBuckets> buckets{};
+    [[nodiscard]] double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  /// Upper bound (inclusive) of bucket `i`: 2^(kMinExponent + i); the
+  /// last bucket is unbounded.
+  [[nodiscard]] static double bucket_upper_bound(std::size_t i);
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot state_;
+};
+
+/// Name -> metric registry. Counter/gauge/histogram names live in
+/// separate namespaces; creation is idempotent.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  /// sorted (std::map order) for deterministic exports.
+  [[nodiscard]] Json snapshot() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Zeroes every registered metric in place; references stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-wide registry used by the instrumented library code.
+MetricsRegistry& metrics();
+
+}  // namespace gpucnn::obs

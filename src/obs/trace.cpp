@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace gpucnn::obs {
+
+Span::Span(Tracer& tracer, std::string name, std::string category) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  start_us_ = tracer.now_us();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  const double end_us = tracer_->now_us();
+  tracer_->record(TraceEvent{std::move(name_), std::move(category_),
+                             tracer_->thread_track(), start_us_,
+                             end_us - start_us_, std::move(args_)});
+}
+
+void Span::arg(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(std::move(key), std::move(value));
+}
+
+std::uint32_t Tracer::thread_track() {
+  const auto id = std::this_thread::get_id();
+  const std::scoped_lock lock(mutex_);
+  const auto it = thread_tracks_.find(id);
+  if (it != thread_tracks_.end()) return it->second;
+  const std::uint32_t track = next_track_++;
+  thread_tracks_.emplace(id, track);
+  track_names_.emplace(
+      track, track == 0 ? "cpu:main" : "cpu:thread-" + std::to_string(track));
+  return track;
+}
+
+std::uint32_t Tracer::virtual_track(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = virtual_tracks_.find(name);
+  if (it != virtual_tracks_.end()) return it->second;
+  const std::uint32_t track = next_track_++;
+  virtual_tracks_.emplace(name, track);
+  track_names_.emplace(track, name);
+  return track;
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::complete_event(std::uint32_t track, std::string name,
+                            std::string category, double start_us,
+                            double duration_us, TraceArgs args) {
+  if (!enabled()) return;
+  record(TraceEvent{std::move(name), std::move(category), track, start_us,
+                    duration_us, std::move(args)});
+}
+
+double Tracer::append_at_cursor(std::uint32_t track, std::string name,
+                                std::string category, double duration_us,
+                                TraceArgs args) {
+  if (!enabled()) return 0.0;
+  double start_us = 0.0;
+  {
+    const std::scoped_lock lock(mutex_);
+    start_us = cursors_[track];
+    cursors_[track] = start_us + duration_us;
+    events_.push_back(TraceEvent{std::move(name), std::move(category), track,
+                                 start_us, duration_us, std::move(args)});
+  }
+  return start_us;
+}
+
+double Tracer::cursor_us(std::uint32_t track) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = cursors_.find(track);
+  return it == cursors_.end() ? 0.0 : it->second;
+}
+
+void Tracer::advance_cursor(std::uint32_t track, double to_us) {
+  const std::scoped_lock lock(mutex_);
+  auto& cursor = cursors_[track];
+  cursor = std::max(cursor, to_us);
+}
+
+std::size_t Tracer::event_count() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mutex_);
+  events_.clear();
+  cursors_.clear();
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  std::map<std::uint32_t, std::string> names;
+  {
+    const std::scoped_lock lock(mutex_);
+    events = events_;
+    names = track_names_;
+  }
+
+  Json root = Json::object();
+  root.set("displayTimeUnit", "ms");
+  root.set("otherData", Json::object().set("generator", "gpucnn-obs"));
+  Json trace_events = Json::array();
+  // Thread-name metadata first, so viewers label every track.
+  for (const auto& [track, name] : names) {
+    trace_events.push(Json::object()
+                          .set("ph", "M")
+                          .set("pid", 1)
+                          .set("tid", std::size_t{track})
+                          .set("name", "thread_name")
+                          .set("args", Json::object().set("name", name)));
+  }
+  for (const auto& e : events) {
+    Json ev = Json::object()
+                  .set("ph", "X")
+                  .set("pid", 1)
+                  .set("tid", std::size_t{e.track})
+                  .set("ts", e.start_us)
+                  .set("dur", e.duration_us)
+                  .set("name", e.name)
+                  .set("cat", e.category);
+    if (!e.args.empty()) {
+      Json args = Json::object();
+      for (const auto& [k, v] : e.args) args.set(k, v);
+      ev.set("args", std::move(args));
+    }
+    trace_events.push(std::move(ev));
+  }
+  root.set("traceEvents", std::move(trace_events));
+  root.dump(os, 1);
+  os << '\n';
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace gpucnn::obs

@@ -1,0 +1,131 @@
+// Span-based tracer rendering Chrome trace_event JSON (loadable in
+// chrome://tracing and Perfetto; see docs/OBSERVABILITY.md).
+//
+// Two kinds of tracks coexist on one timeline:
+//   * thread tracks — RAII Spans stamp real wall-clock intervals on the
+//     calling thread's track; spans nest naturally because destruction
+//     is LIFO per thread;
+//   * virtual tracks — explicitly placed events carrying *simulated*
+//     time (the gpusim kernel/transfer timeline). Each virtual track
+//     keeps a cursor so successive replays append end-to-end, forming
+//     one continuous simulated timeline per run.
+//
+// The tracer is disabled by default; every entry point is a cheap no-op
+// until enable(true). All mutation is mutex-guarded and thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/timer.hpp"
+
+namespace gpucnn::obs {
+
+/// String key/value pairs attached to an event ("args" in the Chrome
+/// trace format).
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// One complete ("ph":"X") event.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t track = 0;  ///< rendered as the Chrome "tid"
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  TraceArgs args;
+};
+
+class Tracer;
+
+/// RAII scope recording one complete event on the calling thread's track,
+/// from construction to destruction. Inactive (and free) while the
+/// tracer is disabled.
+class Span {
+ public:
+  Span(Tracer& tracer, std::string name, std::string category = "cpu");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value pair emitted when the span closes.
+  void arg(std::string key, std::string value);
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< nullptr when the span is a no-op
+  std::string name_;
+  std::string category_;
+  double start_us_ = 0.0;
+  TraceArgs args_;
+};
+
+/// Thread-safe trace event collector.
+class Tracer {
+ public:
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds of wall clock since the tracer was constructed; the
+  /// common timebase of all thread tracks.
+  [[nodiscard]] double now_us() const { return epoch_.elapsed_us(); }
+
+  /// Returns the id of the named virtual track, creating it on first use.
+  std::uint32_t virtual_track(const std::string& name);
+
+  /// Appends a complete event at an explicit position on a track.
+  void complete_event(std::uint32_t track, std::string name,
+                      std::string category, double start_us,
+                      double duration_us, TraceArgs args = {});
+
+  /// Appends a complete event at the track's cursor and advances the
+  /// cursor past it; returns the event's start time.
+  double append_at_cursor(std::uint32_t track, std::string name,
+                          std::string category, double duration_us,
+                          TraceArgs args = {});
+
+  /// Current cursor (end of the last appended event) of a track.
+  [[nodiscard]] double cursor_us(std::uint32_t track) const;
+  /// Moves a track's cursor forward (never backwards).
+  void advance_cursor(std::uint32_t track, double to_us);
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Snapshot of all recorded events (copies; thread-safe).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Writes the Chrome trace_event JSON object format: thread-name
+  /// metadata events followed by every recorded "X" event.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  friend class Span;
+  /// Track id of the calling thread, assigned on first use.
+  std::uint32_t thread_track();
+  void record(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  Timer epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, std::uint32_t> thread_tracks_;
+  std::map<std::string, std::uint32_t> virtual_tracks_;
+  std::map<std::uint32_t, std::string> track_names_;
+  std::map<std::uint32_t, double> cursors_;
+  std::uint32_t next_track_ = 0;
+};
+
+/// Process-wide tracer used by the instrumented library code. Disabled
+/// until a tool (bench/example flag --trace) enables it.
+Tracer& tracer();
+
+}  // namespace gpucnn::obs

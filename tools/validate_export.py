@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Validate an export directory against the documented schema.
+
+Checks, using only the Python standard library:
+  * manifest.json exists, parses, and carries the expected
+    schema_version / tool / version / git / run / artifacts fields;
+  * every listed artifact file exists, and tables have the advertised
+    row count;
+  * every column of every JSON table is documented (appears in
+    backticks) in docs/METRICS.md, as are all metric names;
+  * trace.json, when present, is well-formed Chrome trace_event JSON
+    whose complete events nest properly per track.
+
+Usage: tools/validate_export.py EXPORT_DIR [EXPORT_DIR...]
+Exit status 0 when every directory passes.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = "1.0.0"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+METRICS_DOC = REPO_ROOT / "docs" / "METRICS.md"
+
+ARTIFACT_KINDS = {"table_csv", "table_json", "json", "metrics", "trace"}
+
+
+class Failure(Exception):
+    pass
+
+
+def documented_names():
+    """Every backticked identifier in docs/METRICS.md."""
+    text = METRICS_DOC.read_text(encoding="utf-8")
+    return set(re.findall(r"`([^`\n]+)`", text))
+
+
+def check(cond, message):
+    if not cond:
+        raise Failure(message)
+
+
+def load_json(path):
+    check(path.is_file(), f"missing file: {path.name}")
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as err:
+        raise Failure(f"{path.name}: invalid JSON ({err})") from err
+
+
+def validate_manifest(directory):
+    manifest = load_json(directory / "manifest.json")
+    for key in ("schema_version", "tool", "version", "git", "run",
+                "artifacts"):
+        check(key in manifest, f"manifest.json: missing key '{key}'")
+    check(manifest["schema_version"] == SCHEMA_VERSION,
+          f"manifest.json: schema_version {manifest['schema_version']!r}"
+          f" != {SCHEMA_VERSION!r}")
+    check(isinstance(manifest["run"], dict), "manifest.json: 'run' not an"
+          " object")
+    check(isinstance(manifest["artifacts"], list) and manifest["artifacts"],
+          "manifest.json: empty artifact list")
+    for entry in manifest["artifacts"]:
+        check(entry.get("kind") in ARTIFACT_KINDS,
+              f"manifest.json: unknown artifact kind {entry.get('kind')!r}")
+        check((directory / entry["file"]).is_file(),
+              f"manifest.json: listed artifact missing: {entry['file']}")
+    return manifest
+
+
+def validate_table(directory, entry, documented):
+    doc = load_json(directory / entry["file"])
+    name = entry["file"]
+    for key in ("schema_version", "table", "columns", "rows"):
+        check(key in doc, f"{name}: missing key '{key}'")
+    check(doc["schema_version"] == SCHEMA_VERSION,
+          f"{name}: schema_version mismatch")
+    check(len(doc["rows"]) == entry.get("rows"),
+          f"{name}: {len(doc['rows'])} rows, manifest says"
+          f" {entry.get('rows')}")
+    for column in doc["columns"]:
+        check(re.fullmatch(r"[a-z0-9_]+", column),
+              f"{name}: column {column!r} is not snake_case")
+        check(column in documented,
+              f"{name}: column `{column}` not documented in"
+              f" {METRICS_DOC.relative_to(REPO_ROOT)}")
+    for row in doc["rows"]:
+        check(set(row) <= set(doc["columns"]),
+              f"{name}: row keys {sorted(set(row) - set(doc['columns']))}"
+              " not in columns")
+
+
+def validate_csv(directory, entry):
+    lines = (directory / entry["file"]).read_text(encoding="utf-8")
+    lines = lines.splitlines()
+    check(lines, f"{entry['file']}: empty CSV")
+    # Quoted cells may embed newlines; only require at least header+rows.
+    check(len(lines) >= 1 + entry.get("rows", 0) - lines[0].count('"'),
+          f"{entry['file']}: fewer lines than manifest rows")
+
+
+def validate_metrics(directory, entry, documented):
+    doc = load_json(directory / entry["file"])
+    check(doc.get("schema_version") == SCHEMA_VERSION,
+          "metrics.json: schema_version mismatch")
+    for family in ("counters", "gauges", "histograms"):
+        check(family in doc, f"metrics.json: missing '{family}'")
+        for metric in doc[family]:
+            check(metric in documented,
+                  f"metrics.json: metric `{metric}` not documented")
+    for name, hist in doc["histograms"].items():
+        for key in ("count", "sum", "min", "max", "mean", "buckets"):
+            check(key in hist, f"metrics.json: {name}: missing '{key}'")
+        total = sum(b["count"] for b in hist["buckets"])
+        check(total == hist["count"],
+              f"metrics.json: {name}: bucket counts {total} !="
+              f" count {hist['count']}")
+
+
+def validate_trace(directory, entry):
+    doc = load_json(directory / entry["file"])
+    check(doc.get("displayTimeUnit") == "ms", "trace.json: bad"
+          " displayTimeUnit")
+    events = doc.get("traceEvents")
+    check(isinstance(events, list) and events, "trace.json: no traceEvents")
+    named_tracks = set()
+    per_track = {}
+    for event in events:
+        check(event.get("pid") == 1, "trace.json: unexpected pid")
+        if event.get("ph") == "M":
+            check(event.get("name") == "thread_name",
+                  "trace.json: unknown metadata event")
+            named_tracks.add(event["tid"])
+            continue
+        check(event.get("ph") == "X",
+              f"trace.json: unsupported phase {event.get('ph')!r}")
+        for key in ("tid", "ts", "dur", "name", "cat"):
+            check(key in event, f"trace.json: X event missing '{key}'")
+        check(event["dur"] >= 0, "trace.json: negative duration")
+        per_track.setdefault(event["tid"], []).append(
+            (event["ts"], event["ts"] + event["dur"], event["name"]))
+    for tid, spans in per_track.items():
+        check(tid in named_tracks, f"trace.json: track {tid} has no"
+              " thread_name metadata")
+        # Events on one track must nest or be disjoint — no partial
+        # overlap (tolerance for float rounding).
+        eps = 1e-6
+        stack = []
+        # Longest-first at equal starts, so enclosing spans precede
+        # children that begin at the same timestamp.
+        for start, end, name in sorted(spans,
+                                       key=lambda s: (s[0], -s[1])):
+            while stack and stack[-1][0] <= start + eps:
+                stack.pop()
+            if stack:
+                check(end <= stack[-1][0] + eps,
+                      f"trace.json: track {tid}: '{name}' partially"
+                      f" overlaps '{stack[-1][1]}'")
+            stack.append((end, name))
+
+
+def validate_directory(directory):
+    manifest = validate_manifest(directory)
+    documented = documented_names()
+    for entry in manifest["artifacts"]:
+        kind = entry["kind"]
+        if kind == "table_json":
+            validate_table(directory, entry, documented)
+        elif kind == "table_csv":
+            validate_csv(directory, entry)
+        elif kind == "metrics":
+            validate_metrics(directory, entry, documented)
+        elif kind == "trace":
+            validate_trace(directory, entry)
+    return len(manifest["artifacts"])
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for arg in argv[1:]:
+        directory = Path(arg)
+        try:
+            count = validate_directory(directory)
+        except Failure as failure:
+            print(f"FAIL {directory}: {failure}")
+            status = 1
+        else:
+            print(f"OK   {directory}: {count} artifacts valid")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
