@@ -6,17 +6,27 @@
 //   * im2col lowering throughput;
 //   * the three convolution strategies head-to-head on one geometry —
 //     the CPU mirror of Fig. 3(d)'s strategy crossover.
+//
+// Beyond the stock google-benchmark flags the binary understands
+//   --quick                    short run (--benchmark_min_time=0.01)
+//   --json / --csv [--out DIR] export a BENCH_cpu_kernels table through
+//                              obs::RunExporter (schema: docs/METRICS.md)
+// so CI can archive machine-readable numbers next to the figure benches.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "blas/cgemm.hpp"
 #include "blas/gemm.hpp"
 #include "conv/conv_engine.hpp"
 #include "conv/im2col.hpp"
+#include "core/cpu_features.hpp"
 #include "core/rng.hpp"
 #include "core/tensor.hpp"
 #include "fft/fft.hpp"
+#include "obs/exporter.hpp"
 
 namespace {
 
@@ -189,6 +199,78 @@ void BM_CgemmPointwise(benchmark::State& state) {
 }
 BENCHMARK(BM_CgemmPointwise);
 
+// --- reporting -------------------------------------------------------
+
+// Console reporter that additionally collects one table row per
+// benchmark run, so the numbers land in the export artifact with the
+// same schema-checked layout as the figure benches.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::vector<std::string> row(5);
+      row[0] = run.benchmark_name();
+      // GetAdjustedRealTime() is per-iteration in the run's time unit;
+      // benches here all use the default (ns).
+      row[1] = std::to_string(run.GetAdjustedRealTime());
+      row[2] = std::to_string(run.GetAdjustedCPUTime());
+      row[3] = std::to_string(run.iterations);
+      const auto gf = run.counters.find("GFLOP/s");
+      if (gf != run.counters.end()) {
+        row[4] = std::to_string(gf->second.value);
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto options = gpucnn::obs::ExportOptions::parse(argc, argv);
+
+  // Rebuild argv for google-benchmark: strip --quick, and when it was
+  // given inject a short min-time so the whole suite finishes in
+  // seconds (CI calls this; the numbers are noisier but the ordering
+  // between kernels survives).
+  std::vector<char*> args;
+  bool quick = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (quick) args.push_back(min_time.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  gpucnn::obs::RunExporter exporter(options, "bench_cpu_kernels");
+  exporter.annotate("simd", gpucnn::simd::name(gpucnn::simd::active()));
+  exporter.annotate("quick", quick ? "true" : "false");
+  exporter.add_table(
+      "BENCH_cpu_kernels",
+      "CPU kernel ablation microbenchmarks (google-benchmark runs)",
+      {"benchmark", "real_time_ns", "cpu_time_ns", "iterations", "gflops"},
+      reporter.rows());
+  exporter.finish();
+  return 0;
+}

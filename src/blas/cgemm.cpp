@@ -1,5 +1,11 @@
 #include "blas/cgemm.hpp"
 
+#include "core/cpu_features.hpp"
+
+#if GPUCNN_X86_SIMD
+#include <immintrin.h>
+#endif
+
 namespace gpucnn::blas {
 namespace {
 
@@ -8,11 +14,14 @@ namespace {
 // convolution are small (dimensions are batch/channels/filters), so a
 // clean double loop with contiguous A rows is sufficient; the heavy
 // lifting is the sheer number of frequency bins, which the caller
-// parallelises.
+// parallelises. The AVX2 paths below accelerate the inner products on
+// machines that have FMA; this scalar form is the portable fallback and
+// the oracle for both.
 template <typename AccessA, typename AccessB>
 void cgemm_generic(std::size_t m, std::size_t n, std::size_t k,
                    Complex alpha, AccessA access_a, AccessB access_b,
                    Complex beta, std::span<Complex> c, std::size_t ldc) {
+  const bool overwrite = beta == Complex{0.0F, 0.0F};
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       Complex acc{0.0F, 0.0F};
@@ -20,10 +29,139 @@ void cgemm_generic(std::size_t m, std::size_t n, std::size_t k,
         acc += access_a(i, p) * access_b(p, j);
       }
       Complex& out = c[i * ldc + j];
-      out = alpha * acc + beta * out;
+      // beta == 0 overwrites: `out` may hold garbage or NaN.
+      out = overwrite ? alpha * acc : alpha * acc + beta * out;
     }
   }
 }
+
+#if GPUCNN_X86_SIMD
+
+// std::complex<float> guarantees array-compatible layout (re, im), so
+// the vector kernels view complex spans as interleaved float arrays.
+inline const float* as_floats(std::span<const Complex> x) {
+  return reinterpret_cast<const float*>(x.data());
+}
+inline float* as_floats(std::span<Complex> x) {
+  return reinterpret_cast<float*>(x.data());
+}
+
+// Interleaved complex multiply of 4 complex pairs: for each pair
+// (a, b) -> (ar*br - ai*bi, ar*bi + ai*br).
+__attribute__((target("avx2,fma"))) inline __m256 cmul4(__m256 a, __m256 b) {
+  const __m256 br = _mm256_moveldup_ps(b);           // (br, br, ...)
+  const __m256 bi = _mm256_movehdup_ps(b);           // (bi, bi, ...)
+  const __m256 a_swap = _mm256_permute_ps(a, 0xB1);  // (ai, ar, ...)
+  // fmaddsub: even lanes a*br - ai*bi, odd lanes a*br + ar*bi.
+  return _mm256_fmaddsub_ps(a, br, _mm256_mul_ps(a_swap, bi));
+}
+
+// forward pointwise product: rows of A and B are contiguous over p, and
+// conj(B) turns the complex inner product into two real dot products:
+//   Re = sum(ar*br + ai*bi)  — the plain float dot of the two rows;
+//   Im = sum(ai*br - ar*bi)  — the dot of swapped A against sign-flipped B.
+__attribute__((target("avx2,fma"))) void cgemm_nt_conj_avx2(
+    std::size_t m, std::size_t n, std::size_t k, Complex alpha,
+    std::span<const Complex> a, std::size_t lda, std::span<const Complex> b,
+    std::size_t ldb, Complex beta, std::span<Complex> c, std::size_t ldc) {
+  const bool overwrite = beta == Complex{0.0F, 0.0F};
+  const float* af = as_floats(a);
+  const float* bf = as_floats(b);
+  // Sign mask flipping even (real-slot) lanes: applied to the swapped
+  // product so Im accumulates ai*br - ar*bi.
+  const __m256 neg_even = _mm256_setr_ps(-0.0F, 0.0F, -0.0F, 0.0F, -0.0F,
+                                         0.0F, -0.0F, 0.0F);
+  const std::size_t kv = (2 * k) / 8 * 8;  // floats handled vectorised
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = af + 2 * i * lda;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = bf + 2 * j * ldb;
+      __m256 acc_re = _mm256_setzero_ps();
+      __m256 acc_im = _mm256_setzero_ps();
+      for (std::size_t f = 0; f < kv; f += 8) {
+        const __m256 va = _mm256_loadu_ps(arow + f);
+        const __m256 vb = _mm256_loadu_ps(brow + f);
+        acc_re = _mm256_fmadd_ps(va, vb, acc_re);
+        const __m256 vb_swap =
+            _mm256_xor_ps(_mm256_permute_ps(vb, 0xB1), neg_even);
+        acc_im = _mm256_fmadd_ps(va, vb_swap, acc_im);
+      }
+      // Horizontal sums of both accumulators.
+      alignas(32) float re_l[8];
+      alignas(32) float im_l[8];
+      _mm256_store_ps(re_l, acc_re);
+      _mm256_store_ps(im_l, acc_im);
+      float re = re_l[0] + re_l[1] + re_l[2] + re_l[3] + re_l[4] + re_l[5] +
+                 re_l[6] + re_l[7];
+      float im = im_l[0] + im_l[1] + im_l[2] + im_l[3] + im_l[4] + im_l[5] +
+                 im_l[6] + im_l[7];
+      for (std::size_t p = kv / 2; p < k; ++p) {
+        const float ar = arow[2 * p];
+        const float ai = arow[2 * p + 1];
+        const float br = brow[2 * p];
+        const float bi = brow[2 * p + 1];
+        re += ar * br + ai * bi;
+        im += ai * br - ar * bi;
+      }
+      const Complex acc{re, im};
+      Complex& out = c[i * ldc + j];
+      out = overwrite ? alpha * acc : alpha * acc + beta * out;
+    }
+  }
+}
+
+// nn / ctn kernels vectorise over j (columns of C): C's row and B's row
+// p are contiguous in j, and op(A)(i, p) broadcasts as one complex.
+// acc_row must hold 2*n floats; computes acc(i, :) = sum_p a(i,p)*B(p,:).
+__attribute__((target("avx2,fma"))) void cgemm_rowwise_avx2(
+    std::size_t m, std::size_t n, std::size_t k, Complex alpha,
+    const Complex* a_elems /* m x k, row-major, pre-op */, Complex beta,
+    std::span<const Complex> b, std::size_t ldb, std::span<Complex> c,
+    std::size_t ldc) {
+  const bool overwrite = beta == Complex{0.0F, 0.0F};
+  const float* bf = as_floats(b);
+  const std::size_t nv = (2 * n) / 8 * 8;
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = as_floats(c) + 2 * i * ldc;
+    // Vectorised lanes accumulate in registers per 8-float strip.
+    for (std::size_t f = 0; f < nv; f += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t p = 0; p < k; ++p) {
+        const Complex av = a_elems[i * k + p];
+        const __m256 va = _mm256_castpd_ps(_mm256_broadcast_sd(
+            reinterpret_cast<const double*>(&av)));
+        acc = _mm256_add_ps(
+            acc, cmul4(va, _mm256_loadu_ps(bf + 2 * p * ldb + f)));
+      }
+      const Complex al = alpha;
+      const __m256 valpha = _mm256_castpd_ps(
+          _mm256_broadcast_sd(reinterpret_cast<const double*>(&al)));
+      __m256 out = cmul4(valpha, acc);
+      if (!overwrite) {
+        const Complex be = beta;
+        const __m256 vbeta = _mm256_castpd_ps(
+            _mm256_broadcast_sd(reinterpret_cast<const double*>(&be)));
+        out = _mm256_add_ps(out, cmul4(vbeta, _mm256_loadu_ps(crow + f)));
+      }
+      _mm256_storeu_ps(crow + f, out);
+    }
+    for (std::size_t j = nv / 2; j < n; ++j) {
+      Complex acc{0.0F, 0.0F};
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a_elems[i * k + p] * b[p * ldb + j];
+      }
+      Complex& out = c[i * ldc + j];
+      out = overwrite ? alpha * acc : alpha * acc + beta * out;
+    }
+  }
+}
+
+// The rowwise kernel wants op(A) rows contiguous; gather them into a
+// small stack/heap staging area (matrices here are tiny — dimensions
+// are batch/channels/filters).
+constexpr std::size_t kStageElems = 64 * 64;
+
+#endif  // GPUCNN_X86_SIMD
 
 }  // namespace
 
@@ -31,6 +169,12 @@ void cgemm_nt_conj(std::size_t m, std::size_t n, std::size_t k,
                    Complex alpha, std::span<const Complex> a, std::size_t lda,
                    std::span<const Complex> b, std::size_t ldb, Complex beta,
                    std::span<Complex> c, std::size_t ldc) {
+#if GPUCNN_X86_SIMD
+  if (simd::active() == simd::Level::kAvx2 && k >= 4) {
+    cgemm_nt_conj_avx2(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+#endif
   cgemm_generic(
       m, n, k, alpha,
       [&](std::size_t i, std::size_t p) { return a[i * lda + p]; },
@@ -42,6 +186,17 @@ void cgemm_nn(std::size_t m, std::size_t n, std::size_t k, Complex alpha,
               std::span<const Complex> a, std::size_t lda,
               std::span<const Complex> b, std::size_t ldb, Complex beta,
               std::span<Complex> c, std::size_t ldc) {
+#if GPUCNN_X86_SIMD
+  if (simd::active() == simd::Level::kAvx2 && n >= 4 &&
+      m * k <= kStageElems) {
+    Complex stage[kStageElems];
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t p = 0; p < k; ++p) stage[i * k + p] = a[i * lda + p];
+    }
+    cgemm_rowwise_avx2(m, n, k, alpha, stage, beta, b, ldb, c, ldc);
+    return;
+  }
+#endif
   cgemm_generic(
       m, n, k, alpha,
       [&](std::size_t i, std::size_t p) { return a[i * lda + p]; },
@@ -53,6 +208,19 @@ void cgemm_ctn(std::size_t m, std::size_t n, std::size_t k, Complex alpha,
                std::span<const Complex> a, std::size_t lda,
                std::span<const Complex> b, std::size_t ldb, Complex beta,
                std::span<Complex> c, std::size_t ldc) {
+#if GPUCNN_X86_SIMD
+  if (simd::active() == simd::Level::kAvx2 && n >= 4 &&
+      m * k <= kStageElems) {
+    Complex stage[kStageElems];
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t p = 0; p < k; ++p) {
+        stage[i * k + p] = std::conj(a[p * lda + i]);
+      }
+    }
+    cgemm_rowwise_avx2(m, n, k, alpha, stage, beta, b, ldb, c, ldc);
+    return;
+  }
+#endif
   cgemm_generic(
       m, n, k, alpha,
       [&](std::size_t i, std::size_t p) { return std::conj(a[p * lda + i]); },

@@ -1,24 +1,158 @@
 #include "blas/gemm.hpp"
 
 #include <algorithm>
-#include <array>
-#include <vector>
+#include <cstring>
 
+#include "core/cpu_features.hpp"
 #include "core/error.hpp"
 #include "core/thread_pool.hpp"
+#include "core/workspace.hpp"
+#include "obs/metrics.hpp"
+
+#if GPUCNN_X86_SIMD
+#include <immintrin.h>
+#endif
 
 namespace gpucnn::blas {
 namespace {
 
-// Blocking parameters (GotoBLAS-style): C is updated in MR x NR micro
+// Blocking parameters (GotoBLAS-style): C is updated in mr x nr micro
 // tiles, A is packed in MC x KC panels, B in KC x NC panels. Values chosen
 // so the packed A panel fits L2 and a B micro panel fits L1 on typical
-// x86 cores; the ablation bench sweeps these.
-constexpr std::size_t kMr = 8;
-constexpr std::size_t kNr = 8;
-constexpr std::size_t kMc = 128;
+// x86 cores; the ablation bench sweeps these. kMc/kNc are multiples of
+// every micro-tile edge (8x8 portable, 6x16 AVX2) so full panels pack
+// without ragged tiles.
+constexpr std::size_t kMc = 120;
 constexpr std::size_t kKc = 256;
 constexpr std::size_t kNc = 2048;
+
+// The micro-kernel contract: fn(kc, packed_a, packed_b, acc) fully
+// overwrites acc (mr x nr row-major) with packed_a(kc x mr)^T *
+// packed_b(kc x nr). Which kernel (and thus which tile shape) runs is
+// picked per call from simd::active().
+struct MicroKernel {
+  std::size_t mr;
+  std::size_t nr;
+  // __restrict matters: the kernels are called through this pointer, so
+  // without it the compiler must assume acc aliases the packed panels
+  // and cannot vectorise the accumulation.
+  void (*fn)(std::size_t kc, const float* __restrict packed_a,
+             const float* __restrict packed_b, float* __restrict acc);
+};
+
+// Portable micro kernel (8x8). On GCC/Clang it uses generic vector
+// extensions (no ISA-specific intrinsics — the compiler lowers the 4-wide
+// ops to whatever the baseline target offers, SSE2 on x86-64, NEON on
+// aarch64). Auto-vectorisation is not reliable here: as a standalone
+// function reached through a pointer GCC picks a strided scheme ~3x
+// slower than this explicit form. Two 4-row halves keep the accumulators
+// within 16 vector registers.
+#if defined(__GNUC__) || defined(__clang__)
+void micro_kernel_8x8_portable(std::size_t kc,
+                               const float* __restrict packed_a,
+                               const float* __restrict packed_b,
+                               float* __restrict acc) {
+  constexpr std::size_t mr = 8;
+  constexpr std::size_t nr = 8;
+  using V4 = float __attribute__((vector_size(16)));
+  for (std::size_t ih = 0; ih < mr; ih += 4) {
+    V4 c0[4];
+    V4 c1[4];
+    for (int i = 0; i < 4; ++i) {
+      c0[i] = V4{};
+      c1[i] = V4{};
+    }
+    const float* a = packed_a + ih;
+    const float* b = packed_b;
+    for (std::size_t p = 0; p < kc; ++p) {
+      V4 b0;
+      V4 b1;
+      std::memcpy(&b0, b, sizeof(V4));
+      std::memcpy(&b1, b + 4, sizeof(V4));
+      for (int i = 0; i < 4; ++i) {
+        const V4 av = {a[i], a[i], a[i], a[i]};
+        c0[i] += av * b0;
+        c1[i] += av * b1;
+      }
+      a += mr;
+      b += nr;
+    }
+    for (int i = 0; i < 4; ++i) {
+      std::memcpy(acc + (ih + i) * nr, &c0[i], sizeof(V4));
+      std::memcpy(acc + (ih + i) * nr + 4, &c1[i], sizeof(V4));
+    }
+  }
+}
+#else
+void micro_kernel_8x8_portable(std::size_t kc, const float* packed_a,
+                               const float* packed_b, float* acc) {
+  constexpr std::size_t mr = 8;
+  constexpr std::size_t nr = 8;
+  std::memset(acc, 0, mr * nr * sizeof(float));
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* arow = packed_a + p * mr;
+    const float* brow = packed_b + p * nr;
+    for (std::size_t i = 0; i < mr; ++i) {
+      const float av = arow[i];
+      float* accrow = acc + i * nr;
+      for (std::size_t j = 0; j < nr; ++j) accrow[j] += av * brow[j];
+    }
+  }
+}
+#endif
+
+#if GPUCNN_X86_SIMD
+// AVX2/FMA micro kernel (6x16): 12 ymm accumulators (6 rows x 2 vectors
+// of 8 floats), 2 loads + 6 broadcasts + 12 FMAs per k step — the
+// classic Haswell-era register tiling, compiled for avx2+fma via the
+// target attribute and selected at runtime.
+__attribute__((target("avx2,fma"))) void micro_kernel_6x16_avx2(
+    std::size_t kc, const float* __restrict packed_a,
+    const float* __restrict packed_b, float* __restrict acc) {
+  __m256 c0[6];
+  __m256 c1[6];
+#pragma GCC unroll 6
+  for (std::size_t i = 0; i < 6; ++i) {
+    c0[i] = _mm256_setzero_ps();
+    c1[i] = _mm256_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(packed_b);
+    const __m256 b1 = _mm256_loadu_ps(packed_b + 8);
+    packed_b += 16;
+#pragma GCC unroll 6
+    for (std::size_t i = 0; i < 6; ++i) {
+      const __m256 a = _mm256_broadcast_ss(packed_a + i);
+      c0[i] = _mm256_fmadd_ps(a, b0, c0[i]);
+      c1[i] = _mm256_fmadd_ps(a, b1, c1[i]);
+    }
+    packed_a += 6;
+  }
+#pragma GCC unroll 6
+  for (std::size_t i = 0; i < 6; ++i) {
+    _mm256_storeu_ps(acc + i * 16, c0[i]);
+    _mm256_storeu_ps(acc + i * 16 + 8, c1[i]);
+  }
+}
+#endif  // GPUCNN_X86_SIMD
+
+MicroKernel select_micro_kernel() {
+#if GPUCNN_X86_SIMD
+  if (simd::active() == simd::Level::kAvx2) {
+    return {6, 16, micro_kernel_6x16_avx2};
+  }
+#endif
+  return {8, 8, micro_kernel_8x8_portable};
+}
+
+// Largest mr * nr any kernel uses; micro-tile accumulators live on the
+// stack at this size.
+constexpr std::size_t kMaxTileElems = 8 * 16;
+
+obs::Counter& bytes_packed_counter() {
+  static obs::Counter& c = obs::metrics().counter("blas.sgemm.bytes_packed");
+  return c;
+}
 
 // Logical element accessor honouring the transpose flag: returns
 // op(X)(row, col) for an m-by-n logical operand.
@@ -28,13 +162,21 @@ inline float element(std::span<const float> x, std::size_t ld, Trans trans,
 }
 
 // Packs a kc x nr slice of op(B) starting at (p0, j0) into `dst` in
-// row-of-micro-tile order; columns beyond `jn` are zero padded.
+// row-of-micro-tile order; columns beyond `jn` are zero padded. The
+// no-transpose case copies contiguous rows of B.
 void pack_b_panel(std::span<const float> b, std::size_t ldb, Trans trans_b,
                   std::size_t p0, std::size_t kc, std::size_t j0,
-                  std::size_t jn, float* dst) {
+                  std::size_t jn, std::size_t nr, float* dst) {
+  if (trans_b == Trans::kNo && jn == nr) {
+    const float* src = b.data() + p0 * ldb + j0;
+    for (std::size_t p = 0; p < kc; ++p) {
+      std::memcpy(dst + p * nr, src + p * ldb, nr * sizeof(float));
+    }
+    return;
+  }
   for (std::size_t p = 0; p < kc; ++p) {
-    for (std::size_t j = 0; j < kNr; ++j) {
-      dst[p * kNr + j] =
+    for (std::size_t j = 0; j < nr; ++j) {
+      dst[p * nr + j] =
           j < jn ? element(b, ldb, trans_b, p0 + p, j0 + j) : 0.0F;
     }
   }
@@ -44,27 +186,46 @@ void pack_b_panel(std::span<const float> b, std::size_t ldb, Trans trans_b,
 // beyond `im` are zero padded.
 void pack_a_panel(std::span<const float> a, std::size_t lda, Trans trans_a,
                   std::size_t i0, std::size_t im, std::size_t p0,
-                  std::size_t kc, float* dst) {
+                  std::size_t kc, std::size_t mr, float* dst) {
   for (std::size_t p = 0; p < kc; ++p) {
-    for (std::size_t i = 0; i < kMr; ++i) {
-      dst[p * kMr + i] =
+    for (std::size_t i = 0; i < mr; ++i) {
+      dst[p * mr + i] =
           i < im ? element(a, lda, trans_a, i0 + i, p0 + p) : 0.0F;
     }
   }
 }
 
-// The micro kernel: acc (MR x NR) += packed_a (kc x MR) * packed_b
-// (kc x NR). Written so the inner loop vectorises.
-void micro_kernel(std::size_t kc, const float* packed_a,
-                  const float* packed_b,
-                  std::array<float, kMr * kNr>& acc) {
-  for (std::size_t p = 0; p < kc; ++p) {
-    const float* arow = packed_a + p * kMr;
-    const float* brow = packed_b + p * kNr;
-    for (std::size_t i = 0; i < kMr; ++i) {
-      const float av = arow[i];
-      float* accrow = acc.data() + i * kNr;
-      for (std::size_t j = 0; j < kNr; ++j) accrow[j] += av * brow[j];
+// C-tile writeback: crow = alpha * acc + beta * crow, with beta == 0
+// treated as overwrite per BLAS convention (crow may be uninitialised).
+inline void write_tile(float* c, std::size_t ldc, const float* acc,
+                       std::size_t nr, std::size_t im, std::size_t jn,
+                       float alpha, float beta) {
+  if (beta == 0.0F) {
+    for (std::size_t i = 0; i < im; ++i) {
+      float* crow = c + i * ldc;
+      const float* accrow = acc + i * nr;
+      for (std::size_t j = 0; j < jn; ++j) crow[j] = alpha * accrow[j];
+    }
+  } else {
+    for (std::size_t i = 0; i < im; ++i) {
+      float* crow = c + i * ldc;
+      const float* accrow = acc + i * nr;
+      for (std::size_t j = 0; j < jn; ++j) {
+        crow[j] = alpha * accrow[j] + beta * crow[j];
+      }
+    }
+  }
+}
+
+// beta-only update of an m x n block of C (k == 0 or alpha == 0 paths).
+void scale_c(std::size_t m, std::size_t n, float beta, std::span<float> c,
+             std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c.data() + i * ldc;
+    if (beta == 0.0F) {
+      std::memset(crow, 0, n * sizeof(float));
+    } else {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
     }
   }
 }
@@ -83,7 +244,9 @@ void sgemm_naive(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
                element(b, ldb, trans_b, p, j);
       }
       float& out = c[i * ldc + j];
-      out = alpha * static_cast<float>(acc) + beta * out;
+      // beta == 0 overwrites: `out` may hold garbage or NaN.
+      out = beta == 0.0F ? alpha * static_cast<float>(acc)
+                         : alpha * static_cast<float>(acc) + beta * out;
     }
   }
 }
@@ -94,9 +257,7 @@ void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
            float beta, std::span<float> c, std::size_t ldc) {
   if (m == 0 || n == 0) return;
   if (k == 0 || alpha == 0.0F) {
-    for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
-    }
+    scale_c(m, n, beta, c, ldc);
     return;
   }
 
@@ -108,47 +269,56 @@ void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
     return;
   }
 
+  const MicroKernel uk = select_micro_kernel();
+  const std::size_t mr = uk.mr;
+  const std::size_t nr = uk.nr;
+
   for (std::size_t jc = 0; jc < n; jc += kNc) {
     const std::size_t nc = std::min(kNc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += kKc) {
       const std::size_t kc = std::min(kKc, k - pc);
       const float beta_block = pc == 0 ? beta : 1.0F;
 
-      // Pack the whole B panel once; row blocks of A proceed in parallel.
-      const std::size_t n_tiles = (nc + kNr - 1) / kNr;
-      std::vector<float> packed_b(n_tiles * kc * kNr);
-      for (std::size_t t = 0; t < n_tiles; ++t) {
-        const std::size_t j0 = jc + t * kNr;
-        pack_b_panel(b, ldb, trans_b, pc, kc, j0, std::min(kNr, n - j0),
-                     packed_b.data() + t * kc * kNr);
-      }
+      // Pack the whole B panel once (tiles in parallel); row blocks of A
+      // then proceed in parallel against the shared packed panel.
+      const std::size_t n_tiles = (nc + nr - 1) / nr;
+      ws::Scratch<float> packed_b(n_tiles * kc * nr);
+      float* pb = packed_b.data();
+      parallel_for(
+          0, n_tiles,
+          [&](std::size_t t) {
+            const std::size_t j0 = jc + t * nr;
+            pack_b_panel(b, ldb, trans_b, pc, kc, j0, std::min(nr, n - j0),
+                         nr, pb + t * kc * nr);
+          },
+          /*serial_threshold=*/8);
+      bytes_packed_counter().add(
+          static_cast<std::int64_t>(n_tiles * kc * nr * sizeof(float)));
 
       const std::size_t m_blocks = (m + kMc - 1) / kMc;
       parallel_for(0, m_blocks, [&](std::size_t block) {
         const std::size_t ic = block * kMc;
         const std::size_t mc = std::min(kMc, m - ic);
-        const std::size_t m_tiles = (mc + kMr - 1) / kMr;
-        std::vector<float> packed_a(m_tiles * kc * kMr);
+        const std::size_t m_tiles = (mc + mr - 1) / mr;
+        ws::Scratch<float> packed_a(m_tiles * kc * mr);
         for (std::size_t t = 0; t < m_tiles; ++t) {
-          const std::size_t i0 = ic + t * kMr;
-          pack_a_panel(a, lda, trans_a, i0, std::min(kMr, m - i0), pc, kc,
-                       packed_a.data() + t * kc * kMr);
+          const std::size_t i0 = ic + t * mr;
+          pack_a_panel(a, lda, trans_a, i0, std::min(mr, m - i0), pc, kc,
+                       mr, packed_a.data() + t * kc * mr);
         }
+        bytes_packed_counter().add(
+            static_cast<std::int64_t>(m_tiles * kc * mr * sizeof(float)));
+        alignas(64) float acc[kMaxTileElems];
         for (std::size_t ti = 0; ti < m_tiles; ++ti) {
-          const std::size_t i0 = ic + ti * kMr;
-          const std::size_t im = std::min(kMr, m - i0);
+          const std::size_t i0 = ic + ti * mr;
+          const std::size_t im = std::min(mr, m - i0);
           for (std::size_t tj = 0; tj < n_tiles; ++tj) {
-            const std::size_t j0 = jc + tj * kNr;
-            const std::size_t jn = std::min(kNr, n - j0);
-            std::array<float, kMr * kNr> acc{};
-            micro_kernel(kc, packed_a.data() + ti * kc * kMr,
-                         packed_b.data() + tj * kc * kNr, acc);
-            for (std::size_t i = 0; i < im; ++i) {
-              float* crow = c.data() + (i0 + i) * ldc + j0;
-              for (std::size_t j = 0; j < jn; ++j) {
-                crow[j] = alpha * acc[i * kNr + j] + beta_block * crow[j];
-              }
-            }
+            const std::size_t j0 = jc + tj * nr;
+            const std::size_t jn = std::min(nr, n - j0);
+            uk.fn(kc, packed_a.data() + ti * kc * mr, pb + tj * kc * nr,
+                  acc);
+            write_tile(c.data() + i0 * ldc + j0, ldc, acc, nr, im, jn,
+                       alpha, beta_block);
           }
         }
       });

@@ -4,6 +4,7 @@
 
 #include "blas/cgemm.hpp"
 #include "core/thread_pool.hpp"
+#include "core/workspace.hpp"
 #include "fft/fft.hpp"
 
 namespace gpucnn::conv {
@@ -42,14 +43,14 @@ void transform_scatter(std::span<const float> src, std::size_t src_h,
                        std::size_t src_w, const Plan& plan, FreqMajor& dst,
                        std::size_t row, std::size_t col) {
   const std::size_t s = plan.size();
-  std::vector<Complex> buf(s * s, Complex{});
+  ws::Scratch<Complex> buf(s * s, /*zero=*/true);
   for (std::size_t y = 0; y < src_h; ++y) {
     for (std::size_t x = 0; x < src_w; ++x) {
-      buf[y * s + x] = Complex(src[y * src_w + x], 0.0F);
+      buf.data()[y * s + x] = Complex(src[y * src_w + x], 0.0F);
     }
   }
-  fft::transform_2d(buf, plan, plan, Direction::kForward);
-  for (std::size_t j = 0; j < s * s; ++j) dst.at(j, row, col) = buf[j];
+  fft::transform_2d(buf.span(), plan, plan, Direction::kForward);
+  for (std::size_t j = 0; j < s * s; ++j) dst.at(j, row, col) = buf.data()[j];
 }
 
 // Gathers one (row, col) series from `src` across bins, inverse-transforms
@@ -59,14 +60,14 @@ void gather_inverse(const FreqMajor& src, std::size_t row, std::size_t col,
                     const Plan& plan, std::span<float> dst, std::size_t dst_h,
                     std::size_t dst_w, std::size_t off_y, std::size_t off_x) {
   const std::size_t s = plan.size();
-  std::vector<Complex> buf(s * s);
+  ws::Scratch<Complex> buf(s * s);
   for (std::size_t j = 0; j < s * s; ++j) {
-    buf[j] = src.data_[(j * src.rows_ + row) * src.cols_ + col];
+    buf.data()[j] = src.data_[(j * src.rows_ + row) * src.cols_ + col];
   }
-  fft::transform_2d(buf, plan, plan, Direction::kInverse);
+  fft::transform_2d(buf.span(), plan, plan, Direction::kInverse);
   for (std::size_t y = 0; y < dst_h; ++y) {
     for (std::size_t x = 0; x < dst_w; ++x) {
-      dst[y * dst_w + x] = buf[(y + off_y) * s + (x + off_x)].real();
+      dst[y * dst_w + x] = buf.data()[(y + off_y) * s + (x + off_x)].real();
     }
   }
 }
@@ -86,16 +87,17 @@ FreqMajor spectra_of(const Tensor& t, const Plan& plan, std::size_t pad) {
       transform_scatter({t.plane(n, c), sh.h * sh.w}, sh.h, sh.w, plan, out,
                         n, c);
     } else {
-      std::vector<float> padded((sh.h + 2 * pad) * (sh.w + 2 * pad), 0.0F);
+      ws::Scratch<float> padded((sh.h + 2 * pad) * (sh.w + 2 * pad),
+                                /*zero=*/true);
       const float* src = t.plane(n, c);
       for (std::size_t y = 0; y < sh.h; ++y) {
         for (std::size_t x = 0; x < sh.w; ++x) {
-          padded[(y + pad) * (sh.w + 2 * pad) + (x + pad)] =
+          padded.data()[(y + pad) * (sh.w + 2 * pad) + (x + pad)] =
               src[y * sh.w + x];
         }
       }
-      transform_scatter(padded, sh.h + 2 * pad, sh.w + 2 * pad, plan, out,
-                        n, c);
+      transform_scatter(padded.span(), sh.h + 2 * pad, sh.w + 2 * pad, plan,
+                        out, n, c);
     }
   });
   return out;

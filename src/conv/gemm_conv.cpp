@@ -1,9 +1,8 @@
 #include "conv/gemm_conv.hpp"
 
-#include <vector>
-
 #include "blas/gemm.hpp"
 #include "conv/im2col.hpp"
+#include "core/workspace.hpp"
 
 namespace gpucnn::conv {
 
@@ -30,7 +29,7 @@ void GemmConv::forward(const ConvConfig& cfg, const Tensor& input,
   const std::size_t o = cfg.output();
   const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
   const std::size_t cols = o * o;
-  std::vector<float> col(col_buffer_size(gv));
+  ws::Scratch<float> col(col_buffer_size(gv));
 
   // Per image and group: out(F_g x OhOw) = W_g(F_g x CKK) * col. The
   // GEMM itself is parallel, matching Caffe's per-image cuBLAS calls.
@@ -39,10 +38,10 @@ void GemmConv::forward(const ConvConfig& cfg, const Tensor& input,
       im2col(gv,
              {input.plane(n, g * gv.channels),
               gv.channels * cfg.input * cfg.input},
-             col);
+             col.span());
       blas::sgemm(Trans::kNo, Trans::kNo, gv.filters, cols, ckk, 1.0F,
                   {filters.plane(g * gv.filters, 0), gv.filters * ckk},
-                  ckk, col, cols, 0.0F,
+                  ckk, col.span(), cols, 0.0F,
                   {output.plane(n, g * gv.filters), gv.filters * cols},
                   cols);
     }
@@ -60,7 +59,7 @@ void GemmConv::backward_data(const ConvConfig& cfg, const Tensor& grad_output,
   const std::size_t o = cfg.output();
   const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
   const std::size_t cols = o * o;
-  std::vector<float> col(col_buffer_size(gv));
+  ws::Scratch<float> col(col_buffer_size(gv));
   grad_input.fill(0.0F);
 
   // Per image and group: col_grad(CKK x OhOw) = W_g^T(CKK x F_g) *
@@ -71,8 +70,8 @@ void GemmConv::backward_data(const ConvConfig& cfg, const Tensor& grad_output,
                   {filters.plane(g * gv.filters, 0), gv.filters * ckk},
                   ckk,
                   {grad_output.plane(n, g * gv.filters), gv.filters * cols},
-                  cols, 0.0F, col, cols);
-      col2im(gv, col,
+                  cols, 0.0F, col.span(), cols);
+      col2im(gv, col.span(),
              {grad_input.plane(n, g * gv.channels),
               gv.channels * cfg.input * cfg.input});
     }
@@ -91,7 +90,7 @@ void GemmConv::backward_filter(const ConvConfig& cfg, const Tensor& input,
   const std::size_t o = cfg.output();
   const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
   const std::size_t cols = o * o;
-  std::vector<float> col(col_buffer_size(gv));
+  ws::Scratch<float> col(col_buffer_size(gv));
   grad_filters.fill(0.0F);
 
   // Per image and group: gw_g(F_g x CKK) += gout_g * col^T.
@@ -100,10 +99,10 @@ void GemmConv::backward_filter(const ConvConfig& cfg, const Tensor& input,
       im2col(gv,
              {input.plane(n, g * gv.channels),
               gv.channels * cfg.input * cfg.input},
-             col);
+             col.span());
       blas::sgemm(Trans::kNo, Trans::kYes, gv.filters, ckk, cols, 1.0F,
                   {grad_output.plane(n, g * gv.filters), gv.filters * cols},
-                  cols, col, cols, 1.0F,
+                  cols, col.span(), cols, 1.0F,
                   {grad_filters.plane(g * gv.filters, 0),
                    gv.filters * ckk},
                   ckk);

@@ -1,8 +1,37 @@
 #include "conv/im2col.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "core/error.hpp"
+#include "core/thread_pool.hpp"
 
 namespace gpucnn::conv {
+namespace {
+
+// For one (ky/kx, output-row) combination, the x loop splits into a
+// zero prefix (ix < pad), a dense middle where every tap is in bounds,
+// and a zero suffix (ix >= in + pad). Precomputing the split turns the
+// per-element bounds checks of the naive loop into memset/memcpy (or a
+// strided copy when stride > 1), which is what "vectorised im2col"
+// means on a CPU: the copies saturate the load/store units.
+struct XSplit {
+  std::size_t lo;  ///< first in-bounds output x
+  std::size_t hi;  ///< one past the last in-bounds output x
+};
+
+XSplit x_split(std::size_t o, std::size_t in, std::size_t s, std::size_t p,
+               std::size_t kx) {
+  // In bounds: p <= x*s + kx < in + p.
+  const std::size_t lo = kx >= p ? 0 : (p - kx + s - 1) / s;
+  std::size_t hi = 0;
+  if (in + p > kx) {
+    hi = std::min(o, (in + p - 1 - kx) / s + 1);
+  }
+  return {std::min(lo, hi), hi};
+}
+
+}  // namespace
 
 std::size_t col_buffer_size(const ConvConfig& cfg) {
   const std::size_t o = cfg.output();
@@ -19,24 +48,38 @@ void im2col(const ConvConfig& cfg, std::span<const float> input,
   check(input.size() == cfg.channels * in * in, "im2col input size mismatch");
   check(col.size() == col_buffer_size(cfg), "im2col col size mismatch");
 
-  float* dst = col.data();
-  for (std::size_t c = 0; c < cfg.channels; ++c) {
+  // Each channel writes a disjoint k*k*o*o block of `col`; lowering a
+  // many-channel layer spreads planes across the pool.
+  parallel_for(0, cfg.channels, [&](std::size_t c) {
     const float* plane = input.data() + c * in * in;
+    float* dst = col.data() + c * k * k * o * o;
     for (std::size_t ky = 0; ky < k; ++ky) {
       for (std::size_t kx = 0; kx < k; ++kx) {
-        for (std::size_t y = 0; y < o; ++y) {
+        const auto [x_lo, x_hi] = x_split(o, in, s, p, kx);
+        for (std::size_t y = 0; y < o; ++y, dst += o) {
           const std::size_t iy = y * s + ky;
-          const bool row_in = iy >= p && iy < in + p;
-          const float* in_row = row_in ? plane + (iy - p) * in : nullptr;
-          for (std::size_t x = 0; x < o; ++x) {
-            const std::size_t ix = x * s + kx;
-            *dst++ = (row_in && ix >= p && ix < in + p) ? in_row[ix - p]
-                                                        : 0.0F;
+          if (iy < p || iy >= in + p) {
+            std::memset(dst, 0, o * sizeof(float));
+            continue;
+          }
+          const float* in_row = plane + (iy - p) * in;
+          if (x_lo > 0) std::memset(dst, 0, x_lo * sizeof(float));
+          if (s == 1) {
+            // ix - p = x + kx - p is consecutive in x: one dense copy.
+            std::memcpy(dst + x_lo, in_row + (x_lo + kx - p),
+                        (x_hi - x_lo) * sizeof(float));
+          } else {
+            for (std::size_t x = x_lo; x < x_hi; ++x) {
+              dst[x] = in_row[x * s + kx - p];
+            }
+          }
+          if (x_hi < o) {
+            std::memset(dst + x_hi, 0, (o - x_hi) * sizeof(float));
           }
         }
       }
     }
-  }
+  });
 }
 
 void col2im(const ConvConfig& cfg, std::span<const float> col,
@@ -49,24 +92,33 @@ void col2im(const ConvConfig& cfg, std::span<const float> col,
   check(input.size() == cfg.channels * in * in, "col2im input size mismatch");
   check(col.size() == col_buffer_size(cfg), "col2im col size mismatch");
 
-  const float* src = col.data();
-  for (std::size_t c = 0; c < cfg.channels; ++c) {
+  // Distinct channels scatter into disjoint input planes, so the
+  // channel loop parallelises safely; within a channel the (ky, kx)
+  // taps overlap and stay sequential.
+  parallel_for(0, cfg.channels, [&](std::size_t c) {
     float* plane = input.data() + c * in * in;
+    const float* src = col.data() + c * k * k * o * o;
     for (std::size_t ky = 0; ky < k; ++ky) {
       for (std::size_t kx = 0; kx < k; ++kx) {
-        for (std::size_t y = 0; y < o; ++y) {
+        const auto [x_lo, x_hi] = x_split(o, in, s, p, kx);
+        for (std::size_t y = 0; y < o; ++y, src += o) {
           const std::size_t iy = y * s + ky;
-          const bool row_in = iy >= p && iy < in + p;
-          float* in_row = row_in ? plane + (iy - p) * in : nullptr;
-          for (std::size_t x = 0; x < o; ++x) {
-            const std::size_t ix = x * s + kx;
-            const float v = *src++;
-            if (row_in && ix >= p && ix < in + p) in_row[ix - p] += v;
+          if (iy < p || iy >= in + p) continue;
+          float* in_row = plane + (iy - p) * in;
+          if (s == 1) {
+            float* out = in_row + (x_lo + kx - p);
+            for (std::size_t x = x_lo; x < x_hi; ++x) {
+              out[x - x_lo] += src[x];
+            }
+          } else {
+            for (std::size_t x = x_lo; x < x_hi; ++x) {
+              in_row[x * s + kx - p] += src[x];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace gpucnn::conv

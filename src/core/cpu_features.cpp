@@ -1,0 +1,60 @@
+#include "core/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gpucnn::simd {
+namespace {
+
+bool detect_avx2() {
+#if GPUCNN_X86_SIMD
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Level detect() {
+  const bool has_avx2 = detect_avx2();
+  if (const char* env = std::getenv("GPUCNN_SIMD")) {
+    if (std::strcmp(env, "portable") == 0 || std::strcmp(env, "scalar") == 0) {
+      return Level::kPortable;
+    }
+    // Any other value (including "avx2") means "best the CPU offers";
+    // an explicit avx2 request on a machine without it falls back
+    // rather than crashing on an illegal instruction.
+  }
+  return has_avx2 ? Level::kAvx2 : Level::kPortable;
+}
+
+Level& active_slot() {
+  static Level level = detect();
+  return level;
+}
+
+}  // namespace
+
+Level active() { return active_slot(); }
+
+bool cpu_has_avx2() {
+  static const bool has = detect_avx2();
+  return has;
+}
+
+Level set_active_for_testing(Level level) {
+  if (level == Level::kAvx2 && !cpu_has_avx2()) level = Level::kPortable;
+  active_slot() = level;
+  return level;
+}
+
+const char* name(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kPortable:
+      break;
+  }
+  return "portable";
+}
+
+}  // namespace gpucnn::simd

@@ -1,0 +1,49 @@
+// Runtime SIMD capability detection and dispatch level selection.
+//
+// The numeric kernels (sgemm, cgemm, vector_ops, FFT butterflies) ship
+// two code paths: a portable scalar loop compiled for the baseline ISA
+// and an AVX2/FMA micro-kernel compiled per-function via
+// __attribute__((target(...))). Which path runs is decided once per
+// process from CPUID — never at compile time — so one binary runs
+// everywhere and uses the wide units where they exist.
+//
+// The environment variable GPUCNN_SIMD overrides detection:
+//   GPUCNN_SIMD=portable   force the scalar fallback (used by tests/CI
+//                          to validate both paths on one machine);
+//   GPUCNN_SIMD=avx2       request AVX2 (ignored if the CPU lacks it).
+#pragma once
+
+// GPUCNN_X86_SIMD gates compilation of the AVX2/FMA kernels; they are
+// only built with GCC/Clang targeting x86-64, where per-function
+// target attributes and <immintrin.h> are available.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GPUCNN_X86_SIMD 1
+#else
+#define GPUCNN_X86_SIMD 0
+#endif
+
+namespace gpucnn::simd {
+
+/// Instruction-set level a kernel dispatch may select.
+enum class Level {
+  kPortable,  ///< baseline scalar loops, available everywhere
+  kAvx2,      ///< AVX2 + FMA micro-kernels (x86-64 only)
+};
+
+/// The level every kernel dispatches on. Detected once (CPUID +
+/// GPUCNN_SIMD override) and cached; cheap enough to query per call.
+[[nodiscard]] Level active();
+
+/// Human-readable level name ("portable", "avx2") for logs/exports.
+[[nodiscard]] const char* name(Level level);
+
+/// True when this build carries AVX2 kernels and the CPU supports them,
+/// regardless of the GPUCNN_SIMD override.
+[[nodiscard]] bool cpu_has_avx2();
+
+/// Test hook: pins active() to `level` (clamped to what the CPU
+/// supports) so one process can exercise both code paths. Returns the
+/// level actually installed.
+Level set_active_for_testing(Level level);
+
+}  // namespace gpucnn::simd

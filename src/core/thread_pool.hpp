@@ -1,21 +1,61 @@
-// A small fixed-size thread pool with a chunked parallel_for.
+// A small fixed-size thread pool with a low-overhead chunked parallel_for.
 //
 // The numeric kernels (GEMM, FFT batches, im2col, direct convolution) are
-// data-parallel over independent ranges; parallel_for dispatches contiguous
-// chunks to worker threads and joins before returning. The pool is created
-// once per process (see global_pool()) so kernels never pay thread start-up
+// data-parallel over independent ranges; parallel_for dispatches the range
+// to worker threads and joins before returning. The pool is created once
+// per process (see global_pool()) so kernels never pay thread start-up
 // costs on the hot path.
+//
+// Dispatch design (the part that matters for fine-grained loops):
+//   * Bodies are passed by lightweight non-owning reference
+//     (ChunkFnRef — a {void*, fn*} pair), never std::function, so a
+//     dispatch performs no heap allocation and no virtual call setup.
+//   * A dispatch publishes one Job; workers claim chunk indices from the
+//     job's shared atomic counter (fetch_add) instead of popping tasks
+//     from a mutex-guarded queue. The pool mutex is touched once to
+//     publish and once to retire a job — not once per chunk.
+//   * The calling thread claims chunks too (caller-runs), so a dispatch
+//     on an idle pool costs one cv broadcast, not a context switch.
+//   * Nested parallel_for from inside a pool task runs inline; the outer
+//     loop already saturates the workers, and inlining cannot deadlock.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
-#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace gpucnn {
+
+/// Non-owning reference to a callable with signature
+/// void(std::size_t chunk_begin, std::size_t chunk_end). Valid only for
+/// the duration of the parallel_for call that receives it — which always
+/// joins before returning, so stack-allocated lambdas are safe.
+class ChunkFnRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, ChunkFnRef>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+  // call sites pass lambdas directly.
+  ChunkFnRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, std::size_t lo, std::size_t hi) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(lo, hi);
+        }) {}
+
+  void operator()(std::size_t lo, std::size_t hi) const {
+    call_(obj_, lo, hi);
+  }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, std::size_t, std::size_t);
+};
 
 /// Fixed-size worker pool executing [begin, end) index ranges.
 class ThreadPool {
@@ -29,50 +69,62 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Runs body(i) for every i in [begin, end), splitting the range into
-  /// one contiguous chunk per worker. Blocks until all chunks finish.
-  /// Exceptions thrown by `body` are rethrown on the calling thread.
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+  /// Runs body(chunk_begin, chunk_end) over disjoint chunks covering
+  /// [begin, end); chunks are claimed dynamically by workers and the
+  /// calling thread. Blocks until all chunks finish. Exceptions thrown
+  /// by `body` are rethrown on the calling thread (first one wins).
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           ChunkFnRef body);
 
-  /// Like parallel_for but hands each worker its whole [chunk_begin,
-  /// chunk_end) range, letting the body amortise per-chunk setup.
-  void parallel_for_chunks(
-      std::size_t begin, std::size_t end,
-      const std::function<void(std::size_t, std::size_t)>& body);
+  /// Runs body(i) for every i in [begin, end). Same execution contract
+  /// as parallel_for_chunks; accepts any callable, no std::function.
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& body) {
+    auto chunk = [&body](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    };
+    parallel_for_chunks(begin, end, ChunkFnRef(chunk));
+  }
 
  private:
-  struct Invocation;
-  struct Task {
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-    std::shared_ptr<Invocation> invocation;
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
+  struct Job;
 
   void worker_loop();
-  void run_task(const Task& task);
+  /// Claims and runs chunks of `job` until the claim counter is
+  /// exhausted; records the first exception in the job.
+  void work_on(Job& job, bool caller);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::vector<Task> queue_;
+  std::condition_variable work_ready_;  ///< workers: a job was published
+  std::condition_variable job_done_;    ///< caller: chunks done / detached
+  Job* current_job_ = nullptr;          ///< guarded by mutex_
   bool stop_ = false;
 };
 
 /// Process-wide pool shared by all kernels.
 ThreadPool& global_pool();
 
-/// Convenience: chunked parallel loop on the global pool. Falls back to a
-/// serial loop for tiny ranges where dispatch overhead would dominate.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t serial_threshold = 2);
+namespace detail {
+/// Out-of-line guts of the free parallel_for (serial fallback + metrics
+/// live here so the template below stays tiny).
+void parallel_for_impl(std::size_t begin, std::size_t end, ChunkFnRef body,
+                       std::size_t serial_threshold);
+}  // namespace detail
+
+/// Convenience: chunked parallel loop on the global pool. Falls back to
+/// a serial loop for tiny ranges where dispatch overhead would dominate.
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, F&& body,
+                  std::size_t serial_threshold = 2) {
+  auto chunk = [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  };
+  detail::parallel_for_impl(begin, end, ChunkFnRef(chunk),
+                            serial_threshold);
+}
 
 /// Chunk-granular variant on the global pool.
-void parallel_for_chunks(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body);
+void parallel_for_chunks(std::size_t begin, std::size_t end, ChunkFnRef body);
 
 }  // namespace gpucnn

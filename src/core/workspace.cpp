@@ -1,0 +1,131 @@
+#include "core/workspace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <new>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gpucnn::ws {
+namespace {
+
+// Smallest block handed out; sub-256-byte requests share one class so
+// tiny scratches don't fragment the list space.
+constexpr std::size_t kMinClassBytes = 256;
+// log2 of the largest class (2^32 = 4 GiB) — requests beyond this are
+// still served, in the last class.
+constexpr std::size_t kNumClasses = 33 - std::bit_width(kMinClassBytes - 1);
+
+// A thread keeps at most this many freed bytes parked; beyond the cap,
+// released blocks are returned to the system instead (prevents a burst
+// of huge FFT tiles from pinning memory for the process lifetime).
+constexpr std::size_t kRetainCapBytes = std::size_t{1} << 28;  // 256 MiB
+
+std::size_t class_of(std::size_t bytes) {
+  const std::size_t rounded = std::max(bytes, kMinClassBytes);
+  const std::size_t cls =
+      std::bit_width(rounded - 1) - std::bit_width(kMinClassBytes - 1);
+  return std::min(cls, kNumClasses - 1);
+}
+
+std::size_t class_bytes(std::size_t cls) {
+  return kMinClassBytes << cls;
+}
+
+struct Arena {
+  std::vector<void*> free_lists[kNumClasses];
+  std::size_t retained = 0;
+
+  ~Arena() {
+    for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+      for (void* p : free_lists[cls]) {
+        ::operator delete(p, std::align_val_t{kAlignment});
+      }
+    }
+  }
+};
+
+Arena& arena() {
+  thread_local Arena tls_arena;
+  return tls_arena;
+}
+
+// Counter lookups go through a mutex-guarded map; resolve each name
+// once and keep the stable reference.
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::metrics().counter("core.workspace.hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::metrics().counter("core.workspace.misses");
+  return c;
+}
+obs::Counter& alloc_bytes_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("core.workspace.alloc_bytes");
+  return c;
+}
+obs::Gauge& retained_gauge() {
+  static obs::Gauge& g =
+      obs::metrics().gauge("core.workspace.retained_bytes");
+  return g;
+}
+
+}  // namespace
+
+void* acquire(std::size_t bytes) {
+  Arena& a = arena();
+  const std::size_t cls = class_of(bytes);
+  auto& list = a.free_lists[cls];
+  // Parked blocks hold exactly class_bytes(cls); a beyond-last-class
+  // request is larger than that, so it can't reuse one.
+  if (!list.empty() && bytes <= class_bytes(cls)) {
+    void* p = list.back();
+    list.pop_back();
+    a.retained -= class_bytes(cls);
+    retained_gauge().set(static_cast<double>(a.retained));
+    hits_counter().add(1);
+    return p;
+  }
+  // The last size class is open-ended: allocate the exact (aligned)
+  // request so a 5 GiB tensor doesn't round to a power of two.
+  const std::size_t alloc =
+      cls == kNumClasses - 1 ? std::max(bytes, class_bytes(cls))
+                             : class_bytes(cls);
+  misses_counter().add(1);
+  alloc_bytes_counter().add(static_cast<std::int64_t>(alloc));
+  return ::operator new(alloc, std::align_val_t{kAlignment});
+}
+
+void release(void* ptr, std::size_t bytes) noexcept {
+  Arena& a = arena();
+  const std::size_t cls = class_of(bytes);
+  const std::size_t cb = class_bytes(cls);
+  // Oversized last-class blocks have no recorded capacity; parking them
+  // as `cb` could hand out a too-small block later, so free them.
+  const bool oversized = cls == kNumClasses - 1 && bytes > cb;
+  if (oversized || a.retained + cb > kRetainCapBytes) {
+    ::operator delete(ptr, std::align_val_t{kAlignment});
+    return;
+  }
+  a.free_lists[cls].push_back(ptr);
+  a.retained += cb;
+  retained_gauge().set(static_cast<double>(a.retained));
+}
+
+std::size_t retained_bytes() { return arena().retained; }
+
+void trim() {
+  Arena& a = arena();
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    for (void* p : a.free_lists[cls]) {
+      ::operator delete(p, std::align_val_t{kAlignment});
+    }
+    a.free_lists[cls].clear();
+  }
+  a.retained = 0;
+  retained_gauge().set(0.0);
+}
+
+}  // namespace gpucnn::ws

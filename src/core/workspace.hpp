@@ -1,0 +1,91 @@
+// Thread-local workspace arena for hot-path scratch buffers.
+//
+// The CPU kernels need short-lived temporaries on every call — GEMM
+// packing panels, im2col column buffers, FFT tile scratch. Allocating
+// them as std::vector pays an allocator round-trip (and a page-fault
+// storm on first touch) per call; at the call rates of a sweep that is
+// measurable. The arena keeps freed blocks in per-thread, per-size-class
+// free lists so steady-state kernels recycle the same hot memory:
+//
+//   ws::Scratch<float> packed(n);        // acquire (hit = reuse)
+//   fill(packed.span()); ...             // 64-byte aligned storage
+//   // destructor returns the block to this thread's free list
+//
+// Blocks are rounded up to power-of-two size classes, every block is
+// 64-byte aligned (cache line / AVX-512 friendly), and each thread owns
+// its arena outright, so acquire/release take no locks. A per-thread
+// retention cap bounds the memory a burst can pin.
+//
+// Observability: core.workspace.hits / misses count reuse vs fresh
+// allocation, core.workspace.alloc_bytes sums fresh allocation sizes,
+// and the core.workspace.retained_bytes gauge tracks the calling
+// thread's current free-list footprint (see docs/METRICS.md).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+
+namespace gpucnn::ws {
+
+/// Cache-line alignment every arena block satisfies.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Acquires a block of at least `bytes` (rounded to a size class) from
+/// the calling thread's arena. Contents are indeterminate.
+[[nodiscard]] void* acquire(std::size_t bytes);
+
+/// Returns a block obtained from acquire() with the same byte count.
+void release(void* ptr, std::size_t bytes) noexcept;
+
+/// Bytes currently parked in the calling thread's free lists.
+[[nodiscard]] std::size_t retained_bytes();
+
+/// Frees every block parked in the calling thread's free lists (used by
+/// tests to get deterministic hit/miss counts).
+void trim();
+
+/// RAII scratch buffer of `n` elements of trivially-destructible T.
+/// Move-only; storage is uninitialised unless `zero` is requested.
+template <typename T>
+class Scratch {
+  static_assert(std::is_trivially_destructible_v<T> &&
+                    std::is_trivially_copyable_v<T>,
+                "arena scratch holds raw POD-like elements only");
+
+ public:
+  explicit Scratch(std::size_t n, bool zero = false)
+      : n_(n), data_(static_cast<T*>(acquire(n * sizeof(T)))) {
+    if (zero) {
+      for (std::size_t i = 0; i < n_; ++i) data_[i] = T{};
+    }
+  }
+  ~Scratch() {
+    if (data_ != nullptr) release(data_, n_ * sizeof(T));
+  }
+
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+  Scratch(Scratch&& other) noexcept : n_(other.n_), data_(other.data_) {
+    other.data_ = nullptr;
+    other.n_ = 0;
+  }
+  Scratch& operator=(Scratch&&) = delete;
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::span<T> span() { return {data_, n_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, n_}; }
+
+  /// Overwrites every element with `value`.
+  void fill(T value) {
+    for (std::size_t i = 0; i < n_; ++i) data_[i] = value;
+  }
+
+ private:
+  std::size_t n_;
+  T* data_;
+};
+
+}  // namespace gpucnn::ws

@@ -3,7 +3,12 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/cpu_features.hpp"
 #include "core/error.hpp"
+
+#if GPUCNN_X86_SIMD
+#include <immintrin.h>
+#endif
 
 namespace gpucnn::fft {
 namespace {
@@ -13,6 +18,78 @@ inline Complex twiddle_for(const std::vector<Complex>& table, std::size_t k,
   const Complex w = table[k];
   return dir == Direction::kForward ? w : std::conj(w);
 }
+
+#if GPUCNN_X86_SIMD
+
+// Interleaved complex multiply of 4 complex pairs:
+// (wr*xr - wi*xi, wr*xi + wi*xr) per pair.
+__attribute__((target("avx2,fma"))) inline __m256 cmul4(__m256 w, __m256 x) {
+  const __m256 wr = _mm256_moveldup_ps(w);
+  const __m256 wi = _mm256_movehdup_ps(w);
+  const __m256 x_swap = _mm256_permute_ps(x, 0xB1);
+  return _mm256_fmaddsub_ps(x, wr, _mm256_mul_ps(x_swap, wi));
+}
+
+// Conjugates 4 interleaved complex pairs (flips imaginary lanes).
+__attribute__((target("avx2,fma"))) inline __m256 conj4(__m256 w) {
+  const __m256 neg_odd = _mm256_setr_ps(0.0F, -0.0F, 0.0F, -0.0F, 0.0F,
+                                        -0.0F, 0.0F, -0.0F);
+  return _mm256_xor_ps(w, neg_odd);
+}
+
+// One DIT block's butterflies for k in [0, half), contiguous data:
+//   t = w*hi; hi = lo - t; lo = lo + t.
+// `tw` is the stage's contiguous twiddle row (see Plan::stage_twiddles_).
+__attribute__((target("avx2,fma"))) void butterfly_block_dit_avx2(
+    Complex* lo_c, Complex* hi_c, const Complex* tw, std::size_t half,
+    bool conjugate) {
+  auto* lo = reinterpret_cast<float*>(lo_c);
+  auto* hi = reinterpret_cast<float*>(hi_c);
+  const auto* twf = reinterpret_cast<const float*>(tw);
+  std::size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    __m256 w = _mm256_loadu_ps(twf + 2 * k);
+    if (conjugate) w = conj4(w);
+    const __m256 vlo = _mm256_loadu_ps(lo + 2 * k);
+    const __m256 t = cmul4(w, _mm256_loadu_ps(hi + 2 * k));
+    _mm256_storeu_ps(hi + 2 * k, _mm256_sub_ps(vlo, t));
+    _mm256_storeu_ps(lo + 2 * k, _mm256_add_ps(vlo, t));
+  }
+  for (; k < half; ++k) {
+    const Complex w = conjugate ? std::conj(tw[k]) : tw[k];
+    const Complex t = w * hi_c[k];
+    hi_c[k] = lo_c[k] - t;
+    lo_c[k] = lo_c[k] + t;
+  }
+}
+
+// One DIF block's butterflies:
+//   t = lo - hi; lo = lo + hi; hi = w*t.
+__attribute__((target("avx2,fma"))) void butterfly_block_dif_avx2(
+    Complex* lo_c, Complex* hi_c, const Complex* tw, std::size_t half,
+    bool conjugate) {
+  auto* lo = reinterpret_cast<float*>(lo_c);
+  auto* hi = reinterpret_cast<float*>(hi_c);
+  const auto* twf = reinterpret_cast<const float*>(tw);
+  std::size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    __m256 w = _mm256_loadu_ps(twf + 2 * k);
+    if (conjugate) w = conj4(w);
+    const __m256 vlo = _mm256_loadu_ps(lo + 2 * k);
+    const __m256 vhi = _mm256_loadu_ps(hi + 2 * k);
+    const __m256 t = _mm256_sub_ps(vlo, vhi);
+    _mm256_storeu_ps(lo + 2 * k, _mm256_add_ps(vlo, vhi));
+    _mm256_storeu_ps(hi + 2 * k, cmul4(w, t));
+  }
+  for (; k < half; ++k) {
+    const Complex w = conjugate ? std::conj(tw[k]) : tw[k];
+    const Complex t = lo_c[k] - hi_c[k];
+    lo_c[k] = lo_c[k] + hi_c[k];
+    hi_c[k] = w * t;
+  }
+}
+
+#endif  // GPUCNN_X86_SIMD
 
 }  // namespace
 
@@ -24,6 +101,24 @@ Plan::Plan(std::size_t n, Schedule schedule) : n_(n), schedule_(schedule) {
         -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
     twiddles_[k] = Complex(static_cast<float>(std::cos(angle)),
                            static_cast<float>(std::sin(angle)));
+  }
+  // Stage-major twiddle rows: the stage with butterfly span `len` uses
+  // w[k * (n/len)] for k in [0, len/2); storing each stage's row
+  // contiguously turns the strided table walk into unit-stride loads
+  // the vector butterflies (and the hardware prefetcher) like. Rows are
+  // laid out smallest stage first: offset for `len` is len/2 - 1... the
+  // sum of all smaller stages' halves, i.e. len/2 - 1.
+  if (n >= 2) {
+    stage_twiddles_.resize(n - 1);
+    std::size_t offset = 0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len / 2;
+      const std::size_t step = n / len;
+      for (std::size_t k = 0; k < half; ++k) {
+        stage_twiddles_[offset + k] = twiddles_[k * step];
+      }
+      offset += half;
+    }
   }
   reversal_.resize(n);
   std::size_t bits = 0;
@@ -46,6 +141,22 @@ void Plan::bit_reverse(std::span<Complex> data, std::size_t stride) const {
 
 void Plan::butterflies_dit(std::span<Complex> data, std::size_t stride,
                            Direction dir) const {
+#if GPUCNN_X86_SIMD
+  if (stride == 1 && simd::active() == simd::Level::kAvx2) {
+    const bool conj = dir == Direction::kInverse;
+    std::size_t offset = 0;
+    for (std::size_t len = 2; len <= n_; len <<= 1) {
+      const std::size_t half = len / 2;
+      const Complex* tw = stage_twiddles_.data() + offset;
+      for (std::size_t start = 0; start < n_; start += len) {
+        butterfly_block_dit_avx2(data.data() + start,
+                                 data.data() + start + half, tw, half, conj);
+      }
+      offset += half;
+    }
+    return;
+  }
+#endif
   // Stages of doubling butterfly span; input must be bit-reversed.
   for (std::size_t len = 2; len <= n_; len <<= 1) {
     const std::size_t half = len / 2;
@@ -65,6 +176,22 @@ void Plan::butterflies_dit(std::span<Complex> data, std::size_t stride,
 
 void Plan::butterflies_dif(std::span<Complex> data, std::size_t stride,
                            Direction dir) const {
+#if GPUCNN_X86_SIMD
+  if (stride == 1 && simd::active() == simd::Level::kAvx2) {
+    const bool conj = dir == Direction::kInverse;
+    std::size_t offset = static_cast<std::size_t>(n_ - 1);
+    for (std::size_t len = n_; len >= 2; len >>= 1) {
+      const std::size_t half = len / 2;
+      offset -= half;
+      const Complex* tw = stage_twiddles_.data() + offset;
+      for (std::size_t start = 0; start < n_; start += len) {
+        butterfly_block_dif_avx2(data.data() + start,
+                                 data.data() + start + half, tw, half, conj);
+      }
+    }
+    return;
+  }
+#endif
   // Stages of halving butterfly span; output comes out bit-reversed.
   for (std::size_t len = n_; len >= 2; len >>= 1) {
     const std::size_t half = len / 2;

@@ -61,6 +61,10 @@ class Plan {
   std::size_t n_;
   Schedule schedule_;
   std::vector<Complex> twiddles_;       // e^{-2πi k / n}, k in [0, n/2)
+  // Per-stage contiguous twiddle rows (smallest stage first, n-1 total):
+  // the stage with span `len` reads its len/2 twiddles unit-stride,
+  // which the vectorised butterflies require.
+  std::vector<Complex> stage_twiddles_;
   std::vector<std::uint32_t> reversal_; // bit-reversal permutation
 };
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -108,6 +110,39 @@ TEST(Cgemm, EmptyDimensionsAreNoops) {
 
 TEST(Cgemm, FlopsFormula) {
   EXPECT_DOUBLE_EQ(cgemm_flops(2, 3, 4), 8.0 * 24);
+}
+
+// BLAS beta == 0 semantics: C is overwritten without being read, so a
+// NaN-poisoned C (fresh scratch) must come out finite for all three
+// variants. Shapes are big enough to hit the vectorised paths.
+TEST(Cgemm, BetaZeroOverwritesNaNFilledC) {
+  constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+  Rng rng(9);
+  const std::size_t m = 8, n = 8, k = 8;
+  const auto a = random_cmatrix(m, k, rng);
+  const auto b = random_cmatrix(n, k, rng);  // row-major n x k for nt
+  const auto b_nn = random_cmatrix(k, n, rng);
+  const std::vector<Complex> poison(m * n, Complex{kNaN, kNaN});
+
+  std::vector<Complex> c = poison;
+  cgemm_nt_conj(m, n, k, {1.0F, 0.0F}, a, k, b, k, {0.0F, 0.0F}, c, n);
+  for (const Complex& v : c) {
+    EXPECT_FALSE(std::isnan(v.real()) || std::isnan(v.imag()));
+  }
+
+  c = poison;
+  cgemm_nn(m, n, k, {1.0F, 0.0F}, a, k, b_nn, n, {0.0F, 0.0F}, c, n);
+  for (const Complex& v : c) {
+    EXPECT_FALSE(std::isnan(v.real()) || std::isnan(v.imag()));
+  }
+
+  c = poison;
+  // ctn: a is k x m (conjugate-transposed), output m x n.
+  const auto a_ct = random_cmatrix(k, m, rng);
+  cgemm_ctn(m, n, k, {1.0F, 0.0F}, a_ct, m, b_nn, n, {0.0F, 0.0F}, c, n);
+  for (const Complex& v : c) {
+    EXPECT_FALSE(std::isnan(v.real()) || std::isnan(v.imag()));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,39 @@
+#include "core/cpu_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace gpucnn::simd {
+namespace {
+
+TEST(CpuFeatures, NamesAreStable) {
+  // Exported in run manifests; renaming is a schema change.
+  EXPECT_STREQ(name(Level::kPortable), "portable");
+  EXPECT_STREQ(name(Level::kAvx2), "avx2");
+}
+
+TEST(CpuFeatures, ActiveNeverExceedsCpuCapability) {
+  if (active() == Level::kAvx2) {
+    EXPECT_TRUE(cpu_has_avx2());
+  }
+}
+
+TEST(CpuFeatures, TestHookRoundTrips) {
+  const Level original = active();
+  const Level installed = set_active_for_testing(Level::kPortable);
+  EXPECT_EQ(installed, Level::kPortable);
+  EXPECT_EQ(active(), Level::kPortable);
+  // Requesting AVX2 is clamped to what the CPU offers.
+  const Level requested = set_active_for_testing(Level::kAvx2);
+  if (cpu_has_avx2()) {
+    EXPECT_EQ(requested, Level::kAvx2);
+  } else {
+    EXPECT_EQ(requested, Level::kPortable);
+  }
+  set_active_for_testing(original);
+  EXPECT_EQ(active(), original);
+}
+
+}  // namespace
+}  // namespace gpucnn::simd

@@ -2,13 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 #include <vector>
 
+#include "core/cpu_features.hpp"
 #include "core/rng.hpp"
 
 namespace gpucnn::blas {
 namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+// Pins the SIMD dispatch level for one test and restores it after.
+class SimdGuard {
+ public:
+  explicit SimdGuard(simd::Level level)
+      : previous_(simd::set_active_for_testing(level)) {}
+  ~SimdGuard() { simd::set_active_for_testing(previous_); }
+  SimdGuard(const SimdGuard&) = delete;
+  SimdGuard& operator=(const SimdGuard&) = delete;
+
+ private:
+  simd::Level previous_;
+};
 
 std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
                                  Rng& rng) {
@@ -95,6 +113,142 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{150, 150, 150, Trans::kYes, Trans::kYes},
         GemmCase{8, 2048, 64, Trans::kNo, Trans::kNo},
         GemmCase{2048, 8, 64, Trans::kNo, Trans::kNo}));
+
+// BLAS semantics: beta == 0 must overwrite C without reading it, so a
+// C full of NaN (e.g. fresh uninitialised scratch) must come out clean.
+TEST(GemmNaive, BetaZeroOverwritesNaNFilledC) {
+  Rng rng(21);
+  const auto a = random_matrix(5, 7, rng);
+  const auto b = random_matrix(7, 6, rng);
+  std::vector<float> c(5 * 6, kNaN);
+  sgemm_naive(Trans::kNo, Trans::kNo, 5, 6, 7, 1.0F, a, 7, b, 6, 0.0F, c, 6);
+  for (const float v : c) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Gemm, BetaZeroOverwritesNaNFilledCBlockedPath) {
+  // 80^3 > 64^3 forces the blocked/packed path.
+  Rng rng(22);
+  const std::size_t n = 80;
+  const auto a = random_matrix(n, n, rng);
+  const auto b = random_matrix(n, n, rng);
+  std::vector<float> c_blk(n * n, kNaN);
+  std::vector<float> c_ref(n * n, 0.0F);
+  sgemm(Trans::kNo, Trans::kNo, n, n, n, 1.0F, a, n, b, n, 0.0F, c_blk, n);
+  sgemm_naive(Trans::kNo, Trans::kNo, n, n, n, 1.0F, a, n, b, n, 0.0F, c_ref,
+              n);
+  for (std::size_t i = 0; i < c_blk.size(); ++i) {
+    ASSERT_FALSE(std::isnan(c_blk[i])) << "NaN leaked at " << i;
+    EXPECT_NEAR(c_ref[i], c_blk[i], 2e-3F);
+  }
+}
+
+TEST(Gemm, BetaZeroOverwritesNaNFilledCSmallPath) {
+  // Below the 64^3 threshold sgemm delegates to the naive kernel; the
+  // overwrite contract must hold there too.
+  Rng rng(23);
+  const auto a = random_matrix(8, 8, rng);
+  const auto b = random_matrix(8, 8, rng);
+  std::vector<float> c(8 * 8, kNaN);
+  sgemm(Trans::kNo, Trans::kNo, 8, 8, 8, 2.0F, a, 8, b, 8, 0.0F, c, 8);
+  for (const float v : c) EXPECT_FALSE(std::isnan(v));
+}
+
+// Leading dimensions larger than the logical row length: operands are
+// embedded in wider storage whose padding is poisoned with NaN, so any
+// out-of-row read or write shows up immediately. All four transpose
+// combinations go through the blocked path (96*80*72 > 64^3).
+TEST(Gemm, PaddedLeadingDimensionsAllTransposeCombos) {
+  const std::size_t m = 96, n = 80, k = 72, pad = 5;
+  for (const Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (const Trans tb : {Trans::kNo, Trans::kYes}) {
+      Rng rng(31);
+      // Stored A is m x k (kNo) or k x m (kYes); same for B.
+      const std::size_t a_rows = ta == Trans::kNo ? m : k;
+      const std::size_t lda = (ta == Trans::kNo ? k : m) + pad;
+      const std::size_t b_rows = tb == Trans::kNo ? k : n;
+      const std::size_t ldb = (tb == Trans::kNo ? n : k) + pad;
+      const std::size_t ldc = n + pad;
+      std::vector<float> a(a_rows * lda, kNaN);
+      std::vector<float> b(b_rows * ldb, kNaN);
+      std::vector<float> c_ref(m * ldc, 0.25F);
+      std::vector<float> c_blk(m * ldc, 0.25F);
+      for (std::size_t r = 0; r < a_rows; ++r) {
+        for (std::size_t col = 0; col + pad < lda; ++col) {
+          a[r * lda + col] = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+      }
+      for (std::size_t r = 0; r < b_rows; ++r) {
+        for (std::size_t col = 0; col + pad < ldb; ++col) {
+          b[r * ldb + col] = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+      }
+      sgemm_naive(ta, tb, m, n, k, 1.1F, a, lda, b, ldb, 0.5F, c_ref, ldc);
+      sgemm(ta, tb, m, n, k, 1.1F, a, lda, b, ldb, 0.5F, c_blk, ldc);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          EXPECT_NEAR(c_ref[i * ldc + j], c_blk[i * ldc + j], 2e-3F)
+              << "ta=" << static_cast<int>(ta) << " tb="
+              << static_cast<int>(tb) << " at (" << i << "," << j << ")";
+        }
+        // Padding columns of C must be untouched.
+        for (std::size_t j = n; j < ldc; ++j) {
+          EXPECT_FLOAT_EQ(c_blk[i * ldc + j], 0.25F);
+        }
+      }
+    }
+  }
+}
+
+// The blocked path runs whenever m*n*k >= 64^3 regardless of how skewed
+// the shape is; sub-micro-tile edges (m < mr, n < nr) exercise the
+// zero-padded packing and partial write_tile in the same breath.
+INSTANTIATE_TEST_SUITE_P(
+    SubMicroTileShapes, GemmAgreement,
+    ::testing::Values(GemmCase{2, 2, 70000, Trans::kNo, Trans::kNo},
+                      GemmCase{4, 8, 16384, Trans::kNo, Trans::kYes},
+                      GemmCase{5, 2048, 40, Trans::kNo, Trans::kNo},
+                      GemmCase{2048, 5, 40, Trans::kYes, Trans::kNo},
+                      GemmCase{3, 3, 65536, Trans::kYes, Trans::kYes}));
+
+// Shapes straddling the 64^3 = 262144 flop-product dispatch threshold:
+// 63*64*64 and 65*64*63 stay naive, 64^3 and 65*65*63 go blocked. The
+// answer must agree either way.
+INSTANTIATE_TEST_SUITE_P(
+    DispatchBoundary, GemmAgreement,
+    ::testing::Values(GemmCase{63, 64, 64, Trans::kNo, Trans::kNo},
+                      GemmCase{64, 64, 64, Trans::kNo, Trans::kYes},
+                      GemmCase{65, 64, 63, Trans::kYes, Trans::kNo},
+                      GemmCase{65, 65, 63, Trans::kNo, Trans::kNo}));
+
+// Portable (8x8) and AVX2 (6x16) micro-kernels must agree on the same
+// problem. Skipped where the CPU lacks AVX2 — the portable path is then
+// the only one and is already covered by the agreement suite.
+TEST(Gemm, PortableAndAvx2KernelsAgree) {
+  if (!simd::cpu_has_avx2()) {
+    GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+  }
+  Rng rng(41);
+  const std::size_t m = 130, n = 96, k = 100;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> c_portable(m * n, 0.0F);
+  std::vector<float> c_avx2(m * n, 0.0F);
+  {
+    const SimdGuard guard(simd::Level::kPortable);
+    ASSERT_EQ(simd::active(), simd::Level::kPortable);
+    sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F,
+          c_portable, n);
+  }
+  {
+    const SimdGuard guard(simd::Level::kAvx2);
+    ASSERT_EQ(simd::active(), simd::Level::kAvx2);
+    sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F, c_avx2,
+          n);
+  }
+  for (std::size_t i = 0; i < c_portable.size(); ++i) {
+    EXPECT_NEAR(c_portable[i], c_avx2[i], 2e-3F) << "at " << i;
+  }
+}
 
 TEST(Gemm, ZeroKScalesByBeta) {
   std::vector<float> c{4.0F, 8.0F};

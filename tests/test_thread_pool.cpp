@@ -100,6 +100,63 @@ TEST(ThreadPool, SerialThresholdRunsOnCaller) {
   EXPECT_EQ(seen, caller);
 }
 
+TEST(ThreadPool, ChunkedPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_chunks(0, 1000,
+                                        [](std::size_t lo, std::size_t) {
+                                          if (lo == 0) {
+                                            throw Error("chunk failure");
+                                          }
+                                        }),
+               Error);
+  // Pool must stay usable after the throw.
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunks(0, 100, [&](std::size_t lo, std::size_t hi) {
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered.load(), 100U);
+}
+
+TEST(ThreadPool, NestedChunkedCallsDoNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunks(0, 40, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for_chunks(0, 10, [&](std::size_t l, std::size_t h) {
+        total += h - l;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 400U);
+}
+
+TEST(ThreadPool, SingleWorkerChunksCoverInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(0, 37, [&](std::size_t lo, std::size_t hi) {
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0U);
+  EXPECT_EQ(chunks.back().second, 37U);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+TEST(ThreadPool, RepeatedSmallDispatchStress) {
+  // Thousands of tiny dispatches through the shared job slot: exercises
+  // publish/retire churn, which is where a racy slot protocol shows up.
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  for (int round = 0; round < 2000; ++round) {
+    pool.parallel_for(0, 5, [&](std::size_t i) {
+      sum += static_cast<long long>(i);
+    });
+  }
+  EXPECT_EQ(sum.load(), 2000LL * (0 + 1 + 2 + 3 + 4));
+}
+
 TEST(ThreadPool, ConcurrentTopLevelInvocations) {
   // Two user threads drive the global pool at once; completion tracking
   // must not cross wires.

@@ -1,0 +1,95 @@
+#include "core/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+namespace gpucnn::ws {
+namespace {
+
+TEST(Workspace, AcquireIsCacheLineAligned) {
+  for (const std::size_t bytes : {1UL, 17UL, 256UL, 4097UL, 1UL << 20}) {
+    void* p = acquire(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kAlignment, 0U)
+        << "for " << bytes << " bytes";
+    release(p, bytes);
+  }
+  trim();
+}
+
+TEST(Workspace, ReleaseParksAndAcquireReuses) {
+  trim();
+  void* first = acquire(1000);
+  release(first, 1000);
+  EXPECT_GT(retained_bytes(), 0U);
+  // Same size class (1000 and 800 both round to 1024) -> same block back.
+  void* second = acquire(800);
+  EXPECT_EQ(second, first);
+  release(second, 800);
+  trim();
+  EXPECT_EQ(retained_bytes(), 0U);
+}
+
+TEST(Workspace, DistinctSizeClassesDoNotAlias) {
+  trim();
+  void* small = acquire(100);
+  void* big = acquire(100000);
+  EXPECT_NE(small, big);
+  release(small, 100);
+  release(big, 100000);
+  trim();
+}
+
+TEST(Workspace, ArenasArePerThread) {
+  trim();
+  void* mine = acquire(2048);
+  release(mine, 2048);
+  // Another thread's arena starts empty: it must not see this thread's
+  // parked block, and its own park must not leak into ours.
+  std::size_t other_retained_before = 1;
+  std::thread t([&] {
+    other_retained_before = retained_bytes();
+    void* p = acquire(2048);
+    release(p, 2048);
+    trim();
+  });
+  t.join();
+  EXPECT_EQ(other_retained_before, 0U);
+  EXPECT_GT(retained_bytes(), 0U);
+  trim();
+}
+
+TEST(WorkspaceScratch, SpanAndFill) {
+  Scratch<float> s(37);
+  EXPECT_EQ(s.size(), 37U);
+  EXPECT_EQ(s.span().size(), 37U);
+  s.fill(2.5F);
+  for (const float v : s.span()) EXPECT_EQ(v, 2.5F);
+}
+
+TEST(WorkspaceScratch, ZeroRequestZeroes) {
+  // Dirty a block, return it, re-acquire with zero = true: the reused
+  // storage must come back zeroed.
+  {
+    Scratch<float> dirty(64);
+    dirty.fill(9.0F);
+  }
+  Scratch<float> s(64, /*zero=*/true);
+  for (const float v : s.span()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(WorkspaceScratch, MoveTransfersOwnership) {
+  Scratch<int> a(16);
+  a.fill(7);
+  int* data = a.data();
+  Scratch<int> b(std::move(a));
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b.size(), 16U);
+  EXPECT_EQ(b.span()[15], 7);
+}
+
+}  // namespace
+}  // namespace gpucnn::ws
