@@ -8,7 +8,8 @@
 //     the CPU mirror of Fig. 3(d)'s strategy crossover.
 //
 // Beyond the stock google-benchmark flags the binary understands
-//   --quick                    short run (--benchmark_min_time=0.01)
+//   --quick                    short run (--benchmark_min_time=0.01[s],
+//                              suffixed iff the library is >= 1.8)
 //   --json / --csv [--out DIR] export a BENCH_cpu_kernels table through
 //                              obs::RunExporter (schema: docs/METRICS.md)
 // so CI can archive machine-readable numbers next to the figure benches.
@@ -16,6 +17,8 @@
 
 #include <cstring>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "blas/cgemm.hpp"
@@ -233,6 +236,22 @@ class CollectingReporter : public benchmark::ConsoleReporter {
   std::vector<std::vector<std::string>> rows_;
 };
 
+// google-benchmark 1.8.0 started parsing --benchmark_min_time suffixes
+// ("<N>s" / "<N>x") and deprecated suffix-less values; older releases
+// reject the suffix outright. State::skipped() shipped in that same
+// release, so probe it to pick the spelling the linked library accepts.
+template <typename State, typename = void>
+struct MinTimeTakesSuffix : std::false_type {};
+template <typename State>
+struct MinTimeTakesSuffix<
+    State, std::void_t<decltype(std::declval<State&>().skipped())>>
+    : std::true_type {};
+
+constexpr const char* kQuickMinTimeFlag =
+    MinTimeTakesSuffix<benchmark::State>::value
+        ? "--benchmark_min_time=0.01s"
+        : "--benchmark_min_time=0.01";
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,7 +270,7 @@ int main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
-  std::string min_time = "--benchmark_min_time=0.01";
+  std::string min_time = kQuickMinTimeFlag;
   if (quick) args.push_back(min_time.data());
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());

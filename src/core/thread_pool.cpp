@@ -162,15 +162,33 @@ void ThreadPool::parallel_for_chunks(std::size_t begin, std::size_t end,
   const std::size_t chunks =
       std::min(total, workers_.size() * kChunksPerWorker);
   Job job(body, begin, end, chunks);
+  bool pool_busy = false;
   {
     const std::scoped_lock lock(mutex_);
     if (current_job_ != nullptr) {
       // Another caller thread already owns the pool; run this dispatch
       // inline rather than queueing behind it.
-      body(begin, end);
-      return;
+      pool_busy = true;
+    } else {
+      current_job_ = &job;
     }
-    current_job_ = &job;
+  }
+  if (pool_busy) {
+    // The body runs after the lock is released — it may be arbitrarily
+    // slow and must not block worker attach/detach or the owner's
+    // retire wait. tls_in_pool_task is set so a nested parallel_for
+    // from inside the body also runs inline instead of re-locking the
+    // (non-recursive) pool mutex.
+    const bool was_in_task = tls_in_pool_task;
+    tls_in_pool_task = true;
+    try {
+      body(begin, end);
+    } catch (...) {
+      tls_in_pool_task = was_in_task;
+      throw;
+    }
+    tls_in_pool_task = was_in_task;
+    return;
   }
   work_ready_.notify_all();
 

@@ -35,6 +35,12 @@ namespace gpucnn {
 /// void(std::size_t chunk_begin, std::size_t chunk_end). Valid only for
 /// the duration of the parallel_for call that receives it — which always
 /// joins before returning, so stack-allocated lambdas are safe.
+///
+/// Only lvalue callables can bind: constructing from a temporary is
+/// deleted, so a ChunkFnRef stored past the originating full-expression
+/// cannot silently point at a dead functor. The parallel_for entry
+/// points accept temporaries by first binding them to a named (lvalue)
+/// parameter that lives for the whole dispatch.
 class ChunkFnRef {
  public:
   template <typename F,
@@ -42,11 +48,16 @@ class ChunkFnRef {
                 !std::is_same_v<std::remove_cvref_t<F>, ChunkFnRef>>>
   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
   // call sites pass lambdas directly.
-  ChunkFnRef(F&& f) noexcept
+  ChunkFnRef(F& f) noexcept
       : obj_(const_cast<void*>(static_cast<const void*>(&f))),
         call_([](void* obj, std::size_t lo, std::size_t hi) {
-          (*static_cast<std::remove_reference_t<F>*>(obj))(lo, hi);
+          (*static_cast<F*>(obj))(lo, hi);
         }) {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, ChunkFnRef>>>
+  ChunkFnRef(const F&& f) = delete;  ///< no rvalue temporaries
 
   void operator()(std::size_t lo, std::size_t hi) const {
     call_(obj_, lo, hi);
@@ -75,6 +86,16 @@ class ThreadPool {
   /// by `body` are rethrown on the calling thread (first one wins).
   void parallel_for_chunks(std::size_t begin, std::size_t end,
                            ChunkFnRef body);
+
+  /// Same, accepting any callable — including a temporary lambda at
+  /// the call site, which binds to the named parameter (an lvalue that
+  /// outlives the joining dispatch) before a ChunkFnRef is formed.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, ChunkFnRef>>>
+  void parallel_for_chunks(std::size_t begin, std::size_t end, F&& body) {
+    parallel_for_chunks(begin, end, ChunkFnRef(body));
+  }
 
   /// Runs body(i) for every i in [begin, end). Same execution contract
   /// as parallel_for_chunks; accepts any callable, no std::function.
@@ -126,5 +147,13 @@ void parallel_for(std::size_t begin, std::size_t end, F&& body,
 
 /// Chunk-granular variant on the global pool.
 void parallel_for_chunks(std::size_t begin, std::size_t end, ChunkFnRef body);
+
+/// Same, accepting any callable (see the ThreadPool member overload).
+template <typename F,
+          typename = std::enable_if_t<
+              !std::is_same_v<std::remove_cvref_t<F>, ChunkFnRef>>>
+void parallel_for_chunks(std::size_t begin, std::size_t end, F&& body) {
+  parallel_for_chunks(begin, end, ChunkFnRef(body));
+}
 
 }  // namespace gpucnn

@@ -157,6 +157,34 @@ TEST(ThreadPool, RepeatedSmallDispatchStress) {
   EXPECT_EQ(sum.load(), 2000LL * (0 + 1 + 2 + 3 + 4));
 }
 
+TEST(ThreadPool, BusyPoolInlineFallbackAllowsNesting) {
+  // While another thread's job owns the pool, a second top-level
+  // dispatch falls back to running inline. That inline body must run
+  // outside the pool mutex and be free to nest further dispatches —
+  // pre-fix this re-locked the non-recursive mutex and deadlocked.
+  ThreadPool pool(2);
+  std::atomic<bool> owner_running{false};
+  std::atomic<bool> release_owner{false};
+  std::atomic<std::size_t> nested_total{0};
+  std::thread owner([&] {
+    pool.parallel_for_chunks(0, 4, [&](std::size_t, std::size_t) {
+      owner_running = true;
+      while (!release_owner) std::this_thread::yield();
+    });
+  });
+  while (!owner_running) std::this_thread::yield();
+  // The owner's job is published and blocked, so this dispatch takes
+  // the busy-pool inline path; its body nests another dispatch.
+  pool.parallel_for_chunks(0, 8, [&](std::size_t lo, std::size_t hi) {
+    pool.parallel_for_chunks(lo, hi, [&](std::size_t l, std::size_t h) {
+      nested_total += h - l;
+    });
+  });
+  release_owner = true;
+  owner.join();
+  EXPECT_EQ(nested_total.load(), 8U);
+}
+
 TEST(ThreadPool, ConcurrentTopLevelInvocations) {
   // Two user threads drive the global pool at once; completion tracking
   // must not cross wires.
