@@ -1,0 +1,36 @@
+// Strict argv number parsing shared by the examples.
+//
+// std::atoi / std::strtoul silently turn garbage into 0 (and strtoul
+// wraps negatives to huge values), which then becomes "0 epochs" or a
+// multi-terabyte batch without a word to the user. from_chars rejects
+// partial parses, signs and overflow; each example prints its own usage
+// line when a parse fails.
+#pragma once
+
+#include <charconv>
+#include <iostream>
+#include <limits>
+#include <string_view>
+
+namespace gpucnn::examples {
+
+/// Parses `text` as a positive integer into `out`. Rejects empty input,
+/// trailing junk ("12x"), signs, zero and values above `max`. On
+/// failure prints a diagnostic naming `what` and returns false.
+template <typename T>
+bool parse_positive(std::string_view text, const char* what, T& out,
+                    T max = std::numeric_limits<T>::max()) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value < 1 ||
+      value > max) {
+    std::cerr << "invalid " << what << " '" << text
+              << "': expected an integer in [1, " << max << "]\n";
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace gpucnn::examples

@@ -8,11 +8,11 @@
 //
 // Run:  ./engine_advisor [batch input channels filters kernel stride]
 //       ./engine_advisor 128 64 32 96 5 1
-#include <cstdlib>
 #include <iostream>
 
 #include "analysis/recommend.hpp"
 #include "analysis/report.hpp"
+#include "cli_args.hpp"
 
 using namespace gpucnn;
 using namespace gpucnn::analysis;
@@ -21,16 +21,26 @@ int main(int argc, char** argv) {
   ConvConfig cfg{.batch = 64, .input = 128, .channels = 3, .filters = 64,
                  .kernel = 11, .stride = 1};
   if (argc == 7) {
-    cfg.batch = std::strtoul(argv[1], nullptr, 10);
-    cfg.input = std::strtoul(argv[2], nullptr, 10);
-    cfg.channels = std::strtoul(argv[3], nullptr, 10);
-    cfg.filters = std::strtoul(argv[4], nullptr, 10);
-    cfg.kernel = std::strtoul(argv[5], nullptr, 10);
-    cfg.stride = std::strtoul(argv[6], nullptr, 10);
+    // Cap each dimension at 2^20: large enough for any real CNN layer,
+    // small enough that a typo cannot request a petabyte tensor.
+    constexpr std::size_t kMax = std::size_t{1} << 20;
+    if (!examples::parse_positive(argv[1], "batch", cfg.batch, kMax) ||
+        !examples::parse_positive(argv[2], "input", cfg.input, kMax) ||
+        !examples::parse_positive(argv[3], "channels", cfg.channels, kMax) ||
+        !examples::parse_positive(argv[4], "filters", cfg.filters, kMax) ||
+        !examples::parse_positive(argv[5], "kernel", cfg.kernel, kMax) ||
+        !examples::parse_positive(argv[6], "stride", cfg.stride, kMax)) {
+      return 2;
+    }
+    if (cfg.input + 2 * cfg.pad < cfg.kernel) {
+      std::cerr << "kernel " << cfg.kernel << " exceeds the padded input "
+                << cfg.input << "\n";
+      return 2;
+    }
   } else if (argc != 1) {
     std::cerr << "usage: engine_advisor [batch input channels filters "
                  "kernel stride]\n";
-    return 1;
+    return 2;
   }
 
   std::cout << "Evaluating convolution " << cfg << " with " << cfg.channels

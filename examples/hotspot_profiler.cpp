@@ -4,19 +4,25 @@
 // type. The conclusion should match Fig. 2's: convolution dominates.
 //
 // Run:  ./hotspot_profiler [batch]
-#include <cstdlib>
 #include <iostream>
 
 #include "analysis/layer_profiler.hpp"
 #include "analysis/report.hpp"
+#include "cli_args.hpp"
 #include "nn/model_spec.hpp"
 
 using namespace gpucnn;
 using namespace gpucnn::analysis;
 
 int main(int argc, char** argv) {
-  const std::size_t batch =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  std::size_t batch = 16;
+  if (argc > 2 ||
+      (argc == 2 &&
+       !examples::parse_positive<std::size_t>(argv[1], "batch size", batch,
+                                              4096))) {
+    std::cerr << "usage: hotspot_profiler [batch]\n";
+    return 2;
+  }
 
   const auto spec = nn::lenet5(batch);
   auto net = spec.instantiate();

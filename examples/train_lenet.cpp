@@ -3,9 +3,9 @@
 // engines, reporting loss and accuracy per epoch.
 //
 // Run:  ./train_lenet [epochs]
-#include <cstdlib>
 #include <iostream>
 
+#include "cli_args.hpp"
 #include "core/timer.hpp"
 #include "nn/model_spec.hpp"
 #include "nn/sgd.hpp"
@@ -15,7 +15,13 @@
 using namespace gpucnn;
 
 int main(int argc, char** argv) {
-  const int epochs = argc > 1 ? std::atoi(argv[1]) : 3;
+  int epochs = 3;
+  if (argc > 2 ||
+      (argc == 2 && !examples::parse_positive(argv[1], "epoch count",
+                                              epochs, 100000))) {
+    std::cerr << "usage: train_lenet [epochs]\n";
+    return 2;
+  }
   constexpr std::size_t kBatch = 32;
   constexpr int kStepsPerEpoch = 25;
 

@@ -1,0 +1,303 @@
+#include "analysis/conv_fuzz.hpp"
+
+#include <cmath>
+#include <initializer_list>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "analysis/conv_runner.hpp"
+#include "conv/conv_engine.hpp"
+#include "conv/implicit_gemm_conv.hpp"
+#include "conv/tiled_fft_conv.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "core/workspace.hpp"
+#include "frameworks/framework.hpp"
+
+namespace gpucnn::analysis {
+namespace {
+
+/// Decorrelates (seed, index) into an Rng seed; the golden-ratio stride
+/// keeps neighbouring indices far apart in state space.
+std::uint64_t mix(std::uint64_t seed, std::size_t index) {
+  return seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+}
+
+std::size_t pick(Rng& rng, std::initializer_list<std::size_t> choices) {
+  return *(choices.begin() + rng.uniform_int(choices.size()));
+}
+
+/// Keeps a fuzz config checkable in milliseconds: the point is shape
+/// adversity, not arithmetic volume.
+constexpr double kMaxForwardFlops = 2.0e8;
+constexpr std::size_t kMaxElements = 1'500'000;
+
+bool affordable(const ConvConfig& cfg) {
+  return cfg.forward_flops() <= kMaxForwardFlops &&
+         cfg.input_shape().count() <= kMaxElements &&
+         cfg.output_shape().count() <= kMaxElements &&
+         cfg.filter_shape().count() <= kMaxElements;
+}
+
+/// All finite (poisoned scratch read before write propagates NaN).
+bool finite(const Tensor& t) {
+  for (const float v : t.data()) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+/// Forward tolerance matching tests/test_conv_agreement.cpp: FFT error
+/// grows with the reduction size.
+double forward_tolerance(const ConvConfig& cfg) {
+  const double scale =
+      static_cast<double>(cfg.group_channels() * cfg.kernel * cfg.kernel);
+  return 1e-4 * (1.0 + scale * 0.02);
+}
+
+double filter_tolerance(const ConvConfig& cfg) {
+  return forward_tolerance(cfg) *
+         (1.0 + 0.05 * static_cast<double>(cfg.batch) *
+                    static_cast<double>(cfg.output()));
+}
+
+void add_failure(FuzzReport& report, std::size_t index,
+                 const ConvConfig& cfg, std::string what) {
+  report.failures.push_back({index, cfg, std::move(what)});
+}
+
+/// The non-reference engines: factory strategies plus the two variants
+/// the factory does not expose directly.
+std::vector<std::unique_ptr<conv::ConvEngine>> make_checked_engines() {
+  std::vector<std::unique_ptr<conv::ConvEngine>> engines;
+  engines.push_back(conv::make_engine(conv::Strategy::kUnrolling));
+  engines.push_back(std::make_unique<conv::ImplicitGemmConv>());
+  engines.push_back(conv::make_engine(conv::Strategy::kFft));
+  engines.push_back(std::make_unique<conv::TiledFftConv>());
+  engines.push_back(conv::make_engine(conv::Strategy::kWinograd));
+  return engines;
+}
+
+void check_engines(const ConvConfig& cfg, std::uint64_t seed,
+                   std::size_t index, FuzzReport& report) {
+  Rng rng(mix(seed, index) + 1);
+  Tensor input(cfg.input_shape());
+  input.fill_uniform(rng);
+  Tensor filters(cfg.filter_shape());
+  filters.fill_uniform(rng);
+  Tensor grad_output(cfg.output_shape());
+  grad_output.fill_uniform(rng);
+
+  const auto direct = conv::make_engine(conv::Strategy::kDirect);
+  Tensor ref_out(cfg.output_shape());
+  Tensor ref_gin(cfg.input_shape());
+  Tensor ref_gfilt(cfg.filter_shape());
+  try {
+    direct->forward(cfg, input, filters, ref_out);
+    direct->backward_data(cfg, grad_output, filters, ref_gin);
+    direct->backward_filter(cfg, input, grad_output, ref_gfilt);
+  } catch (const std::exception& e) {
+    add_failure(report, index, cfg,
+                std::string("direct reference threw: ") + e.what());
+    return;
+  }
+  if (!finite(ref_out) || !finite(ref_gin) || !finite(ref_gfilt)) {
+    add_failure(report, index, cfg,
+                "direct reference produced non-finite values");
+    return;
+  }
+
+  enum class PassKind { kForward, kBackwardData, kBackwardFilter };
+  struct PassCheck {
+    PassKind kind;
+    const char* label;
+    const Tensor& reference;
+    double tolerance;
+  };
+  const PassCheck passes[] = {
+      {PassKind::kForward, "forward", ref_out, forward_tolerance(cfg)},
+      {PassKind::kBackwardData, "backward_data", ref_gin,
+       forward_tolerance(cfg)},
+      {PassKind::kBackwardFilter, "backward_filter", ref_gfilt,
+       filter_tolerance(cfg)},
+  };
+
+  for (const auto& engine : make_checked_engines()) {
+    if (!engine->supports(cfg)) {
+      ++report.engine_skips;
+      continue;
+    }
+    for (const auto& pass : passes) {
+      Tensor got(pass.reference.shape());
+      try {
+        switch (pass.kind) {
+          case PassKind::kForward:
+            engine->forward(cfg, input, filters, got);
+            break;
+          case PassKind::kBackwardData:
+            engine->backward_data(cfg, grad_output, filters, got);
+            break;
+          case PassKind::kBackwardFilter:
+            engine->backward_filter(cfg, input, grad_output, got);
+            break;
+        }
+      } catch (const std::exception& e) {
+        add_failure(report, index, cfg,
+                    std::string(engine->name()) + " " + pass.label +
+                        " threw on a supported config: " + e.what());
+        continue;
+      }
+      ++report.engine_checks;
+      if (!finite(got)) {
+        add_failure(report, index, cfg,
+                    std::string(engine->name()) + " " + pass.label +
+                        " produced non-finite values");
+        continue;
+      }
+      const double diff = max_abs_diff(pass.reference, got);
+      if (!(diff < pass.tolerance)) {
+        std::ostringstream os;
+        os << engine->name() << ' ' << pass.label
+           << " disagrees with direct: max|diff| = " << diff
+           << " (tolerance " << pass.tolerance << ')';
+        add_failure(report, index, cfg, os.str());
+      }
+    }
+  }
+}
+
+/// Non-negative and finite.
+bool sane(double v) { return std::isfinite(v) && v >= 0.0; }
+
+void check_plans(const ConvConfig& cfg, std::size_t index,
+                 FuzzReport& report) {
+  for (const auto id : frameworks::all_frameworks()) {
+    const auto& fw = frameworks::framework(id);
+    if (!fw.supports(cfg).ok) {
+      ++report.plan_skips;
+      continue;
+    }
+    const std::string who(fw.name());
+    frameworks::ExecutionPlan plan;
+    LayerResult result;
+    try {
+      plan = fw.plan(cfg);
+      result = evaluate(id, cfg);
+    } catch (const std::exception& e) {
+      add_failure(report, index, cfg,
+                  who + " plan/evaluate threw on a supported config: " +
+                      e.what());
+      continue;
+    }
+    ++report.plan_checks;
+    auto fail = [&](const std::string& what) {
+      add_failure(report, index, cfg, who + ": " + what);
+    };
+
+    if (plan.kernels.empty()) fail("plan has no kernels");
+    for (const auto& k : plan.kernels) {
+      if (k.block_threads == 0 || k.grid_blocks == 0) {
+        fail("kernel '" + k.name + "' has an empty launch geometry");
+      }
+      if (!sane(k.flops) || !sane(k.global_load_bytes) ||
+          !sane(k.global_store_bytes) || !sane(k.shared_bytes)) {
+        fail("kernel '" + k.name + "' has negative or non-finite work");
+      }
+    }
+    // Workspace accounting balances: item sizes are sane, transient
+    // workspace never exceeds the peak it is part of.
+    double workspace = 0.0;
+    for (const auto& m : plan.memory) {
+      if (!sane(m.bytes)) fail("memory item '" + m.label + "' is negative");
+      if (m.workspace) workspace += m.bytes;
+    }
+    if (workspace != plan.workspace_bytes()) {
+      fail("workspace_bytes() does not match the item sum");
+    }
+    if (plan.workspace_bytes() > plan.peak_bytes()) {
+      fail("workspace exceeds the reported peak");
+    }
+
+    // Simulated timing invariants (non-negative, consistent shares).
+    if (!sane(result.runtime_ms) || !sane(result.kernel_ms) ||
+        !sane(result.transfer_ms)) {
+      fail("simulated times are negative or non-finite");
+    }
+    if (!(result.transfer_share >= 0.0 && result.transfer_share <= 1.0)) {
+      fail("transfer share outside [0, 1]");
+    }
+    if (!sane(result.peak_mb)) fail("peak memory is negative");
+    for (const auto& [pass, ms] : result.pass_ms) {
+      if (!sane(ms)) fail("per-pass time is negative or non-finite");
+    }
+  }
+}
+
+}  // namespace
+
+ConvConfig fuzz_config(std::uint64_t seed, std::size_t index) {
+  Rng rng(mix(seed, index));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ConvConfig cfg;
+    cfg.groups = pick(rng, {1, 1, 1, 1, 1, 2, 2, 3, 4});
+    cfg.batch = pick(rng, {1, 1, 2, 3, 4});
+    cfg.channels = cfg.groups * pick(rng, {1, 1, 2, 3, 5, 8});
+    cfg.filters = cfg.groups * pick(rng, {1, 2, 3, 4, 8});
+    cfg.kernel = pick(rng, {1, 2, 3, 3, 3, 4, 5, 7, 9, 11});
+    // Stride beyond the kernel skips input pixels entirely; stride
+    // beyond the input collapses the output to one pixel per border.
+    cfg.stride = pick(rng, {1, 1, 1, 1, 2, 2, 3, 4, 5});
+    // pad >= kernel means whole filter taps land in the halo.
+    cfg.pad = pick(rng, {0, 0, 0, 1, 2, cfg.kernel - 1, cfg.kernel,
+                         cfg.kernel + 1});
+    // Non-powers of two around FFT padding boundaries (17 and 33 pad to
+    // 32 and 64), primes, and inputs at or below the kernel size.
+    cfg.input = pick(rng, {1, 2, 3, 5, 6, 7, 9, 11, 12, 13, 15, 16, 17, 19,
+                           23, 25, 28, 31, 32, 33});
+    if (cfg.input + 2 * cfg.pad < cfg.kernel) continue;
+    if (!affordable(cfg)) continue;
+    return cfg;
+  }
+  // Statistically unreachable: 64 draws without a valid geometry. Fall
+  // back to a fixed minimal config so the run stays deterministic.
+  return ConvConfig{.batch = 1, .input = 8, .channels = 1, .filters = 1,
+                    .kernel = 3, .stride = 1, .pad = 0, .groups = 1};
+}
+
+void check_config(const ConvConfig& cfg, std::uint64_t seed,
+                  std::size_t index, FuzzReport& report) {
+  check_engines(cfg, seed, index, report);
+  check_plans(cfg, index, report);
+  ++report.configs_run;
+}
+
+std::string repro_command(std::uint64_t seed, std::size_t index) {
+  std::ostringstream os;
+  os << "tools/conv_fuzz --seed " << seed << " --start " << index
+     << " --count 1";
+  return os.str();
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  const bool poison_before = ws::set_poison_scratch(options.poison);
+  FuzzReport report;
+  for (std::size_t i = options.start; i < options.start + options.count;
+       ++i) {
+    const ConvConfig cfg = fuzz_config(options.seed, i);
+    const std::size_t failures_before = report.failures.size();
+    check_config(cfg, options.seed, i, report);
+    if (options.log != nullptr) {
+      *options.log << '[' << i << "] " << cfg.to_string() << " groups="
+                   << cfg.groups << " pad=" << cfg.pad << " -> "
+                   << (report.failures.size() == failures_before ? "ok"
+                                                                 : "FAIL")
+                   << '\n';
+    }
+  }
+  ws::set_poison_scratch(poison_before);
+  ws::trim();
+  return report;
+}
+
+}  // namespace gpucnn::analysis

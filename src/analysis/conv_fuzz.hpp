@@ -1,0 +1,75 @@
+// Seeded convolution-configuration fuzzer.
+//
+// The paper's credibility rests on seven implementation models agreeing
+// over a wide parameter space, not just the Table I grid. This harness
+// generates adversarial-but-valid ConvConfigs (stride > kernel,
+// pad >= kernel, single-channel / single-image shapes, non-power-of-two
+// sizes that stress FFT padding, grouped and odd geometries), runs each
+// through every real numeric engine (direct / im2col+GEMM /
+// implicit-GEMM / FFT / tiled-FFT / Winograd) on all three passes,
+// cross-checks outputs against the direct reference, and validates the
+// seven framework plans against the gpusim invariants (finite
+// non-negative times, workspace accounting balances).
+//
+// Everything is deterministic per (seed, index): config `index` of seed
+// `S` is identical no matter which subrange runs, so a failure is
+// reproduced by `tools/conv_fuzz --seed S --start INDEX --count 1`.
+// The harness runs with workspace scratch poisoning on by default so
+// kernels reading recycled arena memory before writing it surface as
+// NaN mismatches (see docs/TESTING.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace gpucnn::analysis {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t count = 200;
+  std::size_t start = 0;     ///< first config index (repro subranges)
+  bool poison = true;        ///< scratch-poison the arena for the run
+  std::ostream* log = nullptr;  ///< per-config progress when non-null
+};
+
+/// One failed check, with everything needed to rerun it.
+struct FuzzFailure {
+  std::size_t index = 0;
+  ConvConfig config;
+  std::string what;
+};
+
+/// Outcome and coverage accounting of a fuzz run.
+struct FuzzReport {
+  std::size_t configs_run = 0;
+  std::size_t engine_checks = 0;  ///< (engine, pass) output comparisons
+  std::size_t engine_skips = 0;   ///< unsupported (engine, config) pairs
+  std::size_t plan_checks = 0;    ///< framework plans validated
+  std::size_t plan_skips = 0;     ///< shape-limited (framework, config)
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// The adversarial config at (seed, index); pure function of its
+/// arguments, independent of any other index.
+[[nodiscard]] ConvConfig fuzz_config(std::uint64_t seed, std::size_t index);
+
+/// Checks one config (engines + plans). Failure strings are appended to
+/// `report.failures` tagged with `index`; counters accumulate.
+void check_config(const ConvConfig& cfg, std::uint64_t seed,
+                  std::size_t index, FuzzReport& report);
+
+/// The one-line command rerunning exactly config (seed, index).
+[[nodiscard]] std::string repro_command(std::uint64_t seed,
+                                        std::size_t index);
+
+/// Generates and checks options.count configs starting at options.start.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
+
+}  // namespace gpucnn::analysis

@@ -1,7 +1,10 @@
 #include "core/workspace.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <new>
 #include <vector>
 
@@ -10,41 +13,86 @@
 namespace gpucnn::ws {
 namespace {
 
-// Smallest block handed out; sub-256-byte requests share one class so
-// tiny scratches don't fragment the list space.
-constexpr std::size_t kMinClassBytes = 256;
-// log2 of the largest class (2^32 = 4 GiB) — requests beyond this are
-// still served, in the last class.
-constexpr std::size_t kNumClasses = 33 - std::bit_width(kMinClassBytes - 1);
+using detail::class_bytes;
+using detail::class_of;
+using detail::kNumClasses;
 
-// A thread keeps at most this many freed bytes parked; beyond the cap,
-// released blocks are returned to the system instead (prevents a burst
-// of huge FFT tiles from pinning memory for the process lifetime).
-constexpr std::size_t kRetainCapBytes = std::size_t{1} << 28;  // 256 MiB
+// Default per-thread retention cap: a thread keeps at most this many
+// freed bytes parked; beyond the cap, released blocks are returned to
+// the system instead (prevents a burst of huge FFT tiles from pinning
+// memory for the process lifetime). Atomic so tests can lower it while
+// worker threads are live.
+constexpr std::size_t kDefaultRetainCapBytes = std::size_t{1} << 28;
+std::atomic<std::size_t> g_retain_cap{kDefaultRetainCapBytes};
 
-std::size_t class_of(std::size_t bytes) {
-  const std::size_t rounded = std::max(bytes, kMinClassBytes);
-  const std::size_t cls =
-      std::bit_width(rounded - 1) - std::bit_width(kMinClassBytes - 1);
-  return std::min(cls, kNumClasses - 1);
-}
+// Process-wide parked-bytes total. Each arena adds/subtracts deltas as
+// blocks park and unpark; the retained_bytes gauge is set from this
+// total, never from one thread's private count (with >1 thread the
+// gauge would otherwise read as whichever thread wrote last).
+std::atomic<std::size_t> g_total_retained{0};
 
-std::size_t class_bytes(std::size_t cls) {
-  return kMinClassBytes << cls;
-}
+std::atomic<bool> g_poison{[] {
+  const char* env = std::getenv("GPUCNN_POISON_SCRATCH");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}()};
 
 struct Arena {
+  // Guards the free lists against a cross-thread trim(); uncontended on
+  // the owner's acquire/release fast path.
+  std::mutex mutex;
   std::vector<void*> free_lists[kNumClasses];
   std::size_t retained = 0;
 
-  ~Arena() {
-    for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
-      for (void* p : free_lists[cls]) {
+  Arena();
+  ~Arena();
+
+  /// Frees every parked block. Caller holds `mutex`.
+  std::size_t drain_locked() {
+    for (auto& list : free_lists) {
+      for (void* p : list) {
         ::operator delete(p, std::align_val_t{kAlignment});
       }
+      list.clear();
     }
+    const std::size_t freed = retained;
+    retained = 0;
+    return freed;
   }
 };
+
+// Live-arena registry so trim() can drain worker-thread arenas that are
+// parked in a pool, not just the caller's. Heap-allocated and never
+// destroyed: worker threads may exit (running ~Arena) during static
+// destruction, after a function-local static registry would be gone.
+struct Registry {
+  std::mutex mutex;
+  std::vector<Arena*> arenas;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Arena::Arena() {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  r.arenas.push_back(this);
+}
+
+Arena::~Arena() {
+  Registry& r = registry();
+  {
+    const std::lock_guard lock(r.mutex);
+    std::erase(r.arenas, this);
+  }
+  const std::lock_guard lock(mutex);
+  const std::size_t freed = drain_locked();
+  // Thread exit can race static destruction of the metrics registry, so
+  // only the plain atomic total is maintained here; the gauge catches up
+  // on the next acquire/release from a live thread.
+  g_total_retained.fetch_sub(freed, std::memory_order_relaxed);
+}
 
 Arena& arena() {
   thread_local Arena tls_arena;
@@ -72,21 +120,55 @@ obs::Gauge& retained_gauge() {
   return g;
 }
 
+/// Records `delta` parked bytes (negative = unparked) in the process
+/// total and mirrors the new total to the exported gauge.
+void note_retained_delta(std::ptrdiff_t delta) {
+  const std::size_t total =
+      g_total_retained.fetch_add(static_cast<std::size_t>(delta),
+                                 std::memory_order_relaxed) +
+      static_cast<std::size_t>(delta);
+  retained_gauge().set(static_cast<double>(total));
+}
+
+/// Tiles kPoisonWord over the block so any float read before a write
+/// hits a signaling NaN (blocks are 64-byte aligned; capacities are
+/// multiples of 4 except an oversized tail, poisoned bytewise).
+void poison_block(void* ptr, std::size_t bytes) {
+  auto* p = static_cast<unsigned char*>(ptr);
+  const std::size_t words = bytes / sizeof(detail::kPoisonWord);
+  for (std::size_t i = 0; i < words; ++i) {
+    std::memcpy(p + i * sizeof(detail::kPoisonWord), &detail::kPoisonWord,
+                sizeof(detail::kPoisonWord));
+  }
+  for (std::size_t i = words * sizeof(detail::kPoisonWord); i < bytes; ++i) {
+    p[i] = 0xA5;
+  }
+}
+
 }  // namespace
 
 void* acquire(std::size_t bytes) {
   Arena& a = arena();
   const std::size_t cls = class_of(bytes);
-  auto& list = a.free_lists[cls];
-  // Parked blocks hold exactly class_bytes(cls); a beyond-last-class
-  // request is larger than that, so it can't reuse one.
-  if (!list.empty() && bytes <= class_bytes(cls)) {
-    void* p = list.back();
-    list.pop_back();
-    a.retained -= class_bytes(cls);
-    retained_gauge().set(static_cast<double>(a.retained));
+  void* reused = nullptr;
+  {
+    const std::lock_guard lock(a.mutex);
+    auto& list = a.free_lists[cls];
+    // Parked blocks hold exactly class_bytes(cls); a beyond-last-class
+    // request is larger than that, so it can't reuse one.
+    if (!list.empty() && bytes <= class_bytes(cls)) {
+      reused = list.back();
+      list.pop_back();
+      a.retained -= class_bytes(cls);
+    }
+  }
+  if (reused != nullptr) {
+    note_retained_delta(-static_cast<std::ptrdiff_t>(class_bytes(cls)));
     hits_counter().add(1);
-    return p;
+    if (g_poison.load(std::memory_order_relaxed)) {
+      poison_block(reused, class_bytes(cls));
+    }
+    return reused;
   }
   // The last size class is open-ended: allocate the exact (aligned)
   // request so a 5 GiB tensor doesn't round to a power of two.
@@ -95,37 +177,82 @@ void* acquire(std::size_t bytes) {
                              : class_bytes(cls);
   misses_counter().add(1);
   alloc_bytes_counter().add(static_cast<std::int64_t>(alloc));
-  return ::operator new(alloc, std::align_val_t{kAlignment});
+  void* fresh = ::operator new(alloc, std::align_val_t{kAlignment});
+  if (g_poison.load(std::memory_order_relaxed)) poison_block(fresh, alloc);
+  return fresh;
 }
 
 void release(void* ptr, std::size_t bytes) noexcept {
   Arena& a = arena();
   const std::size_t cls = class_of(bytes);
   const std::size_t cb = class_bytes(cls);
-  // Oversized last-class blocks have no recorded capacity; parking them
-  // as `cb` could hand out a too-small block later, so free them.
-  const bool oversized = cls == kNumClasses - 1 && bytes > cb;
-  if (oversized || a.retained + cb > kRetainCapBytes) {
-    ::operator delete(ptr, std::align_val_t{kAlignment});
-    return;
+  bool parked = false;
+  {
+    const std::lock_guard lock(a.mutex);
+    // Oversized last-class blocks have no recorded capacity; parking
+    // them as `cb` could hand out a too-small block later, so free
+    // them. Same for any release beyond the retention cap.
+    if (!detail::oversized(bytes) &&
+        a.retained + cb <= g_retain_cap.load(std::memory_order_relaxed)) {
+      a.free_lists[cls].push_back(ptr);
+      a.retained += cb;
+      parked = true;
+    }
   }
-  a.free_lists[cls].push_back(ptr);
-  a.retained += cb;
-  retained_gauge().set(static_cast<double>(a.retained));
+  if (parked) {
+    note_retained_delta(static_cast<std::ptrdiff_t>(cb));
+  } else {
+    ::operator delete(ptr, std::align_val_t{kAlignment});
+  }
 }
 
-std::size_t retained_bytes() { return arena().retained; }
+std::size_t retained_bytes() {
+  Arena& a = arena();
+  const std::lock_guard lock(a.mutex);
+  return a.retained;
+}
+
+std::size_t process_retained_bytes() {
+  return g_total_retained.load(std::memory_order_relaxed);
+}
 
 void trim() {
-  Arena& a = arena();
-  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
-    for (void* p : a.free_lists[cls]) {
-      ::operator delete(p, std::align_val_t{kAlignment});
+  // The registry lock is held for the whole drain: ~Arena deregisters
+  // under it, so no arena in the list can be destroyed mid-drain. Each
+  // arena's own mutex is taken inside (registry -> arena order, same
+  // everywhere) to exclude its owner's concurrent acquire/release.
+  Registry& r = registry();
+  const std::lock_guard registry_lock(r.mutex);
+  for (Arena* a : r.arenas) {
+    std::size_t freed = 0;
+    {
+      const std::lock_guard lock(a->mutex);
+      freed = a->drain_locked();
     }
-    a.free_lists[cls].clear();
+    if (freed > 0) note_retained_delta(-static_cast<std::ptrdiff_t>(freed));
   }
-  a.retained = 0;
-  retained_gauge().set(0.0);
+}
+
+void trim_thread() {
+  Arena& a = arena();
+  std::size_t freed = 0;
+  {
+    const std::lock_guard lock(a.mutex);
+    freed = a.drain_locked();
+  }
+  if (freed > 0) note_retained_delta(-static_cast<std::ptrdiff_t>(freed));
+}
+
+bool poison_scratch_enabled() {
+  return g_poison.load(std::memory_order_relaxed);
+}
+
+bool set_poison_scratch(bool enabled) {
+  return g_poison.exchange(enabled, std::memory_order_relaxed);
+}
+
+std::size_t set_retain_cap_for_testing(std::size_t bytes) {
+  return g_retain_cap.exchange(bytes, std::memory_order_relaxed);
 }
 
 }  // namespace gpucnn::ws

@@ -13,16 +13,30 @@
 //
 // Blocks are rounded up to power-of-two size classes, every block is
 // 64-byte aligned (cache line / AVX-512 friendly), and each thread owns
-// its arena outright, so acquire/release take no locks. A per-thread
-// retention cap bounds the memory a burst can pin.
+// its arena outright, so acquire/release never contend: they take only
+// the owning arena's mutex, which is uncontended except while a trim()
+// from another thread is draining the arena. A per-thread retention cap
+// bounds the memory a burst can pin; trim() drains every live arena in
+// the process (worker threads park scratch too — see the registry in
+// workspace.cpp), and trim_thread() drains only the caller's.
+//
+// Debugging: with GPUCNN_POISON_SCRATCH=1 in the environment (or
+// set_poison_scratch(true)), every acquired block is filled with
+// signaling-NaN bytes before being handed out, so a kernel that reads
+// recycled scratch before writing it computes NaNs instead of silently
+// reusing stale data. The conv-config fuzzer (tools/conv_fuzz) runs
+// with poisoning on so such reads show up as cross-engine mismatches.
+// See docs/TESTING.md.
 //
 // Observability: core.workspace.hits / misses count reuse vs fresh
 // allocation, core.workspace.alloc_bytes sums fresh allocation sizes,
-// and the core.workspace.retained_bytes gauge tracks the calling
-// thread's current free-list footprint (see docs/METRICS.md).
+// and the core.workspace.retained_bytes gauge tracks the process-wide
+// free-list footprint across all threads (see docs/METRICS.md).
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <type_traits>
 
@@ -32,7 +46,8 @@ namespace gpucnn::ws {
 inline constexpr std::size_t kAlignment = 64;
 
 /// Acquires a block of at least `bytes` (rounded to a size class) from
-/// the calling thread's arena. Contents are indeterminate.
+/// the calling thread's arena. Contents are indeterminate (signaling-NaN
+/// bytes when poisoning is enabled).
 [[nodiscard]] void* acquire(std::size_t bytes);
 
 /// Returns a block obtained from acquire() with the same byte count.
@@ -41,9 +56,66 @@ void release(void* ptr, std::size_t bytes) noexcept;
 /// Bytes currently parked in the calling thread's free lists.
 [[nodiscard]] std::size_t retained_bytes();
 
-/// Frees every block parked in the calling thread's free lists (used by
-/// tests to get deterministic hit/miss counts).
+/// Bytes currently parked across every live arena in the process.
+[[nodiscard]] std::size_t process_retained_bytes();
+
+/// Frees every block parked in every live thread's free lists (worker
+/// threads can each pin up to the retention cap until thread exit;
+/// draining them must not require their cooperation).
 void trim();
+
+/// Frees only the calling thread's parked blocks (used by tests that
+/// want deterministic per-thread hit/miss counts).
+void trim_thread();
+
+/// Scratch poisoning: when enabled, acquire() fills blocks with
+/// signaling-NaN bytes. Initialised once from the GPUCNN_POISON_SCRATCH
+/// environment variable ("0" / unset = off); the setter overrides it at
+/// runtime (tests, fuzz harness) and returns the previous value.
+[[nodiscard]] bool poison_scratch_enabled();
+bool set_poison_scratch(bool enabled);
+
+/// Test hook: overrides the per-thread retention cap (bytes) so the
+/// eviction path is exercisable without parking 256 MiB. Returns the
+/// previous cap.
+std::size_t set_retain_cap_for_testing(std::size_t bytes);
+
+namespace detail {
+
+/// Smallest block handed out; sub-256-byte requests share one class so
+/// tiny scratches don't fragment the list space.
+inline constexpr std::size_t kMinClassBytes = 256;
+/// Number of classes up to the largest (2^32 = 4 GiB); requests beyond
+/// the last class are still served, at their exact (aligned) size.
+inline constexpr std::size_t kNumClasses =
+    33 - std::bit_width(kMinClassBytes - 1);
+
+/// Size class serving a request of `bytes`.
+[[nodiscard]] constexpr std::size_t class_of(std::size_t bytes) {
+  const std::size_t rounded = bytes < kMinClassBytes ? kMinClassBytes : bytes;
+  const std::size_t cls =
+      std::bit_width(rounded - 1) - std::bit_width(kMinClassBytes - 1);
+  return cls < kNumClasses - 1 ? cls : kNumClasses - 1;
+}
+
+/// Capacity of every parked block in class `cls`.
+[[nodiscard]] constexpr std::size_t class_bytes(std::size_t cls) {
+  return kMinClassBytes << cls;
+}
+
+/// True when a request exceeds the last class's nominal capacity: such
+/// blocks are allocated at exact size and never parked (parking one as
+/// class capacity could hand out a too-small block later).
+[[nodiscard]] constexpr bool oversized(std::size_t bytes) {
+  return bytes > class_bytes(kNumClasses - 1);
+}
+
+/// The 32-bit word acquire() tiles over poisoned blocks: sign 0,
+/// exponent all-ones, quiet bit clear, mantissa non-zero — a signaling
+/// NaN at every 4-byte-aligned float position.
+inline constexpr std::uint32_t kPoisonWord = 0x7FA0'A5A5U;
+
+}  // namespace detail
 
 /// RAII scratch buffer of `n` elements of trivially-destructible T.
 /// Move-only; storage is uninitialised unless `zero` is requested.

@@ -213,6 +213,11 @@ std::filesystem::path RunExporter::finish() {
   manifest.set("version", GPUCNN_VERSION);
   manifest.set("git", GPUCNN_GIT_DESCRIBE);
   Json run = Json::object();
+#ifdef GPUCNN_SANITIZE_LABEL
+  // Instrumented builds run ~2-20x slower; the annotation lets schema
+  // validators (tools/validate_export.py) allow for distorted timings.
+  run.set("sanitizer", GPUCNN_SANITIZE_LABEL);
+#endif
   for (const auto& [key, value] : annotations_) run.set(key, value);
   manifest.set("run", std::move(run));
   manifest.set("artifacts", artifacts_);

@@ -2,12 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <latch>
 #include <thread>
 #include <utility>
+#include <vector>
 
 namespace gpucnn::ws {
 namespace {
+
+/// Restores the retention cap / poison flag a test overrides.
+struct RetainCapOverride {
+  explicit RetainCapOverride(std::size_t cap)
+      : previous_(set_retain_cap_for_testing(cap)) {}
+  ~RetainCapOverride() { set_retain_cap_for_testing(previous_); }
+  std::size_t previous_;
+};
+
+struct PoisonOverride {
+  explicit PoisonOverride(bool on) : previous_(set_poison_scratch(on)) {}
+  ~PoisonOverride() { set_poison_scratch(previous_); }
+  bool previous_;
+};
 
 TEST(Workspace, AcquireIsCacheLineAligned) {
   for (const std::size_t bytes : {1UL, 17UL, 256UL, 4097UL, 1UL << 20}) {
@@ -54,12 +73,156 @@ TEST(Workspace, ArenasArePerThread) {
     other_retained_before = retained_bytes();
     void* p = acquire(2048);
     release(p, 2048);
-    trim();
+    trim_thread();
   });
   t.join();
   EXPECT_EQ(other_retained_before, 0U);
   EXPECT_GT(retained_bytes(), 0U);
   trim();
+}
+
+TEST(Workspace, SizeClassGeometry) {
+  using detail::class_bytes;
+  using detail::class_of;
+  using detail::kMinClassBytes;
+  using detail::kNumClasses;
+  // Sub-minimum requests share the first class.
+  EXPECT_EQ(class_of(1), 0U);
+  EXPECT_EQ(class_of(kMinClassBytes), 0U);
+  EXPECT_EQ(class_of(kMinClassBytes + 1), 1U);
+  // A request of exactly a class capacity maps to that class.
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    EXPECT_EQ(class_of(class_bytes(cls)), cls);
+  }
+  // The last class is open-ended: anything larger still maps to it...
+  const std::size_t last = kNumClasses - 1;
+  EXPECT_EQ(class_of(class_bytes(last) + 1), last);
+  EXPECT_EQ(class_of(class_bytes(last) * 8), last);
+  // ...but is flagged oversized, so release() frees instead of parking
+  // a block whose real capacity exceeds the recorded class capacity.
+  EXPECT_FALSE(detail::oversized(class_bytes(last)));
+  EXPECT_TRUE(detail::oversized(class_bytes(last) + 1));
+  EXPECT_FALSE(detail::oversized(1));
+}
+
+TEST(Workspace, RetainCapEvictsIncomingBlocksOnly) {
+  trim();
+  const RetainCapOverride cap(2 * 4096);
+  // Park two 4 KiB-class blocks: exactly at the cap, both retained.
+  void* a = acquire(4096);
+  void* b = acquire(4096);
+  void* c = acquire(4096);
+  release(a, 4096);
+  release(b, 4096);
+  EXPECT_EQ(retained_bytes(), 2 * 4096U);
+  // A third release would exceed the cap: the incoming block is freed,
+  // the already-parked ones stay (LIFO order preserved).
+  release(c, 4096);
+  EXPECT_EQ(retained_bytes(), 2 * 4096U);
+  EXPECT_EQ(acquire(4096), b);
+  EXPECT_EQ(acquire(4096), a);
+  EXPECT_EQ(retained_bytes(), 0U);
+  release(a, 4096);
+  release(b, 4096);
+  trim();
+}
+
+TEST(Workspace, PoisonFillsAcquiredBlocksWithSignalingNans) {
+  trim();
+  const PoisonOverride poison(true);
+  // Fresh allocation: poisoned.
+  const std::size_t n = 512 / sizeof(float);
+  auto* fresh = static_cast<float*>(acquire(512));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(std::isnan(fresh[i])) << "element " << i;
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &fresh[i], sizeof(bits));
+    EXPECT_EQ(bits, detail::kPoisonWord);
+  }
+  // Recycled block: dirtied contents are re-poisoned on reacquire.
+  fresh[0] = 1.0F;
+  release(fresh, 512);
+  auto* reused = static_cast<float*>(acquire(512));
+  EXPECT_EQ(reused, fresh);
+  EXPECT_TRUE(std::isnan(reused[0]));
+  release(reused, 512);
+  trim();
+}
+
+TEST(Workspace, PoisonOffLeavesRecycledContents) {
+  trim();
+  const PoisonOverride poison(false);
+  auto* p = static_cast<float*>(acquire(256));
+  p[0] = 42.0F;
+  release(p, 256);
+  auto* q = static_cast<float*>(acquire(256));
+  ASSERT_EQ(q, p);
+  EXPECT_EQ(q[0], 42.0F);
+  release(q, 256);
+  trim();
+}
+
+TEST(Workspace, RetainedGaugeTracksProcessTotalAcrossThreads) {
+  trim();
+  ASSERT_EQ(process_retained_bytes(), 0U);
+  // Two worker threads each park one block and hold position until the
+  // main thread has observed the total: the process-wide count must be
+  // the sum, not whichever thread updated it last.
+  constexpr std::size_t kThreads = 2;
+  constexpr std::size_t kBytes = 8192;
+  std::latch parked(kThreads + 1);
+  std::latch checked(kThreads + 1);
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&] {
+      void* p = acquire(kBytes);
+      release(p, kBytes);
+      parked.arrive_and_wait();
+      checked.arrive_and_wait();
+      trim_thread();
+    });
+  }
+  parked.arrive_and_wait();
+  EXPECT_EQ(process_retained_bytes(), kThreads * kBytes);
+  checked.arrive_and_wait();
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(process_retained_bytes(), 0U);
+}
+
+TEST(Workspace, TrimFromMainThreadReclaimsWorkerRetainedBytes) {
+  trim();
+  ASSERT_EQ(process_retained_bytes(), 0U);
+  constexpr std::size_t kBytes = 16384;
+  std::latch parked(2);
+  std::latch trimmed(2);
+  // The worker parks a block and stays alive across the main-thread
+  // trim: pre-registry, those bytes were unreachable until thread exit.
+  std::thread worker([&] {
+    void* p = acquire(kBytes);
+    release(p, kBytes);
+    parked.arrive_and_wait();
+    trimmed.arrive_and_wait();
+    EXPECT_EQ(retained_bytes(), 0U);  // main's trim drained this arena
+  });
+  parked.arrive_and_wait();
+  EXPECT_EQ(process_retained_bytes(), kBytes);
+  trim();
+  EXPECT_EQ(process_retained_bytes(), 0U);
+  trimmed.arrive_and_wait();
+  worker.join();
+}
+
+TEST(Workspace, DyingThreadReturnsItsRetainedBytes) {
+  trim();
+  ASSERT_EQ(process_retained_bytes(), 0U);
+  std::thread t([] {
+    void* p = acquire(4096);
+    release(p, 4096);
+    EXPECT_GT(retained_bytes(), 0U);
+  });
+  t.join();
+  // ~Arena freed the parked block and settled the process total.
+  EXPECT_EQ(process_retained_bytes(), 0U);
 }
 
 TEST(WorkspaceScratch, SpanAndFill) {
@@ -79,6 +242,13 @@ TEST(WorkspaceScratch, ZeroRequestZeroes) {
   }
   Scratch<float> s(64, /*zero=*/true);
   for (const float v : s.span()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(WorkspaceScratch, ZeroRequestZeroesUnderPoison) {
+  const PoisonOverride poison(true);
+  Scratch<float> s(64, /*zero=*/true);
+  for (const float v : s.span()) EXPECT_EQ(v, 0.0F);
+  trim();
 }
 
 TEST(WorkspaceScratch, MoveTransfersOwnership) {

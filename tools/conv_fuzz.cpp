@@ -1,0 +1,94 @@
+// Command-line driver for the conv-config fuzzer (analysis/conv_fuzz).
+//
+//   conv_fuzz [--seed N] [--count N] [--start N] [--verbose] [--no-poison]
+//
+// Deterministic per (seed, index): a failing run prints, for every
+// failure, the exact one-config command that reproduces it. Exit status:
+// 0 all checks passed, 1 failures found, 2 bad usage.
+//
+// CI runs `conv_fuzz --seed 1 --count 200` on every PR (see
+// .github/workflows/ci.yml and docs/TESTING.md).
+#include <charconv>
+#include <cstring>
+#include <iostream>
+#include <string_view>
+
+#include "analysis/conv_fuzz.hpp"
+
+namespace {
+
+int usage(std::ostream& os) {
+  os << "usage: conv_fuzz [--seed N] [--count N] [--start N]"
+        " [--verbose] [--no-poison]\n"
+        "  --seed N      RNG seed defining the config sequence"
+        " (default 1)\n"
+        "  --count N     number of configs to check (default 200)\n"
+        "  --start N     first config index, for reproducing one"
+        " failure (default 0)\n"
+        "  --verbose     print every config as it is checked\n"
+        "  --no-poison   do not poison workspace scratch during the"
+        " run\n";
+  return 2;
+}
+
+/// Full-string unsigned parse; rejects "12abc", "-3" and overflow.
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gpucnn::analysis::FuzzOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    std::uint64_t value = 0;
+    if (arg == "--verbose") {
+      options.log = &std::cout;
+    } else if (arg == "--no-poison") {
+      options.poison = false;
+    } else if (arg == "--seed" && has_value && parse_u64(argv[i + 1], value)) {
+      options.seed = value;
+      ++i;
+    } else if (arg == "--count" && has_value &&
+               parse_u64(argv[i + 1], value)) {
+      options.count = value;
+      ++i;
+    } else if (arg == "--start" && has_value &&
+               parse_u64(argv[i + 1], value)) {
+      options.start = value;
+      ++i;
+    } else {
+      std::cerr << "conv_fuzz: bad argument '" << arg << "'\n";
+      return usage(std::cerr);
+    }
+  }
+
+  const auto report = gpucnn::analysis::run_fuzz(options);
+
+  std::cout << "conv_fuzz: seed " << options.seed << ", configs ["
+            << options.start << ", " << options.start + options.count
+            << "): " << report.configs_run << " run, "
+            << report.engine_checks << " engine-pass comparisons ("
+            << report.engine_skips << " unsupported skipped), "
+            << report.plan_checks << " framework plans validated ("
+            << report.plan_skips << " shape-limited skipped)\n";
+
+  for (const auto& failure : report.failures) {
+    std::cout << "FAIL [" << failure.index << "] "
+              << failure.config.to_string() << " pad=" << failure.config.pad
+              << " groups=" << failure.config.groups << "\n  "
+              << failure.what << "\n  repro: "
+              << gpucnn::analysis::repro_command(options.seed, failure.index)
+              << '\n';
+  }
+  if (!report.ok()) {
+    std::cout << report.failures.size() << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "all checks passed\n";
+  return 0;
+}

@@ -119,7 +119,7 @@ def validate_metrics(directory, entry, documented):
               f" count {hist['count']}")
 
 
-def validate_trace(directory, entry):
+def validate_trace(directory, entry, nest_eps=1e-6):
     doc = load_json(directory / entry["file"])
     check(doc.get("displayTimeUnit") == "ms", "trace.json: bad"
           " displayTimeUnit")
@@ -146,7 +146,7 @@ def validate_trace(directory, entry):
               " thread_name metadata")
         # Events on one track must nest or be disjoint — no partial
         # overlap (tolerance for float rounding).
-        eps = 1e-6
+        eps = nest_eps
         stack = []
         # Longest-first at equal starts, so enclosing spans precede
         # children that begin at the same timestamp.
@@ -164,6 +164,15 @@ def validate_trace(directory, entry):
 def validate_directory(directory):
     manifest = validate_manifest(directory)
     documented = documented_names()
+    # Sanitizer-instrumented runs (manifest run.sanitizer, set by
+    # GPUCNN_SANITIZE builds) keep the same schema but dilate timings
+    # unevenly — interceptor overhead lands between a span's recorded
+    # start and its children's — so sibling spans that abut within
+    # nanoseconds in a plain build can partially overlap by a few
+    # microseconds. Widen only the trace-nesting tolerance; every
+    # structural check stays as strict as a plain run.
+    sanitizer = manifest.get("run", {}).get("sanitizer")
+    nest_eps = 5e-3 if sanitizer else 1e-6
     for entry in manifest["artifacts"]:
         kind = entry["kind"]
         if kind == "table_json":
@@ -173,8 +182,8 @@ def validate_directory(directory):
         elif kind == "metrics":
             validate_metrics(directory, entry, documented)
         elif kind == "trace":
-            validate_trace(directory, entry)
-    return len(manifest["artifacts"])
+            validate_trace(directory, entry, nest_eps)
+    return len(manifest["artifacts"]), sanitizer
 
 
 def main(argv):
@@ -185,12 +194,13 @@ def main(argv):
     for arg in argv[1:]:
         directory = Path(arg)
         try:
-            count = validate_directory(directory)
+            count, sanitizer = validate_directory(directory)
         except Failure as failure:
             print(f"FAIL {directory}: {failure}")
             status = 1
         else:
-            print(f"OK   {directory}: {count} artifacts valid")
+            note = f" (sanitizer: {sanitizer})" if sanitizer else ""
+            print(f"OK   {directory}: {count} artifacts valid{note}")
     return status
 
 
