@@ -28,7 +28,9 @@
 #include "core/cpu_features.hpp"
 #include "core/rng.hpp"
 #include "core/tensor.hpp"
+#include "conv/fft_conv.hpp"
 #include "fft/fft.hpp"
+#include "fft/rfft.hpp"
 #include "obs/exporter.hpp"
 
 namespace {
@@ -123,6 +125,36 @@ void BM_Fft2d(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft2d)->Arg(64)->Arg(128);
 
+// --- real-input fast path --------------------------------------------
+
+void BM_Rfft2(benchmark::State& state) {
+  // Same plane sizes as BM_Fft2d: the half-spectrum R2C transform should
+  // cost roughly half the dense complex 2-D pass above.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::Plan plan(n);
+  const auto src = random_vec(n * n, 6);
+  std::vector<fft::Complex> spec(fft::half_spectrum_size(n));
+  for (auto _ : state) {
+    fft::rfft2(src, spec, plan);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_Rfft2)->Arg(64)->Arg(128);
+
+void BM_Rfft2RoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::Plan plan(n);
+  const auto src = random_vec(n * n, 7);
+  std::vector<fft::Complex> spec(fft::half_spectrum_size(n));
+  std::vector<float> back(n * n);
+  for (auto _ : state) {
+    fft::rfft2(src, spec, plan);
+    fft::irfft2(spec, back, plan);
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+BENCHMARK(BM_Rfft2RoundTrip)->Arg(64)->Arg(128);
+
 // --- im2col ----------------------------------------------------------
 
 void BM_Im2col(benchmark::State& state) {
@@ -178,6 +210,39 @@ void BM_ConvWinograd(benchmark::State& state) {
   conv_strategy_bench(state, conv::Strategy::kWinograd);
 }
 BENCHMARK(BM_ConvWinograd)->Arg(3);  // F(2x2,3x3): 3x3 kernels only
+
+// --- FFT conv: half-spectrum vs full-complex -------------------------
+
+void fft_conv_bench(benchmark::State& state,
+                    conv::FftConv::Spectrum spectrum) {
+  // The paper-representative FFT-friendly geometry (large kernel on a
+  // 64x64 plane); the half/full pair quantifies the real-input win.
+  const ConvConfig cfg{.batch = 4, .input = 64, .channels = 8,
+                       .filters = 8, .kernel = 9, .stride = 1};
+  const conv::FftConv engine(spectrum);
+  Rng rng(8);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  Tensor out(cfg.output_shape());
+  for (auto _ : state) {
+    engine.forward(cfg, in, w, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      cfg.forward_flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_FftConvForward(benchmark::State& state) {
+  fft_conv_bench(state, conv::FftConv::Spectrum::kHalf);
+}
+void BM_FftConvForwardComplex(benchmark::State& state) {
+  fft_conv_bench(state, conv::FftConv::Spectrum::kFull);
+}
+BENCHMARK(BM_FftConvForward);
+BENCHMARK(BM_FftConvForwardComplex);
 
 // --- CGEMM pointwise stage -------------------------------------------
 

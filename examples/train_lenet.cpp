@@ -2,24 +2,51 @@
 // synthetic 10-class digit-like dataset, end to end on the real CPU
 // engines, reporting loss and accuracy per epoch.
 //
-// Run:  ./train_lenet [epochs]
+// Run:  ./train_lenet [epochs] [direct|unrolling|fft|winograd]
+//
+// With the fft strategy the closing plan-cache line demonstrates the
+// PlanCache contract: every layer geometry builds its transform plan
+// once (misses == distinct sizes) and all repeated calls hit.
 #include <iostream>
+#include <string_view>
 
 #include "cli_args.hpp"
 #include "core/timer.hpp"
+#include "fft/plan_cache.hpp"
 #include "nn/model_spec.hpp"
 #include "nn/sgd.hpp"
 #include "nn/softmax.hpp"
 #include "nn/synthetic_data.hpp"
+#include "obs/metrics.hpp"
 
 using namespace gpucnn;
 
-int main(int argc, char** argv) {
+namespace {
+
+bool parse_strategy(std::string_view text, conv::Strategy& out) {
+  for (const auto s : {conv::Strategy::kDirect, conv::Strategy::kUnrolling,
+                       conv::Strategy::kFft, conv::Strategy::kWinograd}) {
+    if (text == conv::to_string(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   int epochs = 3;
-  if (argc > 2 ||
-      (argc == 2 && !examples::parse_positive(argv[1], "epoch count",
-                                              epochs, 100000))) {
-    std::cerr << "usage: train_lenet [epochs]\n";
+  conv::Strategy strategy = conv::Strategy::kUnrolling;
+  const bool ok =
+      argc <= 3 &&
+      (argc < 2 ||
+       examples::parse_positive(argv[1], "epoch count", epochs, 100000)) &&
+      (argc < 3 || parse_strategy(argv[2], strategy));
+  if (!ok) {
+    std::cerr << "usage: train_lenet [epochs] "
+                 "[direct|unrolling|fft|winograd]\n";
     return 2;
   }
   constexpr std::size_t kBatch = 32;
@@ -27,9 +54,10 @@ int main(int argc, char** argv) {
 
   const auto spec = nn::lenet5(kBatch);
   std::cout << "LeNet-5: " << spec.layers.size() << " layers, "
-            << spec.parameter_count() << " parameters\n";
+            << spec.parameter_count() << " parameters ("
+            << conv::to_string(strategy) << " convolution)\n";
 
-  auto net = spec.instantiate(conv::Strategy::kUnrolling);
+  auto net = spec.instantiate(strategy);
   Rng rng(7);
   net.initialize(rng);
 
@@ -65,5 +93,19 @@ int main(int argc, char** argv) {
             << nn::accuracy(probs, eval.labels) << "\n"
             << "total training time: " << timer.elapsed_ms() / 1000.0
             << " s\n";
+
+  const auto hits = obs::metrics().counter("fft.plan_cache.hits").value();
+  const auto misses =
+      obs::metrics().counter("fft.plan_cache.misses").value();
+  if (hits + misses > 0) {
+    std::cout << "fft plan cache: " << hits << " hits, " << misses
+              << " misses (" << fft::PlanCache::instance().size()
+              << " plans resident)\n";
+  }
   return 0;
+} catch (const std::exception& e) {
+  // E.g. Winograd on LeNet-5's 5x5 kernels: the engine rejects the
+  // geometry mid-forward; report it instead of terminating.
+  std::cerr << "train_lenet: " << e.what() << "\n";
+  return 1;
 }

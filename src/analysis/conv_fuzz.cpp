@@ -8,6 +8,7 @@
 
 #include "analysis/conv_runner.hpp"
 #include "conv/conv_engine.hpp"
+#include "conv/fft_conv.hpp"
 #include "conv/implicit_gemm_conv.hpp"
 #include "conv/tiled_fft_conv.hpp"
 #include "core/rng.hpp"
@@ -67,13 +68,16 @@ void add_failure(FuzzReport& report, std::size_t index,
   report.failures.push_back({index, cfg, std::move(what)});
 }
 
-/// The non-reference engines: factory strategies plus the two variants
-/// the factory does not expose directly.
+/// The non-reference engines: factory strategies plus the variants the
+/// factory does not expose directly — implicit GEMM, tiled FFT, and the
+/// full-complex spectrum path kept as the rfft cross-check.
 std::vector<std::unique_ptr<conv::ConvEngine>> make_checked_engines() {
   std::vector<std::unique_ptr<conv::ConvEngine>> engines;
   engines.push_back(conv::make_engine(conv::Strategy::kUnrolling));
   engines.push_back(std::make_unique<conv::ImplicitGemmConv>());
   engines.push_back(conv::make_engine(conv::Strategy::kFft));
+  engines.push_back(
+      std::make_unique<conv::FftConv>(conv::FftConv::Spectrum::kFull));
   engines.push_back(std::make_unique<conv::TiledFftConv>());
   engines.push_back(conv::make_engine(conv::Strategy::kWinograd));
   return engines;
@@ -252,9 +256,10 @@ ConvConfig fuzz_config(std::uint64_t seed, std::size_t index) {
     cfg.pad = pick(rng, {0, 0, 0, 1, 2, cfg.kernel - 1, cfg.kernel,
                          cfg.kernel + 1});
     // Non-powers of two around FFT padding boundaries (17 and 33 pad to
-    // 32 and 64), primes, and inputs at or below the kernel size.
+    // 32 and 64; 63/64/65 straddle the 64 -> 128 jump), primes, and
+    // inputs at or below the kernel size.
     cfg.input = pick(rng, {1, 2, 3, 5, 6, 7, 9, 11, 12, 13, 15, 16, 17, 19,
-                           23, 25, 28, 31, 32, 33});
+                           23, 25, 28, 31, 32, 33, 63, 64, 65});
     if (cfg.input + 2 * cfg.pad < cfg.kernel) continue;
     if (!affordable(cfg)) continue;
     return cfg;

@@ -7,6 +7,11 @@
 // transform; patches overlap by k - 1. This is the real algorithm behind
 // the fbfft tile planner the performance model uses — implemented here
 // in full so the numerics can be tested, not just costed.
+//
+// Each tile runs through the untiled engine, so tiles use the same
+// half-spectrum R2C path, and every tile of a layer shares one cached
+// plan (fft::PlanCache) — the tile transform is built once per process,
+// not once per patch.
 #pragma once
 
 #include "conv/conv_engine.hpp"

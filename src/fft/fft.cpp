@@ -89,6 +89,56 @@ __attribute__((target("avx2,fma"))) void butterfly_block_dif_avx2(
   }
 }
 
+// One DIT butterfly applied to `ncols` adjacent columns: the twiddle is
+// shared by the whole row pair, so it broadcasts into both lanes kinds
+// and the loop runs 4 complex columns per iteration.
+__attribute__((target("avx2,fma"))) void butterfly_cols_dit_avx2(
+    Complex* lo_c, Complex* hi_c, Complex w, std::size_t ncols) {
+  auto* lo = reinterpret_cast<float*>(lo_c);
+  auto* hi = reinterpret_cast<float*>(hi_c);
+  const __m256 wr = _mm256_set1_ps(w.real());
+  const __m256 wi = _mm256_set1_ps(w.imag());
+  std::size_t c = 0;
+  for (; c + 4 <= ncols; c += 4) {
+    const __m256 x = _mm256_loadu_ps(hi + 2 * c);
+    const __m256 x_swap = _mm256_permute_ps(x, 0xB1);
+    const __m256 t = _mm256_fmaddsub_ps(x, wr, _mm256_mul_ps(x_swap, wi));
+    const __m256 vlo = _mm256_loadu_ps(lo + 2 * c);
+    _mm256_storeu_ps(hi + 2 * c, _mm256_sub_ps(vlo, t));
+    _mm256_storeu_ps(lo + 2 * c, _mm256_add_ps(vlo, t));
+  }
+  for (; c < ncols; ++c) {
+    const Complex t = w * hi_c[c];
+    hi_c[c] = lo_c[c] - t;
+    lo_c[c] = lo_c[c] + t;
+  }
+}
+
+// One DIF butterfly across `ncols` adjacent columns:
+//   t = lo - hi; lo = lo + hi; hi = w*t.
+__attribute__((target("avx2,fma"))) void butterfly_cols_dif_avx2(
+    Complex* lo_c, Complex* hi_c, Complex w, std::size_t ncols) {
+  auto* lo = reinterpret_cast<float*>(lo_c);
+  auto* hi = reinterpret_cast<float*>(hi_c);
+  const __m256 wr = _mm256_set1_ps(w.real());
+  const __m256 wi = _mm256_set1_ps(w.imag());
+  std::size_t c = 0;
+  for (; c + 4 <= ncols; c += 4) {
+    const __m256 vlo = _mm256_loadu_ps(lo + 2 * c);
+    const __m256 vhi = _mm256_loadu_ps(hi + 2 * c);
+    const __m256 t = _mm256_sub_ps(vlo, vhi);
+    _mm256_storeu_ps(lo + 2 * c, _mm256_add_ps(vlo, vhi));
+    const __m256 t_swap = _mm256_permute_ps(t, 0xB1);
+    _mm256_storeu_ps(hi + 2 * c,
+                     _mm256_fmaddsub_ps(t, wr, _mm256_mul_ps(t_swap, wi)));
+  }
+  for (; c < ncols; ++c) {
+    const Complex t = lo_c[c] - hi_c[c];
+    lo_c[c] = lo_c[c] + hi_c[c];
+    hi_c[c] = w * t;
+  }
+}
+
 #endif  // GPUCNN_X86_SIMD
 
 }  // namespace
@@ -229,6 +279,104 @@ void Plan::transform(std::span<Complex> data, Direction dir) const {
   transform_strided(data, 1, dir);
 }
 
+void Plan::bit_reverse_rows(Complex* data, std::size_t stride,
+                            std::size_t ncols) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = reversal_[i];
+    if (i >= j) continue;
+    Complex* a = data + i * stride;
+    Complex* b = data + j * stride;
+    for (std::size_t c = 0; c < ncols; ++c) std::swap(a[c], b[c]);
+  }
+}
+
+void Plan::butterflies_dit_cols(Complex* data, std::size_t stride,
+                                std::size_t ncols, Direction dir) const {
+  std::size_t offset = 0;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const Complex* tw = stage_twiddles_.data() + offset;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w =
+            dir == Direction::kForward ? tw[k] : std::conj(tw[k]);
+        Complex* lo = data + (start + k) * stride;
+        Complex* hi = data + (start + k + half) * stride;
+#if GPUCNN_X86_SIMD
+        if (simd::active() == simd::Level::kAvx2) {
+          butterfly_cols_dit_avx2(lo, hi, w, ncols);
+          continue;
+        }
+#endif
+        for (std::size_t c = 0; c < ncols; ++c) {
+          const Complex t = w * hi[c];
+          hi[c] = lo[c] - t;
+          lo[c] = lo[c] + t;
+        }
+      }
+    }
+    offset += half;
+  }
+}
+
+void Plan::butterflies_dif_cols(Complex* data, std::size_t stride,
+                                std::size_t ncols, Direction dir) const {
+  std::size_t offset = n_ - 1;
+  for (std::size_t len = n_; len >= 2; len >>= 1) {
+    const std::size_t half = len / 2;
+    offset -= half;
+    const Complex* tw = stage_twiddles_.data() + offset;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w =
+            dir == Direction::kForward ? tw[k] : std::conj(tw[k]);
+        Complex* lo = data + (start + k) * stride;
+        Complex* hi = data + (start + k + half) * stride;
+#if GPUCNN_X86_SIMD
+        if (simd::active() == simd::Level::kAvx2) {
+          butterfly_cols_dif_avx2(lo, hi, w, ncols);
+          continue;
+        }
+#endif
+        for (std::size_t c = 0; c < ncols; ++c) {
+          const Complex t = lo[c] - hi[c];
+          lo[c] = lo[c] + hi[c];
+          hi[c] = w * t;
+        }
+      }
+    }
+  }
+}
+
+void Plan::transform_columns(std::span<Complex> data, std::size_t stride,
+                             std::size_t ncols, Direction dir) const {
+  check(ncols >= 1 && ncols <= stride,
+        "column-block width must fit inside the row stride");
+  check(data.size() >= (n_ - 1) * stride + ncols,
+        "FFT column-block buffer too small");
+  if (n_ == 1) return;
+  if (schedule_ == Schedule::kDit) {
+    bit_reverse_rows(data.data(), stride, ncols);
+    butterflies_dit_cols(data.data(), stride, ncols, dir);
+  } else {
+    butterflies_dif_cols(data.data(), stride, ncols, dir);
+    bit_reverse_rows(data.data(), stride, ncols);
+  }
+  if (dir == Direction::kInverse) {
+    const float norm = 1.0F / static_cast<float>(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      Complex* row = data.data() + i * stride;
+      for (std::size_t c = 0; c < ncols; ++c) row[c] *= norm;
+    }
+  }
+}
+
+std::size_t Plan::footprint_bytes() const {
+  return sizeof(Plan) + twiddles_.size() * sizeof(Complex) +
+         stage_twiddles_.size() * sizeof(Complex) +
+         reversal_.size() * sizeof(std::uint32_t);
+}
+
 void transform_2d(std::span<Complex> data, const Plan& row_plan,
                   const Plan& col_plan, Direction dir) {
   const std::size_t cols = row_plan.size();
@@ -237,9 +385,8 @@ void transform_2d(std::span<Complex> data, const Plan& row_plan,
   for (std::size_t r = 0; r < rows; ++r) {
     row_plan.transform(data.subspan(r * cols, cols), dir);
   }
-  for (std::size_t c = 0; c < cols; ++c) {
-    col_plan.transform_strided(data.subspan(c), cols, dir);
-  }
+  // Column pass: all columns at once, vectorised across columns.
+  col_plan.transform_columns(data, cols, cols, dir);
 }
 
 void dft_reference(std::span<const Complex> in, std::span<Complex> out,

@@ -51,12 +51,33 @@ class Plan {
   void transform_strided(std::span<Complex> data, std::size_t stride,
                          Direction dir) const;
 
+  /// In-place transform of `ncols` adjacent columns of a row-major
+  /// matrix at once: column c's element i lives at data[i * stride + c]
+  /// (ncols <= stride). Every column runs the same length-n plan, so
+  /// each butterfly's twiddle is shared across the whole row pair and
+  /// the inner loop vectorises across columns (broadcast twiddle) —
+  /// this is how the 2-D transforms run their column pass at SIMD
+  /// width without a transpose.
+  void transform_columns(std::span<Complex> data, std::size_t stride,
+                         std::size_t ncols, Direction dir) const;
+
+  /// Resident bytes of the precomputed tables (twiddles, stage rows,
+  /// bit-reversal permutation); what the plan cache accounts under
+  /// fft.plan_cache.bytes.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
  private:
   void butterflies_dit(std::span<Complex> data, std::size_t stride,
                        Direction dir) const;
   void butterflies_dif(std::span<Complex> data, std::size_t stride,
                        Direction dir) const;
   void bit_reverse(std::span<Complex> data, std::size_t stride) const;
+  void butterflies_dit_cols(Complex* data, std::size_t stride,
+                            std::size_t ncols, Direction dir) const;
+  void butterflies_dif_cols(Complex* data, std::size_t stride,
+                            std::size_t ncols, Direction dir) const;
+  void bit_reverse_rows(Complex* data, std::size_t stride,
+                        std::size_t ncols) const;
 
   std::size_t n_;
   Schedule schedule_;

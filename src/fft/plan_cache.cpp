@@ -1,0 +1,64 @@
+#include "fft/plan_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace gpucnn::fft {
+namespace {
+
+struct CacheMetrics {
+  obs::Counter& hits = obs::metrics().counter("fft.plan_cache.hits");
+  obs::Counter& misses = obs::metrics().counter("fft.plan_cache.misses");
+  obs::Gauge& bytes = obs::metrics().gauge("fft.plan_cache.bytes");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
+
+std::shared_ptr<const Plan> PlanCache::get(std::size_t n,
+                                           Schedule schedule) {
+  auto& metrics = cache_metrics();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{n, schedule};
+  const auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    metrics.hits.add();
+    return it->second;
+  }
+  // Built under the lock: a concurrent first use of the same size must
+  // construct exactly one plan (and count exactly one miss).
+  auto plan = std::make_shared<const Plan>(n, schedule);
+  resident_bytes_ += plan->footprint_bytes();
+  metrics.misses.add();
+  metrics.bytes.set(static_cast<double>(resident_bytes_));
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  resident_bytes_ = 0;
+  cache_metrics().bytes.set(0.0);
+}
+
+PlanCache& PlanCache::instance() {
+  // Leaked: engines may transform during static destruction of other
+  // objects; the cache must outlive them all.
+  static auto* cache = new PlanCache();
+  return *cache;
+}
+
+std::shared_ptr<const Plan> cached_plan(std::size_t n, Schedule schedule) {
+  return PlanCache::instance().get(n, schedule);
+}
+
+}  // namespace gpucnn::fft

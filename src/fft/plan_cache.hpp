@@ -1,0 +1,58 @@
+// Process-wide cache of fft::Plan objects, keyed by (length, schedule).
+//
+// A Plan precomputes twiddles, per-stage contiguous twiddle rows and the
+// bit-reversal permutation — O(n) memory and O(n log n) trigonometry.
+// The FFT convolution engines need the same one or two sizes on every
+// layer call; rebuilding the plan per call (the pre-cache behaviour of
+// conv/fft_conv.cpp) wasted that setup on the hot path. The cache
+// builds each (n, schedule) once per process and hands out shared
+// ownership, so plans outlive any caller and are safe to use from any
+// thread (Plan's transform methods are const).
+//
+// Lookup takes one mutex; a miss constructs the plan under the same
+// lock, so a concurrent first use of one size builds exactly one plan.
+// Observability (docs/METRICS.md): fft.plan_cache.hits / misses count
+// lookups, the fft.plan_cache.bytes gauge tracks the resident footprint
+// of every cached plan.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "fft/fft.hpp"
+
+namespace gpucnn::fft {
+
+class PlanCache {
+ public:
+  /// The cached plan of length `n` (a power of two) and `schedule`,
+  /// building it on first use. Never returns null.
+  [[nodiscard]] std::shared_ptr<const Plan> get(
+      std::size_t n, Schedule schedule = Schedule::kDit);
+
+  /// Number of distinct (length, schedule) plans currently cached.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every cached plan (outstanding shared_ptrs stay valid) and
+  /// zeroes the bytes gauge. Tests use this for deterministic counts.
+  void clear();
+
+  /// The process-wide instance every engine shares.
+  static PlanCache& instance();
+
+ private:
+  using Key = std::pair<std::size_t, Schedule>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const Plan>> plans_;
+  std::size_t resident_bytes_ = 0;
+};
+
+/// Convenience: PlanCache::instance().get(n, schedule).
+[[nodiscard]] std::shared_ptr<const Plan> cached_plan(
+    std::size_t n, Schedule schedule = Schedule::kDit);
+
+}  // namespace gpucnn::fft

@@ -1,0 +1,81 @@
+#include "fft/rfft.hpp"
+
+#include "core/error.hpp"
+#include "core/workspace.hpp"
+
+namespace gpucnn::fft {
+
+void rfft2(std::span<const float> src, std::span<Complex> spec,
+           const Plan& plan) {
+  const std::size_t s = plan.size();
+  const std::size_t hc = half_cols(s);
+  check(src.size() == s * s, "rfft2 input size mismatch");
+  check(spec.size() == half_spectrum_size(s), "rfft2 spectrum size mismatch");
+  if (s == 1) {
+    spec[0] = Complex(src[0], 0.0F);
+    return;
+  }
+
+  // Row pass: rows y and y+1 packed into one complex transform, then
+  // separated into their Hermitian halves (s is a power of two >= 2,
+  // so the row count is even).
+  ws::Scratch<Complex> z(s);
+  for (std::size_t y = 0; y < s; y += 2) {
+    const float* r0 = src.data() + y * s;
+    const float* r1 = r0 + s;
+    for (std::size_t x = 0; x < s; ++x) z.data()[x] = Complex(r0[x], r1[x]);
+    plan.transform(z.span(), Direction::kForward);
+    Complex* even = spec.data() + y * hc;
+    Complex* odd = even + hc;
+    for (std::size_t k = 0; k < hc; ++k) {
+      const Complex zk = z.data()[k];
+      const Complex zmk = std::conj(z.data()[(s - k) & (s - 1)]);
+      even[k] = 0.5F * (zk + zmk);
+      odd[k] = Complex(0.0F, -0.5F) * (zk - zmk);
+    }
+  }
+
+  // Column pass: complex FFT down every retained column at once.
+  plan.transform_columns(spec, hc, hc, Direction::kForward);
+}
+
+void irfft2(std::span<Complex> spec, std::span<float> dst,
+            const Plan& plan) {
+  const std::size_t s = plan.size();
+  const std::size_t hc = half_cols(s);
+  check(spec.size() == half_spectrum_size(s),
+        "irfft2 spectrum size mismatch");
+  check(dst.size() == s * s, "irfft2 output size mismatch");
+  if (s == 1) {
+    dst[0] = spec[0].real();
+    return;
+  }
+
+  // Column pass first (1/s of the normalisation lives here)...
+  plan.transform_columns(spec, hc, hc, Direction::kInverse);
+
+  // ...then each row pair is re-merged into one full-length complex
+  // spectrum via Hermitian symmetry and inverse-transformed together:
+  // the real part is row y, the imaginary part row y+1.
+  ws::Scratch<Complex> z(s);
+  for (std::size_t y = 0; y < s; y += 2) {
+    const Complex* even = spec.data() + y * hc;
+    const Complex* odd = even + hc;
+    for (std::size_t k = 0; k < hc; ++k) {
+      z.data()[k] = even[k] + Complex(0.0F, 1.0F) * odd[k];
+    }
+    for (std::size_t k = hc; k < s; ++k) {
+      z.data()[k] = std::conj(even[s - k]) +
+                    Complex(0.0F, 1.0F) * std::conj(odd[s - k]);
+    }
+    plan.transform(z.span(), Direction::kInverse);
+    float* r0 = dst.data() + y * s;
+    float* r1 = r0 + s;
+    for (std::size_t x = 0; x < s; ++x) {
+      r0[x] = z.data()[x].real();
+      r1[x] = z.data()[x].imag();
+    }
+  }
+}
+
+}  // namespace gpucnn::fft

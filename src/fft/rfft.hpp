@@ -1,0 +1,54 @@
+// Real-input 2-D FFT (R2C forward, C2R inverse) over the Hermitian
+// half-spectrum.
+//
+// A real s x s image has a conjugate-symmetric spectrum:
+//   F[ky, kx] == conj(F[(s-ky) % s, (s-kx) % s])
+// so only kx in [0, s/2] carries information — s * (s/2 + 1) bins
+// instead of s^2. This is the fbfft / Mathieu et al. formulation the
+// paper's FFT engines exploit on the GPU: it halves both the transform
+// work and the per-bin pointwise (Cgemm) stage of FFT convolution.
+//
+// The forward transform uses the classic pack-two-real-rows trick: rows
+// y and y+1 are packed into one complex row z = row_y + i*row_{y+1},
+// one complex FFT of length s transforms both at once, and the two
+// Hermitian row spectra are separated as
+//   A[k] = (Z[k] + conj(Z[-k])) / 2,   B[k] = (Z[k] - conj(Z[-k])) / 2i.
+// The column pass then runs plain complex FFTs down the s/2+1 retained
+// columns — all of them at once through Plan::transform_columns, which
+// vectorises across columns. The inverse mirrors every step.
+//
+// Layout: the half-spectrum of an s x s image is row-major
+// s x (s/2 + 1); bin (ky, kx) lives at spec[ky * half_cols(s) + kx].
+// Pointwise products of half-spectra stay Hermitian, so FFT convolution
+// can run its whole frequency-domain pipeline in this layout and
+// reconstruct exact real outputs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "fft/fft.hpp"
+
+namespace gpucnn::fft {
+
+/// Retained columns of the Hermitian half-spectrum of width s.
+[[nodiscard]] constexpr std::size_t half_cols(std::size_t s) {
+  return s / 2 + 1;
+}
+
+/// Complex bins in the half-spectrum of an s x s real image.
+[[nodiscard]] constexpr std::size_t half_spectrum_size(std::size_t s) {
+  return s * half_cols(s);
+}
+
+/// Forward R2C transform: real s x s row-major `src` into the
+/// s x (s/2+1) half-spectrum `spec` (s = plan.size(), a power of two).
+void rfft2(std::span<const float> src, std::span<Complex> spec,
+           const Plan& plan);
+
+/// Inverse C2R transform: consumes (overwrites) the half-spectrum
+/// `spec` and writes the real s x s image to `dst`. Includes the full
+/// 1/s^2 normalisation, so irfft2(rfft2(x)) == x.
+void irfft2(std::span<Complex> spec, std::span<float> dst, const Plan& plan);
+
+}  // namespace gpucnn::fft

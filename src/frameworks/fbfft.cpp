@@ -245,14 +245,15 @@ class Fbfft final : public Framework {
 
     add_activation_memory(plan, cfg, /*with_gradient_buffers=*/false,
                           150.0, "fbfft");
-    // Frequency-domain workspace: full complex S x S grids for the input,
-    // filter and output spectra, held twice (image-major + the transposed
-    // frequency-major copy the Cgemm stage consumes), plus a fixed
-    // transpose staging area. This is the paper's "unreasonable memory
-    // consumption".
+    // Frequency-domain workspace: Hermitian-packed S x (S/2+1) spectra
+    // for the input, filter and output planes, held four ways — the
+    // image-major (BDHW) and transposed frequency-major (HWBD) layouts,
+    // each double-buffered so transpose and Cgemm stages can overlap.
+    // This is the paper's "unreasonable memory consumption": packing
+    // halves each grid, but fbfft spends the savings on layout copies.
     plan.memory.push_back({"fbfft:spectra",
-                           2.0 * (nc + fc + nf) * tiles.tile_count * s * s *
-                               8.0,
+                           4.0 * (nc + fc + nf) * tiles.tile_count *
+                               hermitian_bins(s) * 8.0,
                            /*workspace=*/true});
     plan.memory.push_back(
         {"fbfft:transpose-staging", 256.0 * 1048576.0, /*workspace=*/true});

@@ -1,0 +1,257 @@
+// Real-input FFT fast path: rfft2/irfft2 half-spectrum transforms, the
+// batched column transform they ride on, and the process-wide PlanCache.
+// The conv cross-check at the bottom pins the half-spectrum engine to the
+// full-complex reference on all three passes.
+#include "fft/rfft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "conv/fft_conv.hpp"
+#include "core/rng.hpp"
+#include "fft/plan_cache.hpp"
+#include "obs/metrics.hpp"
+
+namespace gpucnn::fft {
+namespace {
+
+std::vector<float> random_plane(std::size_t s, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(s * s);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+class Rfft2 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Rfft2, RoundTripRecoversInput) {
+  const std::size_t s = GetParam();
+  const Plan plan(s);
+  const auto input = random_plane(s, 31 * s + 1);
+  std::vector<Complex> spec(half_spectrum_size(s));
+  std::vector<float> back(s * s);
+  rfft2(input, spec, plan);
+  irfft2(spec, back, plan);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(back[i], input[i], 1e-5F * std::sqrt(static_cast<float>(s)))
+        << "element " << i;
+  }
+}
+
+TEST_P(Rfft2, MatchesFullComplexTransform) {
+  // Every retained bin must equal the corresponding bin of the dense
+  // complex 2-D transform of the same real input.
+  const std::size_t s = GetParam();
+  const Plan plan(s);
+  const auto input = random_plane(s, 7 * s + 3);
+
+  std::vector<Complex> spec(half_spectrum_size(s));
+  rfft2(input, spec, plan);
+
+  std::vector<Complex> full(s * s);
+  for (std::size_t i = 0; i < s * s; ++i) full[i] = Complex(input[i], 0.0F);
+  transform_2d(full, plan, plan, Direction::kForward);
+
+  const std::size_t hc = half_cols(s);
+  for (std::size_t ky = 0; ky < s; ++ky) {
+    for (std::size_t kx = 0; kx < hc; ++kx) {
+      const Complex got = spec[ky * hc + kx];
+      const Complex want = full[ky * s + kx];
+      EXPECT_NEAR(std::abs(got - want), 0.0F,
+                  1e-4F * std::sqrt(static_cast<float>(s)))
+          << "bin (" << ky << ", " << kx << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Rfft2,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+TEST(Rfft2Layout, SelfConjugateColumnsAreHermitian) {
+  // Columns kx = 0 and kx = s/2 pair with themselves under conjugate
+  // symmetry: spec[ky][kx] == conj(spec[(s-ky) mod s][kx]). In
+  // particular the (0,0) and (s/2, s/2) bins are purely real.
+  const std::size_t s = 16;
+  const std::size_t hc = half_cols(s);
+  const Plan plan(s);
+  const auto input = random_plane(s, 404);
+  std::vector<Complex> spec(half_spectrum_size(s));
+  rfft2(input, spec, plan);
+
+  for (const std::size_t kx : {std::size_t{0}, s / 2}) {
+    for (std::size_t ky = 0; ky < s; ++ky) {
+      const Complex a = spec[ky * hc + kx];
+      const Complex b = spec[((s - ky) % s) * hc + kx];
+      EXPECT_NEAR(std::abs(a - std::conj(b)), 0.0F, 1e-4F)
+          << "column " << kx << " row " << ky;
+    }
+  }
+  EXPECT_NEAR(spec[0].imag(), 0.0F, 1e-4F);
+  EXPECT_NEAR(spec[(s / 2) * hc + s / 2].imag(), 0.0F, 1e-4F);
+}
+
+TEST(Rfft2Layout, ParsevalWithColumnWeights) {
+  // Interior columns 0 < kx < s/2 stand in for their dropped mirrors, so
+  // they count twice in the energy sum; columns 0 and s/2 count once.
+  const std::size_t s = 32;
+  const std::size_t hc = half_cols(s);
+  const Plan plan(s);
+  const auto input = random_plane(s, 777);
+  std::vector<Complex> spec(half_spectrum_size(s));
+  rfft2(input, spec, plan);
+
+  double time_energy = 0.0;
+  for (const float v : input) time_energy += static_cast<double>(v) * v;
+
+  double freq_energy = 0.0;
+  for (std::size_t ky = 0; ky < s; ++ky) {
+    for (std::size_t kx = 0; kx < hc; ++kx) {
+      const double w = (kx == 0 || kx == s / 2) ? 1.0 : 2.0;
+      freq_energy += w * std::norm(spec[ky * hc + kx]);
+    }
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(s * s), time_energy,
+              1e-3 * time_energy);
+}
+
+TEST(TransformColumns, MatchesStridedPerColumn) {
+  // The batched column pass must agree with the scalar strided transform
+  // it replaced, for both schedules and both directions.
+  const std::size_t n = 16;
+  const std::size_t cols = 9;  // deliberately not a power of two
+  Rng rng(55);
+  std::vector<Complex> base(n * cols);
+  for (auto& v : base) {
+    v = Complex(static_cast<float>(rng.uniform(-1.0, 1.0)),
+                static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  for (const Schedule sched : {Schedule::kDit, Schedule::kDif}) {
+    for (const Direction dir : {Direction::kForward, Direction::kInverse}) {
+      const Plan plan(n, sched);
+      auto batched = base;
+      plan.transform_columns(batched, cols, cols, dir);
+      auto scalar = base;
+      for (std::size_t c = 0; c < cols; ++c) {
+        plan.transform_strided(std::span(scalar).subspan(c), cols, dir);
+      }
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_NEAR(std::abs(batched[i] - scalar[i]), 0.0F, 1e-4F)
+            << "schedule " << static_cast<int>(sched) << " dir "
+            << static_cast<int>(dir) << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(PlanCacheTest, SecondLookupIsAHit) {
+  auto& cache = PlanCache::instance();
+  cache.clear();
+  auto& hits = obs::metrics().counter("fft.plan_cache.hits");
+  auto& misses = obs::metrics().counter("fft.plan_cache.misses");
+  const auto hits0 = hits.value();
+  const auto misses0 = misses.value();
+
+  const auto a = cache.get(64);
+  const auto b = cache.get(64);
+  EXPECT_EQ(a.get(), b.get());  // shared, not rebuilt
+  EXPECT_EQ(misses.value() - misses0, 1);
+  EXPECT_EQ(hits.value() - hits0, 1);
+  EXPECT_EQ(cache.size(), 1U);
+  EXPECT_GT(obs::metrics().gauge("fft.plan_cache.bytes").value(), 0.0);
+}
+
+TEST(PlanCacheTest, ScheduleIsPartOfTheKey) {
+  auto& cache = PlanCache::instance();
+  cache.clear();
+  const auto dit = cache.get(32, Schedule::kDit);
+  const auto dif = cache.get(32, Schedule::kDif);
+  EXPECT_NE(dit.get(), dif.get());
+  EXPECT_EQ(cache.size(), 2U);
+}
+
+TEST(PlanCacheTest, PlansSurviveClear) {
+  auto& cache = PlanCache::instance();
+  cache.clear();
+  const auto plan = cache.get(16);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  // The outstanding shared_ptr keeps the dropped plan alive and usable.
+  std::vector<Complex> data(16, Complex{});
+  data[0] = Complex(1.0F, 0.0F);
+  plan->transform(data, Direction::kForward);
+  EXPECT_NEAR(data[5].real(), 1.0F, 1e-6F);
+}
+
+TEST(PlanCacheTest, ConcurrentFirstUseBuildsOnePlan) {
+  auto& cache = PlanCache::instance();
+  cache.clear();
+  auto& misses = obs::metrics().counter("fft.plan_cache.misses");
+  const auto misses0 = misses.value();
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const Plan>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &got, t] { got[t] = cache.get(256); });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(misses.value() - misses0, 1);
+  EXPECT_EQ(cache.size(), 1U);
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(got[t].get(), got[0].get());
+  }
+}
+
+// Half-spectrum vs full-complex engine: identical math, half the bins.
+class HalfVsFullSpectrum
+    : public ::testing::TestWithParam<ConvConfig> {};
+
+TEST_P(HalfVsFullSpectrum, AllThreePassesAgree) {
+  const ConvConfig cfg = GetParam();
+  const conv::FftConv half(conv::FftConv::Spectrum::kHalf);
+  const conv::FftConv full(conv::FftConv::Spectrum::kFull);
+  ASSERT_TRUE(half.supports(cfg));
+  Rng rng(909);
+
+  Tensor input(cfg.input_shape());
+  input.fill_uniform(rng);
+  Tensor filters(cfg.filter_shape());
+  filters.fill_uniform(rng);
+  Tensor grad_output(cfg.output_shape());
+  grad_output.fill_uniform(rng);
+
+  Tensor out_half(cfg.output_shape());
+  Tensor out_full(cfg.output_shape());
+  half.forward(cfg, input, filters, out_half);
+  full.forward(cfg, input, filters, out_full);
+  EXPECT_LT(max_abs_diff(out_half, out_full), 1e-4);
+
+  Tensor gin_half(cfg.input_shape());
+  Tensor gin_full(cfg.input_shape());
+  half.backward_data(cfg, grad_output, filters, gin_half);
+  full.backward_data(cfg, grad_output, filters, gin_full);
+  EXPECT_LT(max_abs_diff(gin_half, gin_full), 1e-4);
+
+  Tensor gw_half(cfg.filter_shape());
+  Tensor gw_full(cfg.filter_shape());
+  half.backward_filter(cfg, input, grad_output, gw_half);
+  full.backward_filter(cfg, input, grad_output, gw_full);
+  EXPECT_LT(max_abs_diff(gw_half, gw_full), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HalfVsFullSpectrum,
+    ::testing::Values(
+        // batch, input, channels, filters, kernel, stride, pad
+        ConvConfig{2, 8, 3, 4, 3, 1, 1},
+        ConvConfig{1, 13, 2, 3, 5, 1, 2},   // odd input, pads to 32
+        ConvConfig{2, 16, 2, 2, 9, 1, 0},   // paper's large kernel
+        ConvConfig{1, 7, 1, 1, 7, 1, 3}));  // kernel == input
+
+}  // namespace
+}  // namespace gpucnn::fft
