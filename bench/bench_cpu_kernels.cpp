@@ -23,7 +23,9 @@
 
 #include "blas/cgemm.hpp"
 #include "blas/gemm.hpp"
+#include "blas/vector_ops.hpp"
 #include "conv/conv_engine.hpp"
+#include "conv/gemm_conv.hpp"
 #include "conv/im2col.hpp"
 #include "core/cpu_features.hpp"
 #include "core/rng.hpp"
@@ -32,6 +34,7 @@
 #include "fft/fft.hpp"
 #include "fft/rfft.hpp"
 #include "obs/exporter.hpp"
+#include "tune/autotuner.hpp"
 
 namespace {
 
@@ -244,6 +247,101 @@ void BM_FftConvForwardComplex(benchmark::State& state) {
 BENCHMARK(BM_FftConvForward);
 BENCHMARK(BM_FftConvForwardComplex);
 
+// --- fused conv+bias+ReLU epilogue vs separate passes ----------------
+// These (and the autotune pair below) export into their own
+// BENCH_autotune table; see main().
+
+/// Geometry whose im2col GEMM is big enough to take the blocked path, so
+/// the epilogue rides the packed write-back tiles.
+constexpr ConvConfig kFusedCfg{.batch = 2, .input = 28, .channels = 32,
+                               .filters = 64, .kernel = 3, .stride = 1,
+                               .pad = 1};
+
+void BM_ConvFusedBiasRelu(benchmark::State& state) {
+  const conv::GemmConv engine;
+  Rng rng(9);
+  Tensor in(kFusedCfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(kFusedCfg.filter_shape());
+  w.fill_uniform(rng);
+  const auto bias = random_vec(kFusedCfg.filters, 10);
+  Tensor out(kFusedCfg.output_shape());
+  for (auto _ : state) {
+    const bool fused =
+        engine.forward_fused(kFusedCfg, in, w, bias, /*relu=*/true, out);
+    if (!fused) state.SkipWithError("GemmConv lost its fused path");
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      kFusedCfg.forward_flops() * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvFusedBiasRelu);
+
+void BM_ConvThenBiasThenRelu(benchmark::State& state) {
+  const conv::GemmConv engine;
+  Rng rng(9);
+  Tensor in(kFusedCfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(kFusedCfg.filter_shape());
+  w.fill_uniform(rng);
+  const auto bias = random_vec(kFusedCfg.filters, 10);
+  Tensor out(kFusedCfg.output_shape());
+  const std::size_t inner = kFusedCfg.output() * kFusedCfg.output();
+  for (auto _ : state) {
+    engine.forward(kFusedCfg, in, w, out);
+    blas::add_bias(out.data(), bias, kFusedCfg.batch, kFusedCfg.filters,
+                   inner);
+    for (float& v : out.data()) v = v > 0.0F ? v : 0.0F;
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      kFusedCfg.forward_flops() * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvThenBiasThenRelu);
+
+// --- autotuner: cold trial cost vs warm cache hit --------------------
+
+void BM_AutotuneColdDecide(benchmark::State& state) {
+  auto& tuner = tune::Autotuner::instance();
+  const tune::Mode mode_before = tuner.mode();
+  const int trials_before = tuner.set_trials_for_testing(1);
+  tuner.set_mode(tune::Mode::kMeasure);
+  const ConvConfig cfg{.batch = 1, .input = 16, .channels = 8,
+                       .filters = 16, .kernel = 3, .stride = 1, .pad = 1};
+  for (auto _ : state) {
+    tuner.clear();  // every iteration pays the full measurement sweep
+    const auto d = tuner.decide(cfg, tune::Pass::kForward);
+    benchmark::DoNotOptimize(d.engine);
+  }
+  tuner.clear();
+  tuner.set_trials_for_testing(trials_before);
+  tuner.set_mode(mode_before);
+}
+BENCHMARK(BM_AutotuneColdDecide);
+
+void BM_AutotuneWarmDecide(benchmark::State& state) {
+  auto& tuner = tune::Autotuner::instance();
+  const tune::Mode mode_before = tuner.mode();
+  const int trials_before = tuner.set_trials_for_testing(1);
+  tuner.set_mode(tune::Mode::kMeasure);
+  const ConvConfig cfg{.batch = 1, .input = 16, .channels = 8,
+                       .filters = 16, .kernel = 3, .stride = 1, .pad = 1};
+  tuner.clear();
+  (void)tuner.decide(cfg, tune::Pass::kForward);  // prime the memo
+  for (auto _ : state) {
+    const auto d = tuner.decide(cfg, tune::Pass::kForward);
+    benchmark::DoNotOptimize(d.engine);
+  }
+  tuner.clear();
+  tuner.set_trials_for_testing(trials_before);
+  tuner.set_mode(mode_before);
+}
+BENCHMARK(BM_AutotuneWarmDecide);
+
 // --- CGEMM pointwise stage -------------------------------------------
 
 void BM_CgemmPointwise(benchmark::State& state) {
@@ -347,6 +445,20 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  // The fused-epilogue and autotuner pairs export as their own table so
+  // the executor-feature numbers are addressable separately from the
+  // kernel ablations.
+  const auto is_autotune_row = [](const std::vector<std::string>& row) {
+    return row[0].rfind("BM_ConvFused", 0) == 0 ||
+           row[0].rfind("BM_ConvThenBias", 0) == 0 ||
+           row[0].rfind("BM_Autotune", 0) == 0;
+  };
+  std::vector<std::vector<std::string>> kernel_rows;
+  std::vector<std::vector<std::string>> autotune_rows;
+  for (const auto& row : reporter.rows()) {
+    (is_autotune_row(row) ? autotune_rows : kernel_rows).push_back(row);
+  }
+
   gpucnn::obs::RunExporter exporter(options, "bench_cpu_kernels");
   exporter.annotate("simd", gpucnn::simd::name(gpucnn::simd::active()));
   exporter.annotate("quick", quick ? "true" : "false");
@@ -354,7 +466,12 @@ int main(int argc, char** argv) {
       "BENCH_cpu_kernels",
       "CPU kernel ablation microbenchmarks (google-benchmark runs)",
       {"benchmark", "real_time_ns", "cpu_time_ns", "iterations", "gflops"},
-      reporter.rows());
+      kernel_rows);
+  exporter.add_table(
+      "BENCH_autotune",
+      "Fused conv+bias+ReLU epilogue and autotuner cold/warm decide cost",
+      {"benchmark", "real_time_ns", "cpu_time_ns", "iterations", "gflops"},
+      autotune_rows);
   exporter.finish();
   return 0;
 }

@@ -4,16 +4,117 @@
 // type runtime breakdown of each — the Fig. 2 analysis as a library
 // call.
 //
-// Run:  ./model_zoo_tour
+// Run:  ./model_zoo_tour [--tune off|heuristic|measure]
+//
+// With --tune the tour also runs the executable GoogLeNet (batch 1,
+// inference) through the activation memory planner and, unless the mode
+// is off, the empirical autotuner — closing with the planner's peak-
+// memory saving and the tuner's per-shape engine choices.
 #include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "analysis/model_breakdown.hpp"
 #include "analysis/report.hpp"
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+#include "nn/model_spec.hpp"
+#include "obs/metrics.hpp"
+#include "tune/autotuner.hpp"
 
 using namespace gpucnn;
 using namespace gpucnn::analysis;
 
-int main() {
+namespace {
+
+/// "1x3x224x224 k7 s2 p3" — one tuner cache key, human-readable.
+std::string describe_config(const ConvConfig& c) {
+  std::string out = std::to_string(c.batch) + "x" +
+                    std::to_string(c.channels) + "x" +
+                    std::to_string(c.input) + "x" + std::to_string(c.input) +
+                    " -> " + std::to_string(c.filters) + " k" +
+                    std::to_string(c.kernel) + " s" +
+                    std::to_string(c.stride) + " p" + std::to_string(c.pad);
+  if (c.groups > 1) out += " g" + std::to_string(c.groups);
+  return out;
+}
+
+void tour_executable_googlenet(tune::Mode mode) {
+  auto& tuner = tune::Autotuner::instance();
+  tuner.set_mode(mode);
+
+  auto net = nn::googlenet_network();
+  const std::size_t fused = net.fuse_conv_relu();
+  if (mode != tune::Mode::kOff) net.enable_autotune(true);
+  net.set_training(false);
+  net.set_memory_planning(true);
+
+  std::cout << "\nExecutable GoogLeNet, batch-1 inference ("
+            << tune::to_string(mode) << " tuning, " << fused
+            << " conv+ReLU pairs fused, memory planner on)\n";
+
+  Rng rng(11);
+  net.initialize(rng);
+  Tensor input(1, 3, 224, 224);
+  input.fill_uniform(rng);
+
+  Timer timer;
+  net.forward(input);
+  const double cold_ms = timer.elapsed_ms();
+  timer.reset();
+  net.forward(input);
+  const double warm_ms = timer.elapsed_ms();
+
+  const auto planned = net.planned_activation_bytes();
+  const auto naive = net.naive_activation_bytes();
+  std::cout << "forward: " << fmt(cold_ms, 0) << " ms cold, "
+            << fmt(warm_ms, 0) << " ms warm\n"
+            << "activation memory: " << fmt(planned / 1048576.0, 1)
+            << " MB planned vs " << fmt(naive / 1048576.0, 1)
+            << " MB naive ("
+            << fmt_percent(1.0 - static_cast<double>(planned) /
+                                     static_cast<double>(naive))
+            << " saved)\n";
+
+  if (mode == tune::Mode::kOff) return;
+
+  Table table("autotuned engine choices (distinct conv shapes)");
+  table.header({"convolution", "pass", "engine", "best (ms)",
+                "vs default"});
+  for (const auto& e : tuner.entries()) {
+    const bool timed = e.decision.measured && e.decision.best_ms > 0.0 &&
+                       e.decision.baseline_ms > 0.0;
+    table.row({describe_config(e.config),
+               std::string(tune::to_string(e.pass)),
+               std::string(e.decision.engine_name),
+               e.decision.measured ? fmt(e.decision.best_ms, 2) : "-",
+               timed ? fmt(e.decision.baseline_ms / e.decision.best_ms, 2) +
+                           "x"
+                     : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "tune cache: " << obs::metrics().counter("tune.hits").value()
+            << " hits, " << obs::metrics().counter("tune.misses").value()
+            << " misses, " << obs::metrics().counter("tune.trials").value()
+            << " trials, "
+            << fmt(obs::metrics().gauge("tune.ms_spent").value(), 1)
+            << " ms measuring\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::optional<tune::Mode> tune_mode;
+  const bool flag_ok =
+      argc == 1 ||
+      (argc == 3 && std::string_view(argv[1]) == "--tune" &&
+       (tune_mode = tune::parse_mode(argv[2])).has_value());
+  if (!flag_ok) {
+    std::cerr << "usage: model_zoo_tour [--tune off|heuristic|measure]\n";
+    return 2;
+  }
+
   std::vector<nn::ModelSpec> zoo;
   zoo.push_back(nn::lenet5());
   zoo.push_back(nn::alexnet());
@@ -53,5 +154,10 @@ int main() {
                 fmt_percent(b.share(nn::LayerSpec::Kind::kFc))});
   }
   shares.print(std::cout);
+
+  if (tune_mode.has_value()) tour_executable_googlenet(*tune_mode);
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "model_zoo_tour: " << e.what() << "\n";
+  return 1;
 }

@@ -3,21 +3,32 @@
 // engines, reporting loss and accuracy per epoch.
 //
 // Run:  ./train_lenet [epochs] [direct|unrolling|fft|winograd]
+//                     [--tune off|heuristic|measure]
+//
+// With --tune the network fuses its conv+ReLU pairs and dispatches every
+// convolution through the empirical autotuner; the closing table shows
+// which engine won each (layer, pass) and what the tuning cost was.
 //
 // With the fft strategy the closing plan-cache line demonstrates the
 // PlanCache contract: every layer geometry builds its transform plan
 // once (misses == distinct sizes) and all repeated calls hit.
 #include <iostream>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "analysis/report.hpp"
 #include "cli_args.hpp"
 #include "core/timer.hpp"
 #include "fft/plan_cache.hpp"
+#include "nn/conv_layer.hpp"
 #include "nn/model_spec.hpp"
 #include "nn/sgd.hpp"
 #include "nn/softmax.hpp"
 #include "nn/synthetic_data.hpp"
 #include "obs/metrics.hpp"
+#include "tune/autotuner.hpp"
 
 using namespace gpucnn;
 
@@ -39,14 +50,36 @@ bool parse_strategy(std::string_view text, conv::Strategy& out) {
 int main(int argc, char** argv) try {
   int epochs = 3;
   conv::Strategy strategy = conv::Strategy::kUnrolling;
-  const bool ok =
-      argc <= 3 &&
-      (argc < 2 ||
-       examples::parse_positive(argv[1], "epoch count", epochs, 100000)) &&
-      (argc < 3 || parse_strategy(argv[2], strategy));
+  tune::Mode tune_mode = tune::Mode::kOff;
+  bool tuning = false;
+
+  // Pull out the --tune flag (anywhere), then parse the positionals.
+  std::vector<std::string_view> positional;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--tune") {
+      const auto parsed =
+          i + 1 < argc ? tune::parse_mode(argv[++i]) : std::nullopt;
+      if (!parsed.has_value()) {
+        ok = false;
+        break;
+      }
+      tune_mode = *parsed;
+      tuning = tune_mode != tune::Mode::kOff;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  ok = ok && positional.size() <= 2 &&
+       (positional.empty() ||
+        examples::parse_positive(positional[0], "epoch count", epochs,
+                                 100000)) &&
+       (positional.size() < 2 || parse_strategy(positional[1], strategy));
   if (!ok) {
     std::cerr << "usage: train_lenet [epochs] "
-                 "[direct|unrolling|fft|winograd]\n";
+                 "[direct|unrolling|fft|winograd] "
+                 "[--tune off|heuristic|measure]\n";
     return 2;
   }
   constexpr std::size_t kBatch = 32;
@@ -58,6 +91,13 @@ int main(int argc, char** argv) try {
             << conv::to_string(strategy) << " convolution)\n";
 
   auto net = spec.instantiate(strategy);
+  if (tuning) {
+    tune::Autotuner::instance().set_mode(tune_mode);
+    const std::size_t fused = net.fuse_conv_relu();
+    net.enable_autotune(true);
+    std::cout << "autotune: " << tune::to_string(tune_mode) << " mode, "
+              << fused << " conv+ReLU pairs fused\n";
+  }
   Rng rng(7);
   net.initialize(rng);
 
@@ -69,6 +109,7 @@ int main(int argc, char** argv) try {
   Tensor grad;
   Timer timer;
   for (int epoch = 1; epoch <= epochs; ++epoch) {
+    Timer epoch_timer;
     double loss_sum = 0.0;
     double acc_sum = 0.0;
     for (int step = 0; step < kStepsPerEpoch; ++step) {
@@ -83,7 +124,8 @@ int main(int argc, char** argv) try {
     }
     std::cout << "epoch " << epoch << "  loss "
               << loss_sum / kStepsPerEpoch << "  train accuracy "
-              << acc_sum / kStepsPerEpoch << "\n";
+              << acc_sum / kStepsPerEpoch << "  ("
+              << analysis::fmt(epoch_timer.elapsed_ms(), 0) << " ms)\n";
   }
 
   net.set_training(false);
@@ -93,6 +135,38 @@ int main(int argc, char** argv) try {
             << nn::accuracy(probs, eval.labels) << "\n"
             << "total training time: " << timer.elapsed_ms() / 1000.0
             << " s\n";
+
+  if (tuning) {
+    auto& tuner = tune::Autotuner::instance();
+    analysis::Table table("autotuned engine choices (batch " +
+                          std::to_string(kBatch) + ")");
+    table.header({"layer", "forward", "backward-data", "backward-filter"});
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      const auto* conv = dynamic_cast<const nn::ConvLayer*>(&net.layer(i));
+      if (conv == nullptr) continue;
+      const ConvConfig cfg = conv->config_for_batch(kBatch);
+      const auto pick = [&](tune::Pass pass) {
+        const tune::Decision d = tuner.decide(cfg, pass);
+        std::string cell(d.engine_name);
+        if (d.measured) {
+          cell += " (" + analysis::fmt(d.best_ms, 2) + " ms)";
+        }
+        return cell;
+      };
+      table.row({conv->name(), pick(tune::Pass::kForward),
+                 pick(tune::Pass::kBackwardData),
+                 pick(tune::Pass::kBackwardFilter)});
+    }
+    table.print(std::cout);
+    std::cout << "tune cache: "
+              << obs::metrics().counter("tune.hits").value() << " hits, "
+              << obs::metrics().counter("tune.misses").value()
+              << " misses, " << obs::metrics().counter("tune.trials").value()
+              << " trials, "
+              << analysis::fmt(obs::metrics().gauge("tune.ms_spent").value(),
+                               1)
+              << " ms measuring\n";
+  }
 
   const auto hits = obs::metrics().counter("fft.plan_cache.hits").value();
   const auto misses =

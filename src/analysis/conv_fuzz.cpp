@@ -1,9 +1,11 @@
 #include "analysis/conv_fuzz.hpp"
 
+#include <array>
 #include <cmath>
 #include <initializer_list>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "analysis/conv_runner.hpp"
@@ -15,6 +17,9 @@
 #include "core/tensor.hpp"
 #include "core/workspace.hpp"
 #include "frameworks/framework.hpp"
+#include "nn/activation_layer.hpp"
+#include "nn/conv_layer.hpp"
+#include "tune/autotuner.hpp"
 
 namespace gpucnn::analysis {
 namespace {
@@ -277,6 +282,133 @@ void check_config(const ConvConfig& cfg, std::uint64_t seed,
   ++report.configs_run;
 }
 
+void check_fused(const ConvConfig& cfg, std::uint64_t seed,
+                 std::size_t index, FuzzReport& report) {
+  // Two layer stacks with identical parameters: fused conv+bias+ReLU vs
+  // the conv -> separate ReLU reference. Identical initialisation comes
+  // from reseeding the same Rng for both.
+  nn::ConvLayer fused("fuzz_fused", cfg);
+  fused.set_fused_relu(true);
+  nn::ConvLayer plain("fuzz_plain", cfg);
+  nn::ActivationLayer relu("fuzz_relu", nn::Activation::kRelu);
+  {
+    Rng init(mix(seed, index) + 2);
+    fused.initialize(init);
+  }
+  {
+    Rng init(mix(seed, index) + 2);
+    plain.initialize(init);
+  }
+
+  Rng rng(mix(seed, index) + 3);
+  Tensor input(cfg.input_shape());
+  input.fill_uniform(rng);
+  Tensor grad_output(cfg.output_shape());
+  grad_output.fill_uniform(rng);
+
+  auto fail = [&](const std::string& what) {
+    add_failure(report, index, cfg, "fused conv+bias+relu: " + what);
+  };
+
+  Tensor fused_out;
+  Tensor plain_conv;
+  Tensor plain_out;
+  fused.forward(input, fused_out);
+  plain.forward(input, plain_conv);
+  relu.forward(plain_conv, plain_out);
+  ++report.fused_checks;
+  if (max_abs_diff(fused_out, plain_out) != 0.0) {
+    fail("forward is not bit-identical to the unfused sequence");
+    return;
+  }
+
+  Tensor fused_gin;
+  fused.backward(input, grad_output, fused_gin);
+  Tensor relu_gin;
+  relu.backward(plain_conv, grad_output, relu_gin);
+  Tensor plain_gin;
+  plain.backward(input, relu_gin, plain_gin);
+  if (max_abs_diff(fused_gin, plain_gin) != 0.0) {
+    fail("backward grad_input differs from the unfused sequence");
+  }
+  const auto fused_grads = fused.gradients();
+  const auto plain_grads = plain.gradients();
+  if (max_abs_diff(*fused_grads[0], *plain_grads[0]) != 0.0) {
+    fail("accumulated grad_weights differ from the unfused sequence");
+  }
+  if (max_abs_diff(*fused_grads[1], *plain_grads[1]) != 0.0) {
+    fail("accumulated grad_bias differs from the unfused sequence");
+  }
+}
+
+void check_tune_roundtrip(const ConvConfig& cfg, std::size_t index,
+                          FuzzReport& report, const std::string& path) {
+  auto& tuner = tune::Autotuner::instance();
+  const tune::Mode mode_before = tuner.mode();
+  const int trials_before = tuner.set_trials_for_testing(1);
+  std::string path_before = tuner.set_cache_path(path);
+  tuner.set_mode(tune::Mode::kMeasure);
+  // Consume the lazy first-use load (the file may hold a previous
+  // config's entries), then start this round-trip from an empty memo.
+  (void)tuner.load_cache(path);
+  tuner.clear();
+
+  auto fail = [&](const std::string& what) {
+    add_failure(report, index, cfg, "tune cache round-trip: " + what);
+  };
+  constexpr tune::Pass kPasses[] = {tune::Pass::kForward,
+                                    tune::Pass::kBackwardData,
+                                    tune::Pass::kBackwardFilter};
+  try {
+    std::array<tune::Decision, 3> measured;
+    for (std::size_t p = 0; p < 3; ++p) {
+      measured[p] = tuner.decide(cfg, kPasses[p]);
+      if (!measured[p].measured) {
+        fail("measure-mode decision came back unmeasured");
+      }
+      // The winner is the min over candidates including the default, so
+      // it can never lose to the default — the acceptance bound is 5%.
+      if (measured[p].baseline_ms > 0.0 &&
+          measured[p].best_ms > measured[p].baseline_ms * 1.05) {
+        std::ostringstream os;
+        os << tune::to_string(kPasses[p]) << " pick "
+           << measured[p].engine_name << " is " << measured[p].best_ms
+           << " ms vs default " << measured[p].baseline_ms << " ms";
+        fail(os.str());
+      }
+    }
+    if (!tuner.save_cache(path)) {
+      fail("save_cache failed");
+    } else {
+      tuner.clear();
+      const std::size_t kept = tuner.load_cache(path);
+      if (kept != 3) {
+        std::ostringstream os;
+        os << "reload kept " << kept << " of 3 entries";
+        fail(os.str());
+      }
+      for (std::size_t p = 0; p < 3; ++p) {
+        const tune::Decision warm = tuner.decide(cfg, kPasses[p]);
+        if (!warm.measured || warm.engine_name != measured[p].engine_name) {
+          std::ostringstream os;
+          os << tune::to_string(kPasses[p]) << " reloaded pick '"
+             << warm.engine_name << "' != measured pick '"
+             << measured[p].engine_name << '\'';
+          fail(os.str());
+        }
+      }
+    }
+    ++report.tune_checks;
+  } catch (const std::exception& e) {
+    fail(std::string("threw: ") + e.what());
+  }
+
+  tuner.clear();
+  (void)tuner.set_cache_path(std::move(path_before));
+  tuner.set_trials_for_testing(trials_before);
+  tuner.set_mode(mode_before);
+}
+
 std::string repro_command(std::uint64_t seed, std::size_t index) {
   std::ostringstream os;
   os << "tools/conv_fuzz --seed " << seed << " --start " << index
@@ -287,11 +419,18 @@ std::string repro_command(std::uint64_t seed, std::size_t index) {
 FuzzReport run_fuzz(const FuzzOptions& options) {
   const bool poison_before = ws::set_poison_scratch(options.poison);
   FuzzReport report;
+  const std::string tune_path = options.tune_cache_path.empty()
+                                    ? std::string("fuzz_tune_cache.json")
+                                    : options.tune_cache_path;
   for (std::size_t i = options.start; i < options.start + options.count;
        ++i) {
     const ConvConfig cfg = fuzz_config(options.seed, i);
     const std::size_t failures_before = report.failures.size();
     check_config(cfg, options.seed, i, report);
+    if (options.fused) check_fused(cfg, options.seed, i, report);
+    if (options.tune_cache) {
+      check_tune_roundtrip(cfg, i, report, tune_path);
+    }
     if (options.log != nullptr) {
       *options.log << '[' << i << "] " << cfg.to_string() << " groups="
                    << cfg.groups << " pad=" << cfg.pad << " -> "

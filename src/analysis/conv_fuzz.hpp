@@ -34,6 +34,9 @@ struct FuzzOptions {
   std::size_t count = 200;
   std::size_t start = 0;     ///< first config index (repro subranges)
   bool poison = true;        ///< scratch-poison the arena for the run
+  bool fused = true;         ///< cross-check fused conv+bias+ReLU layers
+  bool tune_cache = false;   ///< round-trip autotuner decisions via disk
+  std::string tune_cache_path;  ///< cache file (tune_cache); "" = default
   std::ostream* log = nullptr;  ///< per-config progress when non-null
 };
 
@@ -51,6 +54,8 @@ struct FuzzReport {
   std::size_t engine_skips = 0;   ///< unsupported (engine, config) pairs
   std::size_t plan_checks = 0;    ///< framework plans validated
   std::size_t plan_skips = 0;     ///< shape-limited (framework, config)
+  std::size_t fused_checks = 0;   ///< fused-vs-unfused layer comparisons
+  std::size_t tune_checks = 0;    ///< tune-cache round-trips validated
   std::vector<FuzzFailure> failures;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
@@ -64,6 +69,20 @@ struct FuzzReport {
 /// `report.failures` tagged with `index`; counters accumulate.
 void check_config(const ConvConfig& cfg, std::uint64_t seed,
                   std::size_t index, FuzzReport& report);
+
+/// Cross-checks a fused conv+bias+ReLU ConvLayer against the unfused
+/// ConvLayer -> ActivationLayer pair with identical parameters: forward
+/// output and all three gradients must match bit for bit, on all passes.
+void check_fused(const ConvConfig& cfg, std::uint64_t seed,
+                 std::size_t index, FuzzReport& report);
+
+/// Round-trips measured autotuner decisions for `cfg` through the disk
+/// cache at `path`: decide (measure, 1 trial) on all three passes, save,
+/// clear, reload, decide again — the reloaded decisions must name the
+/// same engines without re-measuring, and the winner must never be more
+/// than 5% slower than the static default's measured time.
+void check_tune_roundtrip(const ConvConfig& cfg, std::size_t index,
+                          FuzzReport& report, const std::string& path);
 
 /// The one-line command rerunning exactly config (seed, index).
 [[nodiscard]] std::string repro_command(std::uint64_t seed,

@@ -154,6 +154,18 @@ obs::Counter& bytes_packed_counter() {
   return c;
 }
 
+obs::Counter& epilogue_calls_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("blas.sgemm.epilogue_calls");
+  return c;
+}
+
+obs::Counter& epilogue_elems_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("blas.sgemm.epilogue_elems");
+  return c;
+}
+
 // Logical element accessor honouring the transpose flag: returns
 // op(X)(row, col) for an m-by-n logical operand.
 inline float element(std::span<const float> x, std::size_t ld, Trans trans,
@@ -217,6 +229,27 @@ inline void write_tile(float* c, std::size_t ldc, const float* acc,
   }
 }
 
+// The epilogue on rows [row0, row0 + rows) of C: bias[row] broadcast
+// along the row, then the ReLU clamp. Runs after the row's final k
+// update — the same scale / add-bias / clamp operation order as the
+// unfused add_bias + activation passes, so results are bit-identical.
+inline void apply_epilogue(float* c, std::size_t ldc, std::size_t row0,
+                           std::size_t rows, std::size_t cols,
+                           const Epilogue& ep) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* crow = c + i * ldc;
+    if (ep.bias != nullptr) {
+      const float b = ep.bias[row0 + i];
+      for (std::size_t j = 0; j < cols; ++j) crow[j] += b;
+    }
+    if (ep.relu) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        crow[j] = crow[j] > 0.0F ? crow[j] : 0.0F;
+      }
+    }
+  }
+}
+
 // beta-only update of an m x n block of C (k == 0 or alpha == 0 paths).
 void scale_c(std::size_t m, std::size_t n, float beta, std::span<float> c,
              std::size_t ldc) {
@@ -255,9 +288,23 @@ void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
            std::size_t k, float alpha, std::span<const float> a,
            std::size_t lda, std::span<const float> b, std::size_t ldb,
            float beta, std::span<float> c, std::size_t ldc) {
+  sgemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+        Epilogue{});
+}
+
+void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, std::span<const float> a,
+           std::size_t lda, std::span<const float> b, std::size_t ldb,
+           float beta, std::span<float> c, std::size_t ldc,
+           const Epilogue& ep) {
   if (m == 0 || n == 0) return;
+  if (ep.active()) {
+    epilogue_calls_counter().add(1);
+    epilogue_elems_counter().add(static_cast<std::int64_t>(m * n));
+  }
   if (k == 0 || alpha == 0.0F) {
     scale_c(m, n, beta, c, ldc);
+    if (ep.active()) apply_epilogue(c.data(), ldc, 0, m, n, ep);
     return;
   }
 
@@ -266,6 +313,7 @@ void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           static_cast<double>(k) < 64.0 * 64.0 * 64.0) {
     sgemm_naive(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
                 ldc);
+    if (ep.active()) apply_epilogue(c.data(), ldc, 0, m, n, ep);
     return;
   }
 
@@ -278,6 +326,10 @@ void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
     for (std::size_t pc = 0; pc < k; pc += kKc) {
       const std::size_t kc = std::min(kKc, k - pc);
       const float beta_block = pc == 0 ? beta : 1.0F;
+      // The epilogue fires only on the write-back that completes a C
+      // tile's reduction over k — the tile is hot, bias and ReLU are
+      // free bandwidth-wise.
+      const bool last_k_block = pc + kc == k;
 
       // Pack the whole B panel once (tiles in parallel); row blocks of A
       // then proceed in parallel against the shared packed panel.
@@ -319,6 +371,9 @@ void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
                   acc);
             write_tile(c.data() + i0 * ldc + j0, ldc, acc, nr, im, jn,
                        alpha, beta_block);
+            if (last_k_block && ep.active()) {
+              apply_epilogue(c.data() + i0 * ldc + j0, ldc, i0, im, jn, ep);
+            }
           }
         }
       });

@@ -17,6 +17,18 @@ namespace gpucnn::blas {
 /// Whether an operand is used as-is or transposed.
 enum class Trans { kNo, kYes };
 
+/// Optional fused epilogue applied to C after its final k update: a
+/// per-row bias broadcast (bias[i] added to every element of row i of C)
+/// and/or a ReLU clamp, performed in the micro-kernel write-back while
+/// the tile is still hot. The operation order matches the unfused
+/// sequence (scale, add bias, clamp) exactly, so fused and unfused
+/// results are bit-for-bit identical.
+struct Epilogue {
+  const float* bias = nullptr;  ///< per-row bias, length m; nullptr = none
+  bool relu = false;
+  [[nodiscard]] bool active() const { return bias != nullptr || relu; }
+};
+
 /// Reference GEMM: straightforward triple loop, used as the oracle in tests
 /// and as the baseline in the blocking ablation bench.
 void sgemm_naive(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
@@ -29,6 +41,15 @@ void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
            std::size_t k, float alpha, std::span<const float> a,
            std::size_t lda, std::span<const float> b, std::size_t ldb,
            float beta, std::span<float> c, std::size_t ldc);
+
+/// Blocked GEMM with a fused epilogue (bias broadcast + ReLU) applied in
+/// the write-back of the final k block. Identical to sgemm followed by
+/// the separate bias/ReLU passes, without re-reading C from memory.
+void sgemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, std::span<const float> a,
+           std::size_t lda, std::span<const float> b, std::size_t ldb,
+           float beta, std::span<float> c, std::size_t ldc,
+           const Epilogue& epilogue);
 
 /// Convenience for the common dense row-major case with natural leading
 /// dimensions (lda = k or m, ldb = n or k, ldc = n).

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string_view>
 
 #include "core/shape.hpp"
@@ -40,6 +41,19 @@ class ConvEngine {
   /// output must be pre-shaped to cfg.output_shape(); it is overwritten.
   virtual void forward(const ConvConfig& cfg, const Tensor& input,
                        const Tensor& filters, Tensor& output) const = 0;
+
+  /// Fused forward: output = relu?(conv(input, filters) + bias), with the
+  /// per-filter bias broadcast (length cfg.filters) and the optional ReLU
+  /// applied inside the engine's own write-back — bit-for-bit identical
+  /// to forward() followed by the separate bias/activation passes.
+  /// Returns false when the engine has no fused path (the default); the
+  /// caller then runs the unfused sequence itself.
+  [[nodiscard]] virtual bool forward_fused(const ConvConfig&, const Tensor&,
+                                           const Tensor&,
+                                           std::span<const float> /*bias*/,
+                                           bool /*relu*/, Tensor&) const {
+    return false;
+  }
 
   /// grad_input must be pre-shaped to cfg.input_shape(); overwritten.
   virtual void backward_data(const ConvConfig& cfg, const Tensor& grad_output,

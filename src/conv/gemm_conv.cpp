@@ -24,6 +24,23 @@ ConvConfig group_view(const ConvConfig& cfg) {
 
 void GemmConv::forward(const ConvConfig& cfg, const Tensor& input,
                        const Tensor& filters, Tensor& output) const {
+  run_forward(cfg, input, filters, output, nullptr, false);
+}
+
+bool GemmConv::forward_fused(const ConvConfig& cfg, const Tensor& input,
+                             const Tensor& filters,
+                             std::span<const float> bias, bool relu,
+                             Tensor& output) const {
+  check(bias.empty() || bias.size() == cfg.filters,
+        "fused bias length must equal the filter count");
+  run_forward(cfg, input, filters, output,
+              bias.empty() ? nullptr : bias.data(), relu);
+  return true;
+}
+
+void GemmConv::run_forward(const ConvConfig& cfg, const Tensor& input,
+                           const Tensor& filters, Tensor& output,
+                           const float* bias, bool relu) {
   validate_forward(cfg, input, filters, output);
   const ConvConfig gv = group_view(cfg);
   const std::size_t o = cfg.output();
@@ -33,17 +50,22 @@ void GemmConv::forward(const ConvConfig& cfg, const Tensor& input,
 
   // Per image and group: out(F_g x OhOw) = W_g(F_g x CKK) * col. The
   // GEMM itself is parallel, matching Caffe's per-image cuBLAS calls.
+  // Bias + ReLU (when requested) ride the GEMM's write-back epilogue:
+  // the GEMM rows are this group's filters, so row i gets bias[g*F_g+i].
   for (std::size_t n = 0; n < cfg.batch; ++n) {
     for (std::size_t g = 0; g < cfg.groups; ++g) {
       im2col(gv,
              {input.plane(n, g * gv.channels),
               gv.channels * cfg.input * cfg.input},
              col.span());
+      const blas::Epilogue ep{
+          .bias = bias == nullptr ? nullptr : bias + g * gv.filters,
+          .relu = relu};
       blas::sgemm(Trans::kNo, Trans::kNo, gv.filters, cols, ckk, 1.0F,
                   {filters.plane(g * gv.filters, 0), gv.filters * ckk},
                   ckk, col.span(), cols, 0.0F,
                   {output.plane(n, g * gv.filters), gv.filters * cols},
-                  cols);
+                  cols, ep);
     }
   }
 }

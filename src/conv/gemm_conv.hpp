@@ -20,11 +20,23 @@ class GemmConv final : public ConvEngine {
 
   void forward(const ConvConfig& cfg, const Tensor& input,
                const Tensor& filters, Tensor& output) const override;
+  /// Bias + ReLU ride the per-group SGEMM's write-back epilogue (the
+  /// GEMM's M rows are exactly this group's filters).
+  [[nodiscard]] bool forward_fused(const ConvConfig& cfg,
+                                   const Tensor& input,
+                                   const Tensor& filters,
+                                   std::span<const float> bias, bool relu,
+                                   Tensor& output) const override;
   void backward_data(const ConvConfig& cfg, const Tensor& grad_output,
                      const Tensor& filters, Tensor& grad_input) const override;
   void backward_filter(const ConvConfig& cfg, const Tensor& input,
                        const Tensor& grad_output,
                        Tensor& grad_filters) const override;
+
+ private:
+  static void run_forward(const ConvConfig& cfg, const Tensor& input,
+                          const Tensor& filters, Tensor& output,
+                          const float* bias, bool relu);
 };
 
 }  // namespace gpucnn::conv

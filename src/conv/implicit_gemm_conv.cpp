@@ -84,8 +84,27 @@ void scatter_tile(const Geometry& g, std::size_t channels, float* image,
 void ImplicitGemmConv::forward(const ConvConfig& cfg, const Tensor& input,
                                const Tensor& filters,
                                Tensor& output) const {
+  run_forward(cfg, input, filters, output, nullptr, false);
+}
+
+bool ImplicitGemmConv::forward_fused(const ConvConfig& cfg,
+                                     const Tensor& input,
+                                     const Tensor& filters,
+                                     std::span<const float> bias, bool relu,
+                                     Tensor& output) const {
+  check(bias.empty() || bias.size() == cfg.filters,
+        "fused bias length must equal the filter count");
+  run_forward(cfg, input, filters, output,
+              bias.empty() ? nullptr : bias.data(), relu);
+  return true;
+}
+
+void ImplicitGemmConv::run_forward(const ConvConfig& cfg,
+                                   const Tensor& input,
+                                   const Tensor& filters, Tensor& output,
+                                   const float* bias, bool relu) {
   validate_forward(cfg, input, filters, output);
-  check(supports(cfg), "implicit GEMM does not support grouped filters");
+  check(cfg.groups == 1, "implicit GEMM does not support grouped filters");
   const Geometry g = geometry_of(cfg);
 
   parallel_for(0, cfg.batch, [&](std::size_t n) {
@@ -96,11 +115,14 @@ void ImplicitGemmConv::forward(const ConvConfig& cfg, const Tensor& input,
       const std::size_t cols = std::min(kTile, g.positions - col0);
       gather_tile(g, cfg.channels, image, col0, cols, tile.data());
       // out_tile(F x cols) = W(F x CKK) * tile(CKK x cols); the gathered
-      // tile is reused across every filter — implicit GEMM's win.
+      // tile is reused across every filter — implicit GEMM's win. Bias
+      // and ReLU land in the tile epilogue (rows are the filters), so
+      // the copy-out below moves finished values.
       blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, cfg.filters, cols,
                   g.ckk, 1.0F, filters.data(), g.ckk,
                   {tile.data(), g.ckk * cols}, cols, 0.0F,
-                  {out_tile.data(), cfg.filters * cols}, cols);
+                  {out_tile.data(), cfg.filters * cols}, cols,
+                  blas::Epilogue{.bias = bias, .relu = relu});
       float* out_image = output.plane(n, 0);
       for (std::size_t f = 0; f < cfg.filters; ++f) {
         for (std::size_t j = 0; j < cols; ++j) {

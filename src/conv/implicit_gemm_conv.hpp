@@ -28,11 +28,23 @@ class ImplicitGemmConv final : public ConvEngine {
 
   void forward(const ConvConfig& cfg, const Tensor& input,
                const Tensor& filters, Tensor& output) const override;
+  /// Bias + ReLU fuse into the per-tile SGEMM epilogue (the tile GEMM's
+  /// M rows are the full filter set, so bias indexes rows directly).
+  [[nodiscard]] bool forward_fused(const ConvConfig& cfg,
+                                   const Tensor& input,
+                                   const Tensor& filters,
+                                   std::span<const float> bias, bool relu,
+                                   Tensor& output) const override;
   void backward_data(const ConvConfig& cfg, const Tensor& grad_output,
                      const Tensor& filters, Tensor& grad_input) const override;
   void backward_filter(const ConvConfig& cfg, const Tensor& input,
                        const Tensor& grad_output,
                        Tensor& grad_filters) const override;
+
+ private:
+  static void run_forward(const ConvConfig& cfg, const Tensor& input,
+                          const Tensor& filters, Tensor& output,
+                          const float* bias, bool relu);
 };
 
 }  // namespace gpucnn::conv

@@ -9,48 +9,74 @@ float& Tensor::at(std::size_t n, std::size_t c, std::size_t h,
                   std::size_t w) {
   check(n < shape_.n && c < shape_.c && h < shape_.h && w < shape_.w,
         "tensor index out of range");
-  return data_[offset(n, c, h, w)];
+  return base()[offset(n, c, h, w)];
 }
 
 float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
                  std::size_t w) const {
   check(n < shape_.n && c < shape_.c && h < shape_.h && w < shape_.w,
         "tensor index out of range");
-  return data_[offset(n, c, h, w)];
+  return base()[offset(n, c, h, w)];
+}
+
+void Tensor::bind_external(float* data, std::size_t capacity) {
+  check(data != nullptr, "bind_external requires a buffer");
+  check(shape_.count() <= capacity,
+        "bind_external: current shape exceeds the bound capacity");
+  data_.clear();
+  data_.shrink_to_fit();
+  view_data_ = data;
+  view_capacity_ = capacity;
+}
+
+void Tensor::unbind() {
+  if (!is_view()) return;
+  view_data_ = nullptr;
+  view_capacity_ = 0;
+  shape_ = {};
 }
 
 void Tensor::reshape(TensorShape shape) {
-  check(shape.count() == data_.size(),
+  check(shape.count() == count(),
         "reshape must preserve the element count");
   shape_ = shape;
 }
 
 void Tensor::resize(TensorShape shape) {
+  if (is_view()) {
+    // Planned activations: the producer overwrites every element, so a
+    // view resize is a reshape within the arena slot — no zeroing.
+    check(shape.count() <= view_capacity_,
+          "resize exceeds the bound view capacity");
+    shape_ = shape;
+    return;
+  }
   shape_ = shape;
   data_.assign(shape.count(), 0.0F);
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  const auto d = data();
+  std::fill(d.begin(), d.end(), value);
 }
 
 void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
-  for (auto& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+  for (auto& v : data()) v = static_cast<float>(rng.uniform(lo, hi));
 }
 
 void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
-  for (auto& v : data_) v = static_cast<float>(rng.normal(mean, stddev));
+  for (auto& v : data()) v = static_cast<float>(rng.normal(mean, stddev));
 }
 
 double Tensor::sum() const {
   double total = 0.0;
-  for (const float v : data_) total += v;
+  for (const float v : data()) total += v;
   return total;
 }
 
 float Tensor::max_abs() const {
   float m = 0.0F;
-  for (const float v : data_) m = std::max(m, std::fabs(v));
+  for (const float v : data()) m = std::max(m, std::fabs(v));
   return m;
 }
 

@@ -42,6 +42,11 @@ struct AlignedAllocator {
 
 /// Dense NCHW float tensor. Copyable, movable; all indexing is
 /// bounds-unchecked on the hot path (at(...) checks, operator() does not).
+///
+/// A tensor normally owns its storage. bind_external() turns it into a
+/// view over caller-owned memory (the activation memory planner's shared
+/// arena): resize() then only reshapes within the bound capacity and no
+/// longer zero-initialises — every producer fully overwrites its output.
 class Tensor {
  public:
   Tensor() = default;
@@ -50,24 +55,36 @@ class Tensor {
       : Tensor(TensorShape{n, c, h, w}) {}
 
   [[nodiscard]] const TensorShape& shape() const { return shape_; }
-  [[nodiscard]] std::size_t count() const { return data_.size(); }
-  [[nodiscard]] bool empty() const { return data_.empty(); }
-
-  [[nodiscard]] std::span<float> data() { return {data_.data(), data_.size()}; }
-  [[nodiscard]] std::span<const float> data() const {
-    return {data_.data(), data_.size()};
+  [[nodiscard]] std::size_t count() const {
+    return is_view() ? shape_.count() : data_.size();
   }
-  [[nodiscard]] float* raw() { return data_.data(); }
-  [[nodiscard]] const float* raw() const { return data_.data(); }
+  [[nodiscard]] bool empty() const { return count() == 0; }
+
+  /// True when the storage is caller-owned (bind_external).
+  [[nodiscard]] bool is_view() const { return view_data_ != nullptr; }
+
+  /// Rebinds the tensor onto `capacity` floats of caller-owned storage.
+  /// The current shape must fit; the previous owned buffer is released.
+  /// The caller keeps the memory alive for the view's whole lifetime.
+  void bind_external(float* data, std::size_t capacity);
+  /// Returns to owned storage (empty; resize() reallocates).
+  void unbind();
+
+  [[nodiscard]] std::span<float> data() { return {base(), count()}; }
+  [[nodiscard]] std::span<const float> data() const {
+    return {base(), count()};
+  }
+  [[nodiscard]] float* raw() { return base(); }
+  [[nodiscard]] const float* raw() const { return base(); }
 
   /// Unchecked element access (hot path).
   float& operator()(std::size_t n, std::size_t c, std::size_t h,
                     std::size_t w) {
-    return data_[offset(n, c, h, w)];
+    return base()[offset(n, c, h, w)];
   }
   float operator()(std::size_t n, std::size_t c, std::size_t h,
                    std::size_t w) const {
-    return data_[offset(n, c, h, w)];
+    return base()[offset(n, c, h, w)];
   }
 
   /// Checked element access (tests, debugging).
@@ -77,10 +94,10 @@ class Tensor {
 
   /// Pointer to the start of image (n, c)'s H×W plane.
   [[nodiscard]] float* plane(std::size_t n, std::size_t c) {
-    return data_.data() + offset(n, c, 0, 0);
+    return base() + offset(n, c, 0, 0);
   }
   [[nodiscard]] const float* plane(std::size_t n, std::size_t c) const {
-    return data_.data() + offset(n, c, 0, 0);
+    return base() + offset(n, c, 0, 0);
   }
 
   /// Reshape without reallocating; element count must be preserved.
@@ -104,8 +121,17 @@ class Tensor {
     return ((n * shape_.c + c) * shape_.h + h) * shape_.w + w;
   }
 
+  [[nodiscard]] float* base() {
+    return is_view() ? view_data_ : data_.data();
+  }
+  [[nodiscard]] const float* base() const {
+    return is_view() ? view_data_ : data_.data();
+  }
+
   TensorShape shape_{};
   std::vector<float, AlignedAllocator<float>> data_;
+  float* view_data_ = nullptr;     ///< non-null in view mode
+  std::size_t view_capacity_ = 0;  ///< floats available at view_data_
 };
 
 /// Maximum absolute element-wise difference between two same-shaped tensors.

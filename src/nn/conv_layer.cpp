@@ -26,6 +26,16 @@ ConvConfig ConvLayer::config_for_batch(std::size_t batch) const {
   return cfg;
 }
 
+const conv::ConvEngine& ConvLayer::engine_for(const ConvConfig& cfg,
+                                              tune::Pass pass) const {
+  if (auto_tune_) {
+    const conv::ConvEngine* tuned =
+        tune::Autotuner::instance().choose(cfg, pass);
+    if (tuned != nullptr) return *tuned;
+  }
+  return *engine_;
+}
+
 TensorShape ConvLayer::output_shape(const TensorShape& in) const {
   check(in.c == geometry_.channels, "conv: input channel mismatch");
   check(in.h == geometry_.input && in.w == geometry_.input,
@@ -36,21 +46,58 @@ TensorShape ConvLayer::output_shape(const TensorShape& in) const {
 void ConvLayer::forward(const Tensor& in, Tensor& out) {
   const ConvConfig cfg = config_for_batch(in.shape().n);
   out.resize(cfg.output_shape());
-  engine_->forward(cfg, in, weights_, out);
-  blas::add_bias(out.data(), bias_.data(), cfg.batch, cfg.filters,
-                 cfg.output() * cfg.output());
+  const conv::ConvEngine& engine = engine_for(cfg, tune::Pass::kForward);
+  if (!engine.forward_fused(cfg, in, weights_, bias_.data(), fused_relu_,
+                            out)) {
+    // Unfused reference sequence; with fused_relu_ the trailing clamp is
+    // exactly ActivationLayer(kRelu)'s forward, so both paths match the
+    // fused epilogue bit for bit.
+    engine.forward(cfg, in, weights_, out);
+    blas::add_bias(out.data(), bias_.data(), cfg.batch, cfg.filters,
+                   cfg.output() * cfg.output());
+    if (fused_relu_) {
+      for (float& v : out.data()) v = v > 0.0F ? v : 0.0F;
+    }
+  }
+  if (fused_relu_ && training_) {
+    // Save the ReLU mask for backward. Post-clamp out > 0 is equivalent
+    // to pre-activation > 0 (the ActivationLayer backward test).
+    const auto od = out.data();
+    relu_mask_.resize(od.size());
+    for (std::size_t i = 0; i < od.size(); ++i) {
+      relu_mask_[i] = od[i] > 0.0F ? 1 : 0;
+    }
+  }
 }
 
 void ConvLayer::backward(const Tensor& in, const Tensor& grad_out,
                          Tensor& grad_in) {
   const ConvConfig cfg = config_for_batch(in.shape().n);
+  const Tensor* grad = &grad_out;
+  Tensor masked;
+  if (fused_relu_) {
+    // dL/d(pre-relu) = mask .* dL/d(out); everything below then matches
+    // the unfused ConvLayer's backward on the masked gradient.
+    check(relu_mask_.size() == grad_out.count(),
+          "fused conv backward requires a preceding forward");
+    masked.resize(grad_out.shape());
+    const auto gd = grad_out.data();
+    const auto md = masked.data();
+    for (std::size_t i = 0; i < gd.size(); ++i) {
+      md[i] = relu_mask_[i] != 0 ? gd[i] : 0.0F;
+    }
+    grad = &masked;
+  }
+
   grad_in.resize(cfg.input_shape());
-  engine_->backward_data(cfg, grad_out, weights_, grad_in);
+  engine_for(cfg, tune::Pass::kBackwardData)
+      .backward_data(cfg, *grad, weights_, grad_in);
 
   Tensor gw(cfg.filter_shape());
-  engine_->backward_filter(cfg, in, grad_out, gw);
+  engine_for(cfg, tune::Pass::kBackwardFilter)
+      .backward_filter(cfg, in, *grad, gw);
   blas::axpy(1.0F, gw.data(), grad_weights_.data());
-  blas::reduce_bias_grad(grad_out.data(), grad_bias_.data(), cfg.batch,
+  blas::reduce_bias_grad(grad->data(), grad_bias_.data(), cfg.batch,
                          cfg.filters, cfg.output() * cfg.output());
 }
 

@@ -1,12 +1,27 @@
 // Convolutional layer with a pluggable convolution engine — the paper's
 // point that the same layer can be served by direct, unrolling or FFT
 // strategies, with identical results but different cost profiles.
+//
+// Two executor upgrades ride on top of the pluggable engine:
+//   * fused ReLU: when set_fused_relu(true), the layer computes
+//     relu(conv + bias) in one pass — through the engine's fused
+//     epilogue when it has one (GEMM engines apply bias + clamp in the
+//     SGEMM write-back tile), with a bit-identical separate-pass
+//     fallback otherwise. Backward masks the incoming gradient with the
+//     ReLU mask saved in forward, making the fused layer's gradients
+//     bit-for-bit equal to ConvLayer followed by ActivationLayer(kRelu).
+//   * autotuning: when set_auto_tune(true), every pass asks the
+//     process-wide tune::Autotuner for the empirically fastest engine
+//     for this (config, pass) key instead of the static strategy.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "conv/conv_engine.hpp"
 #include "nn/layer.hpp"
+#include "tune/autotuner.hpp"
 
 namespace gpucnn::nn {
 
@@ -40,8 +55,22 @@ class ConvLayer final : public Layer {
   /// Swaps the convolution strategy (weights are untouched).
   void set_strategy(conv::Strategy strategy);
 
- private:
+  /// Folds a downstream ReLU into this layer (see the header comment).
+  void set_fused_relu(bool fused) { fused_relu_ = fused; }
+  [[nodiscard]] bool fused_relu() const { return fused_relu_; }
+
+  void set_auto_tune(bool on) override { auto_tune_ = on; }
+  [[nodiscard]] bool auto_tune() const { return auto_tune_; }
+
+  /// The geometry with the batch substituted — the autotuner cache key
+  /// for this layer at a given batch size.
   [[nodiscard]] ConvConfig config_for_batch(std::size_t batch) const;
+
+ private:
+  /// Engine for one pass: the autotuner's pick when tuning is on (and
+  /// the tuner is not in off mode), the static engine otherwise.
+  [[nodiscard]] const conv::ConvEngine& engine_for(const ConvConfig& cfg,
+                                                   tune::Pass pass) const;
 
   ConvConfig geometry_;
   std::unique_ptr<conv::ConvEngine> engine_;
@@ -49,6 +78,9 @@ class ConvLayer final : public Layer {
   Tensor bias_;
   Tensor grad_weights_;
   Tensor grad_bias_;
+  bool fused_relu_ = false;
+  bool auto_tune_ = false;
+  std::vector<std::uint8_t> relu_mask_;  ///< out > 0, saved by forward
 };
 
 }  // namespace gpucnn::nn

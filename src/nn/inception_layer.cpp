@@ -1,5 +1,6 @@
 #include "nn/inception_layer.hpp"
 
+#include "core/thread_pool.hpp"
 #include "nn/activation_layer.hpp"
 #include "nn/conv_layer.hpp"
 #include "nn/pool_layer.hpp"
@@ -114,9 +115,13 @@ TensorShape InceptionLayer::output_shape(const TensorShape& in) const {
 void InceptionLayer::forward(const Tensor& in, Tensor& out) {
   const TensorShape os = output_shape(in.shape());
   out.resize(os);
+  // The four branches only read `in` and write disjoint state, so they
+  // run concurrently on the pool — the dataflow parallelism the concat
+  // topology exposes. The channel concat stays serial (cheap copies).
+  parallel_for(0, branches_.size(),
+               [&](std::size_t b) { branches_[b]->forward(in); });
   std::size_t channel_offset = 0;
   for (auto& branch : branches_) {
-    branch->forward(in);
     const Tensor& result = branch->output();
     check(result.shape().c == branch->out_channels,
           "inception branch channel mismatch");
@@ -137,24 +142,35 @@ void InceptionLayer::backward(const Tensor& in, const Tensor& grad_out,
         "inception: grad_out shape mismatch");
   grad_in.resize(in.shape());
   grad_in.fill(0.0F);
+  // Slice each branch's channels out of the concatenated gradient
+  // (serial — shared reads of grad_out are cheap), then backpropagate
+  // the four branches concurrently: parameter gradients live inside
+  // each branch's own layers, so the only shared write is the final
+  // serial sum into grad_in.
+  std::array<Tensor, 4> branch_grads;
+  std::array<Tensor, 4> branch_gins;
   std::size_t channel_offset = 0;
-  for (auto& branch : branches_) {
-    // Slice this branch's channels out of the concatenated gradient.
-    Tensor branch_grad(in.shape().n, branch->out_channels, in.shape().h,
-                       in.shape().w);
+  for (std::size_t b = 0; b < branches_.size(); ++b) {
+    auto& branch = branches_[b];
+    branch_grads[b].resize({in.shape().n, branch->out_channels,
+                            in.shape().h, in.shape().w});
     for (std::size_t n = 0; n < in.shape().n; ++n) {
       for (std::size_t c = 0; c < branch->out_channels; ++c) {
         const float* src = grad_out.plane(n, channel_offset + c);
         std::copy(src, src + in.shape().spatial(),
-                  branch_grad.plane(n, c));
+                  branch_grads[b].plane(n, c));
       }
     }
-    Tensor branch_gin;
-    branch->backward(in, std::move(branch_grad), branch_gin);
+    channel_offset += branch->out_channels;
+  }
+  parallel_for(0, branches_.size(), [&](std::size_t b) {
+    branches_[b]->backward(in, std::move(branch_grads[b]),
+                           branch_gins[b]);
+  });
+  for (const auto& branch_gin : branch_gins) {
     for (std::size_t i = 0; i < grad_in.count(); ++i) {
       grad_in.data()[i] += branch_gin.data()[i];
     }
-    channel_offset += branch->out_channels;
   }
 }
 
@@ -189,6 +205,32 @@ void InceptionLayer::set_training(bool training) {
   for (auto& branch : branches_) {
     for (auto& layer : branch->layers) layer->set_training(training);
   }
+}
+
+void InceptionLayer::set_auto_tune(bool on) {
+  for (auto& branch : branches_) {
+    for (auto& layer : branch->layers) layer->set_auto_tune(on);
+  }
+}
+
+std::size_t InceptionLayer::fuse_relu_pairs() {
+  std::size_t fused = 0;
+  for (auto& branch : branches_) {
+    auto& layers = branch->layers;
+    for (std::size_t i = 0; i + 1 < layers.size();) {
+      auto* conv = dynamic_cast<ConvLayer*>(layers[i].get());
+      auto* act = dynamic_cast<ActivationLayer*>(layers[i + 1].get());
+      if (conv != nullptr && !conv->fused_relu() && act != nullptr &&
+          act->function() == Activation::kRelu) {
+        conv->set_fused_relu(true);
+        layers.erase(layers.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        ++fused;
+        continue;
+      }
+      ++i;
+    }
+  }
+  return fused;
 }
 
 }  // namespace gpucnn::nn

@@ -59,6 +59,9 @@ class InceptionLayer final : public Layer {
   [[nodiscard]] std::vector<Tensor*> gradients() override;
   void initialize(Rng& rng) override;
   void set_training(bool training) override;
+  void set_auto_tune(bool on) override;
+  /// Fuses the conv -> ReLU pairs inside every branch.
+  std::size_t fuse_relu_pairs() override;
 
   [[nodiscard]] const InceptionParams& params() const { return params_; }
 

@@ -53,6 +53,15 @@ class Layer {
   virtual void set_training(bool training) { training_ = training; }
   [[nodiscard]] bool training() const { return training_; }
 
+  /// Enables empirical engine selection (tune::Autotuner) in layers that
+  /// dispatch to convolution engines; a no-op elsewhere.
+  virtual void set_auto_tune(bool) {}
+
+  /// Fuses internal conv -> ReLU pairs in composite layers (inception
+  /// branches); returns how many pairs were fused. Network-level pairs
+  /// are fused by Network::fuse_conv_relu() instead.
+  virtual std::size_t fuse_relu_pairs() { return 0; }
+
   /// Initialises parameters (default: nothing to initialise).
   virtual void initialize(Rng&) {}
 

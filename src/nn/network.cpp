@@ -1,14 +1,110 @@
 #include "nn/network.hpp"
 
+#include <algorithm>
+
+#include "nn/activation_layer.hpp"
+#include "nn/conv_layer.hpp"
+#include "obs/metrics.hpp"
+
 namespace gpucnn::nn {
+namespace {
+
+/// Offsets are 64-byte (16-float) aligned so arena slices keep the same
+/// alignment guarantee owned tensors get from AlignedAllocator.
+constexpr std::size_t kAlignFloats = 16;
+
+std::size_t align_up(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+}  // namespace
 
 TensorShape Network::output_shape(TensorShape in) const {
   for (const auto& layer : layers_) in = layer->output_shape(in);
   return in;
 }
 
+void Network::plan_activations(const TensorShape& input_shape) {
+  // Lifetime analysis over the sequential schedule: activation i is
+  // produced at step i and last read at step i+1 (layer i+1's input), so
+  // its interval is [i, i+1] and only adjacent activations ever overlap.
+  // The final activation is returned to the caller and stays owned.
+  const std::size_t n = layers_.size();
+  std::vector<TensorShape> shapes(n);
+  TensorShape shape = input_shape;
+  naive_bytes_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shape = layers_[i]->output_shape(shape);
+    shapes[i] = shape;
+    naive_bytes_ += shape.count() * sizeof(float);
+  }
+
+  struct Slot {
+    std::size_t offset, size, last_step;
+  };
+  std::vector<Slot> live;
+  std::vector<std::size_t> offsets(n, 0);
+  std::size_t arena_floats = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t size = align_up(shapes[i].count());
+    // Greedy first-fit: lowest offset not overlapping any buffer whose
+    // lifetime intersects [i, i+1].
+    std::erase_if(live, [i](const Slot& s) { return s.last_step < i; });
+    std::sort(live.begin(), live.end(),
+              [](const Slot& a, const Slot& b) {
+                return a.offset < b.offset;
+              });
+    std::size_t offset = 0;
+    for (const Slot& s : live) {
+      if (offset + size <= s.offset) break;
+      offset = std::max(offset, s.offset + s.size);
+    }
+    offsets[i] = offset;
+    live.push_back({offset, size, i + 1});
+    arena_floats = std::max(arena_floats, offset + size);
+  }
+
+  arena_.resize(arena_floats);
+  activations_.resize(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    activations_[i].resize({});  // shrink shape before rebinding
+    activations_[i].bind_external(arena_.data() + offsets[i],
+                                  align_up(shapes[i].count()));
+    activations_[i].resize(shapes[i]);
+  }
+  if (n > 0 && activations_[n - 1].is_view()) activations_[n - 1].unbind();
+
+  planned_bytes_ = arena_floats * sizeof(float) +
+                   (n > 0 ? shapes[n - 1].count() * sizeof(float) : 0);
+  auto& m = obs::metrics();
+  m.gauge("nn.plan.peak_bytes").set(static_cast<double>(planned_bytes_));
+  m.gauge("nn.plan.naive_bytes").set(static_cast<double>(naive_bytes_));
+  m.gauge("nn.plan.buffers").set(static_cast<double>(n));
+}
+
 const Tensor& Network::forward(const Tensor& input) {
   check(!layers_.empty(), "network has no layers");
+  const bool planned = memory_planning_ && !training_;
+  if (planned) {
+    plan_activations(input.shape());
+    // Planned forwards stream through the arena: the input is read in
+    // place (no defensive copy) and no history survives for backward.
+    const Tensor* current = &input;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      layers_[i]->forward(*current, activations_[i]);
+      current = &activations_[i];
+    }
+    has_forward_state_ = true;
+    planned_forward_ = true;
+    return activations_.back();
+  }
+
+  if (planned_forward_) {
+    // Leaving planned mode: drop arena views so training forwards own
+    // their activations again.
+    for (auto& a : activations_) a.unbind();
+    planned_forward_ = false;
+  }
   input_.resize(input.shape());
   std::copy(input.data().begin(), input.data().end(),
             input_.data().begin());
@@ -24,6 +120,10 @@ const Tensor& Network::forward(const Tensor& input) {
 
 void Network::backward(const Tensor& grad_output) {
   check(has_forward_state_, "backward requires a preceding forward");
+  check(!planned_forward_,
+        "backward requires an unplanned forward: the activation planner "
+        "(set_memory_planning) aliases intermediate buffers and is "
+        "inference-only");
   check(grad_output.shape() == activations_.back().shape(),
         "grad_output shape mismatch");
   Tensor grad = Tensor(grad_output.shape());
@@ -58,6 +158,7 @@ void Network::zero_grad() {
 }
 
 void Network::set_training(bool training) {
+  training_ = training;
   for (const auto& layer : layers_) layer->set_training(training);
 }
 
@@ -69,6 +170,30 @@ std::size_t Network::parameter_count() {
   std::size_t count = 0;
   for (Tensor* p : parameters()) count += p->count();
   return count;
+}
+
+std::size_t Network::fuse_conv_relu() {
+  std::size_t fused = 0;
+  for (std::size_t i = 0; i + 1 < layers_.size();) {
+    auto* conv = dynamic_cast<ConvLayer*>(layers_[i].get());
+    auto* act = dynamic_cast<ActivationLayer*>(layers_[i + 1].get());
+    if (conv != nullptr && !conv->fused_relu() && act != nullptr &&
+        act->function() == Activation::kRelu) {
+      conv->set_fused_relu(true);
+      layers_.erase(layers_.begin() +
+                    static_cast<std::ptrdiff_t>(i) + 1);
+      ++fused;
+      continue;  // the erased slot may expose another pair at i
+    }
+    ++i;
+  }
+  for (const auto& layer : layers_) fused += layer->fuse_relu_pairs();
+  has_forward_state_ = false;  // cached activations no longer line up
+  return fused;
+}
+
+void Network::enable_autotune(bool on) {
+  for (const auto& layer : layers_) layer->set_auto_tune(on);
 }
 
 }  // namespace gpucnn::nn

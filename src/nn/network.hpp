@@ -1,5 +1,20 @@
 // Sequential network container: owns layers, caches activations for the
 // backward pass, exposes parameter/gradient views for the optimiser.
+//
+// Executor features (all opt-in):
+//   * fuse_conv_relu() — rewrites conv -> ReLU layer pairs into a single
+//     fused ConvLayer (and fuses pairs inside composite layers), keeping
+//     results bit-for-bit identical while removing a full pass over the
+//     activation.
+//   * enable_autotune() — lets every conv dispatch through the empirical
+//     tune::Autotuner.
+//   * set_memory_planning() — inference-only activation memory planner:
+//     lifetime analysis assigns each intermediate activation an offset in
+//     one shared arena (greedy first-fit over lifetime-overlapping
+//     intervals), cutting peak activation memory from the sum of all
+//     layer outputs to roughly the two largest adjacent ones. Planned
+//     forwards keep no per-layer history, so backward() requires a
+//     preceding unplanned (training-mode) forward.
 #pragma once
 
 #include <memory>
@@ -54,11 +69,42 @@ class Network {
   /// Total learnable parameter count.
   [[nodiscard]] std::size_t parameter_count();
 
+  /// Fuses every ConvLayer -> ActivationLayer(kRelu) pair (top level and
+  /// inside composite layers); returns the number of pairs fused. Safe
+  /// to call once, after the network is fully built.
+  std::size_t fuse_conv_relu();
+
+  /// Toggles autotuned engine selection on every layer.
+  void enable_autotune(bool on = true);
+
+  /// Toggles the inference activation planner (applies when the network
+  /// is in inference mode, i.e. after set_training(false)).
+  void set_memory_planning(bool on) { memory_planning_ = on; }
+  [[nodiscard]] bool memory_planning() const { return memory_planning_; }
+
+  /// Activation bytes of the last forward: planned (arena + unplanned
+  /// tail) vs naive (every activation owned). Valid after a planned
+  /// forward; both zero before.
+  [[nodiscard]] std::size_t planned_activation_bytes() const {
+    return planned_bytes_;
+  }
+  [[nodiscard]] std::size_t naive_activation_bytes() const {
+    return naive_bytes_;
+  }
+
  private:
+  void plan_activations(const TensorShape& input_shape);
+
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<Tensor> activations_;  ///< activations_[i] = output of layer i
   Tensor input_;                     ///< cached network input
   bool has_forward_state_ = false;
+  bool training_ = true;
+  bool memory_planning_ = false;
+  bool planned_forward_ = false;  ///< last forward used the arena
+  std::vector<float, AlignedAllocator<float>> arena_;
+  std::size_t planned_bytes_ = 0;
+  std::size_t naive_bytes_ = 0;
 };
 
 }  // namespace gpucnn::nn

@@ -1,0 +1,689 @@
+#include "tune/autotuner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/recommend.hpp"
+#include "conv/direct_conv.hpp"
+#include "conv/fft_conv.hpp"
+#include "conv/gemm_conv.hpp"
+#include "conv/implicit_gemm_conv.hpp"
+#include "conv/tiled_fft_conv.hpp"
+#include "conv/winograd_conv.hpp"
+#include "core/cpu_features.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace gpucnn::tune {
+namespace {
+
+constexpr int kCacheVersion = 1;
+/// Prune a candidate whose single warm-up run is already this many times
+/// slower than the best engine seen so far for the key.
+constexpr double kPruneFactor = 2.5;
+
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::metrics().counter("tune.hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::metrics().counter("tune.misses");
+  return c;
+}
+obs::Counter& trials_counter() {
+  static obs::Counter& c = obs::metrics().counter("tune.trials");
+  return c;
+}
+obs::Gauge& ms_spent_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("tune.ms_spent");
+  return g;
+}
+
+/// The candidate pool: every distinct real engine, in a fixed base order.
+/// Index 1 (unrolling) is the static default every ConvLayer starts with.
+std::span<const conv::ConvEngine* const> candidates() {
+  static const conv::DirectConv direct;
+  static const conv::GemmConv gemm;
+  static const conv::ImplicitGemmConv implicit;
+  static const conv::FftConv fft;              // half-spectrum
+  static const conv::TiledFftConv fft_tiled;
+  static const conv::WinogradConv winograd;
+  static const conv::ConvEngine* const all[] = {
+      &direct, &gemm, &implicit, &fft, &fft_tiled, &winograd};
+  return all;
+}
+
+constexpr std::size_t kDefaultIndex = 1;  // GemmConv ("unrolling")
+
+/// Search order for `cfg`: candidates sorted by the recommend model's
+/// simulated runtimes (fastest strategy first), so on real hardware the
+/// likely winner is measured first and slow candidates hit the prune
+/// check. Engines the model cannot rank (Winograd post-dates the paper)
+/// append in base order.
+std::vector<std::size_t> prior_order(const ConvConfig& cfg) {
+  std::vector<std::size_t> order;
+  order.reserve(candidates().size());
+  const auto push_unique = [&order](std::size_t idx) {
+    if (std::find(order.begin(), order.end(), idx) == order.end()) {
+      order.push_back(idx);
+    }
+  };
+
+  analysis::Recommendation rec;
+  try {
+    rec = analysis::recommend(cfg);
+  } catch (const Error&) {
+    // Model failure is not fatal: fall back to the base order.
+  }
+  std::vector<const analysis::LayerResult*> ranked;
+  for (const auto& r : rec.results) {
+    if (r.supported && !r.out_of_memory) ranked.push_back(&r);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto* a, const auto* b) {
+              return a->runtime_ms < b->runtime_ms;
+            });
+  for (const auto* r : ranked) {
+    switch (frameworks::framework(r->framework).strategy()) {
+      case conv::Strategy::kUnrolling:
+        push_unique(1);  // im2col GEMM, then its zero-workspace variant
+        push_unique(2);
+        break;
+      case conv::Strategy::kDirect:
+        push_unique(0);
+        break;
+      case conv::Strategy::kFft:
+        push_unique(3);
+        push_unique(4);
+        break;
+      case conv::Strategy::kWinograd:
+        push_unique(5);
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < candidates().size(); ++i) push_unique(i);
+  return order;
+}
+
+/// Scratch tensors for timing one (cfg, pass) key. Deterministic fill so
+/// repeated measurements exercise identical data.
+struct Workload {
+  Tensor input, filters, output, grad_output, grad_input, grad_filters;
+
+  explicit Workload(const ConvConfig& cfg) {
+    Rng rng(0x7u);
+    input.resize(cfg.input_shape());
+    input.fill_uniform(rng, -1.0F, 1.0F);
+    filters.resize(cfg.filter_shape());
+    filters.fill_uniform(rng, -0.5F, 0.5F);
+    output.resize(cfg.output_shape());
+    grad_output.resize(cfg.output_shape());
+    grad_output.fill_uniform(rng, -1.0F, 1.0F);
+    grad_input.resize(cfg.input_shape());
+    grad_filters.resize(cfg.filter_shape());
+  }
+
+  void run(const conv::ConvEngine& engine, const ConvConfig& cfg,
+           Pass pass) {
+    switch (pass) {
+      case Pass::kForward:
+        engine.forward(cfg, input, filters, output);
+        break;
+      case Pass::kBackwardData:
+        engine.backward_data(cfg, grad_output, filters, grad_input);
+        break;
+      case Pass::kBackwardFilter:
+        engine.backward_filter(cfg, input, grad_output, grad_filters);
+        break;
+    }
+  }
+};
+
+/// Times `engine` on the workload: one warm-up run (returned through
+/// `warmup_ms`) then `trials` timed runs, reporting the minimum. Every
+/// run counts as a trial and its wall time accumulates in `spent_ms`.
+double time_engine(Workload& work, const conv::ConvEngine& engine,
+                   const ConvConfig& cfg, Pass pass, int trials,
+                   double& warmup_ms, double& spent_ms) {
+  Timer timer;
+  work.run(engine, cfg, pass);
+  warmup_ms = timer.elapsed_ms();
+  trials_counter().add(1);
+  spent_ms += warmup_ms;
+
+  double best = warmup_ms;
+  for (int t = 0; t < trials; ++t) {
+    timer.reset();
+    work.run(engine, cfg, pass);
+    const double ms = timer.elapsed_ms();
+    trials_counter().add(1);
+    spent_ms += ms;
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+std::size_t pass_index(Pass pass) { return static_cast<std::size_t>(pass); }
+
+std::optional<Pass> pass_from_name(std::string_view name) {
+  if (name == "forward") return Pass::kForward;
+  if (name == "backward-data") return Pass::kBackwardData;
+  if (name == "backward-filter") return Pass::kBackwardFilter;
+  return std::nullopt;
+}
+
+const conv::ConvEngine* engine_from_name(std::string_view name) {
+  for (const auto* e : candidates()) {
+    if (e->name() == name) return e;
+  }
+  return nullptr;
+}
+
+// --- minimal JSON parser (obs::Json is a writer-only document model) ---
+// Accepts exactly the subset the cache writer emits: objects, arrays,
+// strings with \"\\/bfnrt(u) escapes, numbers, true/false/null.
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) {
+      ok = false;
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+  bool consume_word(std::string_view word) {
+    skip_ws();
+    if (text.substr(pos, word.size()) != word) {
+      ok = false;
+      return false;
+    }
+    pos += word.size();
+    return true;
+  }
+
+  obs::Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return obs::Json(parse_string());
+      case 't': consume_word("true"); return obs::Json(true);
+      case 'f': consume_word("false"); return obs::Json(false);
+      case 'n': consume_word("null"); return {};
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            pos = std::min(pos + 4, text.size());  // non-ASCII: drop
+            continue;
+          default: c = esc; break;  // \" \\ \/
+        }
+      }
+      out.push_back(c);
+    }
+    consume('"');
+    return out;
+  }
+
+  obs::Json parse_number() {
+    skip_ws();
+    const char* begin = text.data() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      ok = false;
+      return {};
+    }
+    pos += static_cast<std::size_t>(end - begin);
+    return obs::Json(v);
+  }
+
+  obs::Json parse_array() {
+    obs::Json arr = obs::Json::array();
+    consume('[');
+    if (peek() == ']') {
+      ++pos;
+      return arr;
+    }
+    while (ok) {
+      arr.push(parse_value());
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      consume(']');
+      break;
+    }
+    return arr;
+  }
+
+  obs::Json parse_object() {
+    obs::Json obj = obs::Json::object();
+    consume('{');
+    if (peek() == '}') {
+      ++pos;
+      return obj;
+    }
+    while (ok) {
+      std::string key = parse_string();
+      consume(':');
+      obj.set(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      consume('}');
+      break;
+    }
+    return obj;
+  }
+};
+
+/// Parses `text`; returns nullopt on any syntax error.
+std::optional<obs::Json> parse_json(std::string_view text) {
+  JsonParser p{text};
+  obs::Json v = p.parse_value();
+  if (!p.ok) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+double number_or(const obs::Json& obj, std::string_view key, double fallback) {
+  const obs::Json* v = obj.find(key);
+  return v != nullptr && v->type() == obs::Json::Type::kNumber ? v->as_number()
+                                                               : fallback;
+}
+
+std::string string_or(const obs::Json& obj, std::string_view key) {
+  const obs::Json* v = obj.find(key);
+  return v != nullptr && v->type() == obs::Json::Type::kString ? v->as_string()
+                                                               : std::string{};
+}
+
+/// Thread count folded into the cache key: workers + the caller-runs
+/// thread, the parallelism every engine actually sees.
+std::size_t active_threads() { return global_pool().size() + 1; }
+
+}  // namespace
+
+std::string_view to_string(Pass pass) {
+  switch (pass) {
+    case Pass::kForward: return "forward";
+    case Pass::kBackwardData: return "backward-data";
+    case Pass::kBackwardFilter: return "backward-filter";
+  }
+  return "?";
+}
+
+std::string_view to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kHeuristic: return "heuristic";
+    case Mode::kMeasure: return "measure";
+  }
+  return "?";
+}
+
+std::optional<Mode> parse_mode(std::string_view text) {
+  if (text == "off") return Mode::kOff;
+  if (text == "heuristic") return Mode::kHeuristic;
+  if (text == "measure") return Mode::kMeasure;
+  return std::nullopt;
+}
+
+Autotuner& Autotuner::instance() {
+  static Autotuner tuner;
+  return tuner;
+}
+
+Autotuner::Autotuner() : mode_(Mode::kHeuristic) {
+  if (const char* env = std::getenv("GPUCNN_TUNE")) {
+    if (const auto parsed = parse_mode(env)) mode_ = *parsed;
+  }
+  if (const char* env = std::getenv("GPUCNN_TUNE_CACHE")) {
+    cache_path_ = env;
+  }
+}
+
+Mode Autotuner::mode() const {
+  std::lock_guard lock(mutex_);
+  return mode_;
+}
+
+void Autotuner::set_mode(Mode mode) {
+  std::lock_guard lock(mutex_);
+  mode_ = mode;
+}
+
+Autotuner::Key Autotuner::make_key(const ConvConfig& cfg, Pass pass) {
+  return {cfg.batch, cfg.input,  cfg.channels, cfg.filters,     cfg.kernel,
+          cfg.stride, cfg.pad,   cfg.groups,   pass_index(pass)};
+}
+
+std::uint64_t Autotuner::key_hash(const ConvConfig& cfg, Pass pass) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the key words
+  for (const std::size_t word : make_key(cfg, pass)) {
+    auto v = static_cast<std::uint64_t>(word);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFFU;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+const conv::ConvEngine* Autotuner::choose(const ConvConfig& cfg, Pass pass) {
+  std::lock_guard lock(mutex_);
+  if (mode_ == Mode::kOff) return nullptr;
+  return decide_locked(cfg, pass).engine;
+}
+
+Decision Autotuner::decide(const ConvConfig& cfg, Pass pass) {
+  std::lock_guard lock(mutex_);
+  return decide_locked(cfg, pass);
+}
+
+Decision Autotuner::decide_locked(const ConvConfig& cfg, Pass pass) {
+  if (!cache_loaded_ && !cache_path_.empty()) {
+    cache_loaded_ = true;  // one attempt per process, hit or miss
+    // Re-entrancy is safe: load_cache locks nothing below this level.
+    std::size_t kept = 0;
+    std::ifstream in(cache_path_);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      kept = ingest_cache_text(buf.str());
+    }
+    (void)kept;
+  }
+  const Key key = make_key(cfg, pass);
+  const auto it = memo_.find(key);
+  if (it != memo_.end() &&
+      (mode_ != Mode::kMeasure || it->second.measured)) {
+    hits_counter().add(1);
+    return it->second;
+  }
+  misses_counter().add(1);
+  Decision d = mode_ == Mode::kMeasure ? measure_locked(cfg, pass)
+                                       : heuristic_locked(cfg, pass);
+  memo_[key] = d;
+  if (d.measured) persist_locked();
+  return d;
+}
+
+Decision Autotuner::heuristic_locked(const ConvConfig& cfg, Pass pass) {
+  (void)pass;  // the model prior does not distinguish passes
+  for (const std::size_t idx : prior_order(cfg)) {
+    const conv::ConvEngine* engine = candidates()[idx];
+    if (engine->supports(cfg)) {
+      return {.engine = engine,
+              .engine_name = engine->name(),
+              .best_ms = 0.0,
+              .baseline_ms = 0.0,
+              .measured = false};
+    }
+  }
+  const conv::ConvEngine* fallback = candidates()[kDefaultIndex];
+  return {.engine = fallback, .engine_name = fallback->name()};
+}
+
+Decision Autotuner::measure_locked(const ConvConfig& cfg, Pass pass) {
+  Workload work(cfg);
+  const conv::ConvEngine* best_engine = nullptr;
+  double best_ms = 0.0;
+  double baseline_ms = 0.0;
+
+  for (const std::size_t idx : prior_order(cfg)) {
+    const conv::ConvEngine* engine = candidates()[idx];
+    if (!engine->supports(cfg)) continue;
+    double warmup = 0.0;
+    Timer probe;
+    work.run(*engine, cfg, pass);
+    warmup = probe.elapsed_ms();
+    trials_counter().add(1);
+    ms_spent_ += warmup;
+    double ms = warmup;
+    // A warm-up already far behind the leader cannot win: skip its
+    // timed repetitions (the prior ordering makes this prune common).
+    const bool pruned =
+        best_engine != nullptr && warmup > kPruneFactor * best_ms;
+    if (!pruned) {
+      for (int t = 0; t < trials_; ++t) {
+        Timer timer;
+        work.run(*engine, cfg, pass);
+        const double rep = timer.elapsed_ms();
+        trials_counter().add(1);
+        ms_spent_ += rep;
+        ms = std::min(ms, rep);
+      }
+    }
+    if (idx == kDefaultIndex) baseline_ms = ms;
+    if (best_engine == nullptr || ms < best_ms) {
+      best_engine = engine;
+      best_ms = ms;
+    }
+  }
+  ms_spent_gauge().set(ms_spent_);
+  if (best_engine == nullptr) best_engine = candidates()[kDefaultIndex];
+  return {.engine = best_engine,
+          .engine_name = best_engine->name(),
+          .best_ms = best_ms,
+          .baseline_ms = baseline_ms,
+          .measured = true};
+}
+
+std::vector<EngineTiming> Autotuner::measure_all(const ConvConfig& cfg,
+                                                 Pass pass) {
+  std::lock_guard lock(mutex_);
+  Workload work(cfg);
+  std::vector<EngineTiming> timings;
+  timings.reserve(candidates().size());
+  for (const auto* engine : candidates()) {
+    EngineTiming t{.engine_name = engine->name()};
+    if (engine->supports(cfg)) {
+      t.eligible = true;
+      double warmup = 0.0;
+      t.ms = time_engine(work, *engine, cfg, pass, trials_, warmup,
+                         ms_spent_);
+    }
+    timings.push_back(t);
+  }
+  ms_spent_gauge().set(ms_spent_);
+  return timings;
+}
+
+bool Autotuner::save_cache(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  cache_path_ = path;
+  cache_loaded_ = true;  // what we are about to write is the cache
+  std::ofstream out(path);
+  if (!out) return false;
+  out << cache_json_locked().dump_string(2) << '\n';
+  return out.good();
+}
+
+obs::Json Autotuner::cache_json_locked() const {
+  obs::Json root = obs::Json::object();
+  root.set("tune_cache_version", obs::Json(kCacheVersion));
+  root.set("simd", obs::Json(simd::name(simd::active())));
+  root.set("threads", obs::Json(active_threads()));
+  obs::Json entries = obs::Json::array();
+  for (const auto& [key, decision] : memo_) {
+    if (!decision.measured) continue;  // heuristic picks are free to redo
+    const ConvConfig cfg{key[0], key[1], key[2], key[3],
+                         key[4], key[5], key[6], key[7]};
+    const auto pass = static_cast<Pass>(key[8]);
+    obs::Json entry = obs::Json::object();
+    entry.set("batch", obs::Json(cfg.batch));
+    entry.set("input", obs::Json(cfg.input));
+    entry.set("channels", obs::Json(cfg.channels));
+    entry.set("filters", obs::Json(cfg.filters));
+    entry.set("kernel", obs::Json(cfg.kernel));
+    entry.set("stride", obs::Json(cfg.stride));
+    entry.set("pad", obs::Json(cfg.pad));
+    entry.set("groups", obs::Json(cfg.groups));
+    entry.set("pass", obs::Json(std::string(to_string(pass))));
+    // Hex string: a JSON double cannot carry 64 hash bits exactly.
+    char hex[19];
+    std::snprintf(hex, sizeof hex, "0x%016llx",
+                  static_cast<unsigned long long>(key_hash(cfg, pass)));
+    entry.set("hash", obs::Json(std::string(hex)));
+    entry.set("engine", obs::Json(std::string(decision.engine_name)));
+    entry.set("best_ms", obs::Json(decision.best_ms));
+    entry.set("baseline_ms", obs::Json(decision.baseline_ms));
+    entries.push(std::move(entry));
+  }
+  root.set("entries", std::move(entries));
+  return root;
+}
+
+std::size_t Autotuner::load_cache(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  cache_path_ = path;
+  cache_loaded_ = true;
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ingest_cache_text(buf.str());
+}
+
+std::size_t Autotuner::ingest_cache_text(const std::string& text) {
+  const auto parsed = parse_json(text);
+  if (!parsed) return 0;
+  const obs::Json& root = *parsed;
+  // Whole-file key: version, SIMD level and thread count must all match
+  // this process, otherwise every timing in the file is suspect.
+  if (static_cast<int>(number_or(root, "tune_cache_version", -1)) !=
+      kCacheVersion) {
+    return 0;
+  }
+  if (string_or(root, "simd") != simd::name(simd::active())) return 0;
+  if (static_cast<std::size_t>(number_or(root, "threads", 0)) !=
+      active_threads()) {
+    return 0;
+  }
+  const obs::Json* entries = root.find("entries");
+  if (entries == nullptr || entries->type() != obs::Json::Type::kArray) {
+    return 0;
+  }
+  std::size_t kept = 0;
+  for (const obs::Json& entry : entries->items()) {
+    if (entry.type() != obs::Json::Type::kObject) continue;
+    const ConvConfig cfg{
+        static_cast<std::size_t>(number_or(entry, "batch", 0)),
+        static_cast<std::size_t>(number_or(entry, "input", 0)),
+        static_cast<std::size_t>(number_or(entry, "channels", 0)),
+        static_cast<std::size_t>(number_or(entry, "filters", 0)),
+        static_cast<std::size_t>(number_or(entry, "kernel", 0)),
+        static_cast<std::size_t>(number_or(entry, "stride", 0)),
+        static_cast<std::size_t>(number_or(entry, "pad", 0)),
+        static_cast<std::size_t>(number_or(entry, "groups", 0))};
+    const auto pass = pass_from_name(string_or(entry, "pass"));
+    if (!pass) continue;
+    // Per-entry key check: recompute the hash from the stored fields; a
+    // mismatch means the entry was edited or the key schema changed.
+    char hex[19];
+    std::snprintf(hex, sizeof hex, "0x%016llx",
+                  static_cast<unsigned long long>(key_hash(cfg, *pass)));
+    if (string_or(entry, "hash") != hex) continue;
+    const conv::ConvEngine* engine =
+        engine_from_name(string_or(entry, "engine"));
+    if (engine == nullptr || !engine->supports(cfg)) continue;
+    memo_[make_key(cfg, *pass)] =
+        Decision{.engine = engine,
+                 .engine_name = engine->name(),
+                 .best_ms = number_or(entry, "best_ms", 0.0),
+                 .baseline_ms = number_or(entry, "baseline_ms", 0.0),
+                 .measured = true};
+    ++kept;
+  }
+  return kept;
+}
+
+void Autotuner::persist_locked() {
+  if (cache_path_.empty()) return;
+  std::ofstream out(cache_path_);
+  if (!out) return;
+  out << cache_json_locked().dump_string(2) << '\n';
+}
+
+std::string Autotuner::set_cache_path(std::string path) {
+  std::lock_guard lock(mutex_);
+  std::string previous = std::move(cache_path_);
+  cache_path_ = std::move(path);
+  cache_loaded_ = cache_path_.empty();  // a new path loads on first use
+  return previous;
+}
+
+std::vector<Autotuner::Entry> Autotuner::entries() {
+  std::lock_guard lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(memo_.size());
+  for (const auto& [key, decision] : memo_) {
+    out.push_back({ConvConfig{key[0], key[1], key[2], key[3], key[4],
+                              key[5], key[6], key[7]},
+                   static_cast<Pass>(key[8]), decision});
+  }
+  return out;
+}
+
+void Autotuner::clear() {
+  std::lock_guard lock(mutex_);
+  memo_.clear();
+}
+
+std::size_t Autotuner::size() {
+  std::lock_guard lock(mutex_);
+  return memo_.size();
+}
+
+int Autotuner::set_trials_for_testing(int trials) {
+  std::lock_guard lock(mutex_);
+  const int previous = trials_;
+  trials_ = std::max(trials, 0);
+  return previous;
+}
+
+const conv::ConvEngine& default_engine() {
+  return *candidates()[kDefaultIndex];
+}
+
+}  // namespace gpucnn::tune

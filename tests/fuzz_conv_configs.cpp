@@ -16,10 +16,14 @@ TEST(ConvFuzz, SeededSmokeBatchFindsNoFailures) {
   FuzzOptions options;
   options.seed = 1;
   options.count = 40;  // CI's standalone run covers 200; keep ctest fast
+  options.tune_cache = true;
+  options.tune_cache_path = testing::TempDir() + "fuzz_tune_cache.json";
   const FuzzReport report = run_fuzz(options);
   EXPECT_EQ(report.configs_run, options.count);
   EXPECT_GT(report.engine_checks, 0U);
   EXPECT_GT(report.plan_checks, 0U);
+  EXPECT_EQ(report.fused_checks, options.count);
+  EXPECT_EQ(report.tune_checks, options.count);
   for (const auto& failure : report.failures) {
     ADD_FAILURE() << '[' << failure.index << "] "
                   << failure.config.to_string() << ": " << failure.what

@@ -282,5 +282,96 @@ TEST(Gemm, FlopsFormula) {
   EXPECT_DOUBLE_EQ(gemm_flops(10, 20, 30), 12000.0);
 }
 
+// Fused-epilogue agreement: sgemm with an Epilogue must equal the plain
+// sgemm followed by the separate bias-broadcast and ReLU passes, bit for
+// bit — the property the fused ConvLayer relies on. Sizes cover both the
+// small naive fallback and the blocked path (which applies the epilogue
+// per write-back tile on the last k-block only).
+void reference_epilogue(std::vector<float>& c, std::size_t m,
+                        std::size_t n, const float* bias, bool relu) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float& v = c[i * n + j];
+      if (bias != nullptr) v += bias[i];
+      if (relu) v = v > 0.0F ? v : 0.0F;
+    }
+  }
+}
+
+class GemmEpilogue
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(GemmEpilogue, MatchesUnfusedBitForBit) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(17);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  const auto bias = random_matrix(m, 1, rng);
+
+  std::vector<float> unfused(m * n, 0.0F);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F, unfused,
+        n);
+  reference_epilogue(unfused, m, n, bias.data(), true);
+
+  std::vector<float> fused(m * n, kNaN);  // beta = 0 must overwrite NaN
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F, fused, n,
+        Epilogue{.bias = bias.data(), .relu = true});
+
+  for (std::size_t i = 0; i < unfused.size(); ++i) {
+    EXPECT_EQ(unfused[i], fused[i]) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmEpilogue,
+    ::testing::Values(std::tuple<std::size_t, std::size_t, std::size_t>{
+                          8, 12, 16},  // naive small path
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          96, 130, 80},  // blocked, one k-block
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          150, 96, 300}  // blocked, multiple k-blocks
+                      ));
+
+TEST(GemmEpilogue, BiasOnlyAndReluOnly) {
+  Rng rng(23);
+  const std::size_t m = 70, n = 90, k = 120;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  const auto bias = random_matrix(m, 1, rng);
+
+  std::vector<float> plain(m * n, 0.0F);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F, plain, n);
+
+  std::vector<float> bias_only(m * n, 0.0F);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F, bias_only,
+        n, Epilogue{.bias = bias.data(), .relu = false});
+  std::vector<float> relu_only(m * n, 0.0F);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F, relu_only,
+        n, Epilogue{.bias = nullptr, .relu = true});
+
+  auto expected_bias = plain;
+  reference_epilogue(expected_bias, m, n, bias.data(), false);
+  auto expected_relu = plain;
+  reference_epilogue(expected_relu, m, n, nullptr, true);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(bias_only[i], expected_bias[i]) << "at " << i;
+    EXPECT_EQ(relu_only[i], expected_relu[i]) << "at " << i;
+  }
+}
+
+TEST(GemmEpilogue, InactiveEpilogueIsPlainGemm) {
+  Rng rng(29);
+  const std::size_t m = 40, n = 40, k = 40;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> c1(m * n, 0.0F);
+  std::vector<float> c2(m * n, 0.0F);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F, c1, n);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0F, a, k, b, n, 0.0F, c2, n,
+        Epilogue{});
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1[i], c2[i]);
+}
+
 }  // namespace
 }  // namespace gpucnn::blas

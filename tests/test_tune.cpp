@@ -1,0 +1,205 @@
+#include "tune/autotuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "conv/conv_engine.hpp"
+#include "core/cpu_features.hpp"
+#include "obs/metrics.hpp"
+
+namespace gpucnn::tune {
+namespace {
+
+// Every test pins trials to 1 and restores the tuner's global state, so
+// suites can run in any order.
+class TunerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tuner_ = &Autotuner::instance();
+    mode_before_ = tuner_->mode();
+    trials_before_ = tuner_->set_trials_for_testing(1);
+    path_before_ = tuner_->set_cache_path("");
+    tuner_->clear();
+  }
+  void TearDown() override {
+    tuner_->clear();
+    (void)tuner_->set_cache_path(path_before_);
+    tuner_->set_trials_for_testing(trials_before_);
+    tuner_->set_mode(mode_before_);
+  }
+
+  static ConvConfig small_config() {
+    return ConvConfig{.batch = 1, .input = 8, .channels = 2, .filters = 4,
+                      .kernel = 3, .stride = 1, .pad = 1, .groups = 1};
+  }
+
+  Autotuner* tuner_ = nullptr;
+  Mode mode_before_{};
+  int trials_before_ = 0;
+  std::string path_before_;
+};
+
+TEST(TuneMode, ParseAndPrintRoundTrip) {
+  EXPECT_EQ(parse_mode("off"), Mode::kOff);
+  EXPECT_EQ(parse_mode("heuristic"), Mode::kHeuristic);
+  EXPECT_EQ(parse_mode("measure"), Mode::kMeasure);
+  EXPECT_FALSE(parse_mode("fastest").has_value());
+  EXPECT_EQ(to_string(Mode::kMeasure), "measure");
+  EXPECT_EQ(to_string(Pass::kBackwardData), "backward-data");
+}
+
+TEST_F(TunerFixture, OffModeChoosesNothing) {
+  tuner_->set_mode(Mode::kOff);
+  EXPECT_EQ(tuner_->choose(small_config(), Pass::kForward), nullptr);
+}
+
+TEST_F(TunerFixture, EligibilityRespectsEngineShapeLimits) {
+  // Stride 2 rules out both FFT engines and Winograd; kernel 4 rules out
+  // Winograd even at stride 1. measure_all must mark them ineligible and
+  // never run them.
+  ConvConfig strided = small_config();
+  strided.stride = 2;
+  const auto timings = tuner_->measure_all(strided, Pass::kForward);
+  ASSERT_EQ(timings.size(), 6U);
+  for (const auto& t : timings) {
+    const bool fft_family = t.engine_name == "fft" ||
+                            t.engine_name == "fft-tiled" ||
+                            t.engine_name == "winograd";
+    EXPECT_EQ(t.eligible, !fft_family) << t.engine_name;
+    if (!t.eligible) {
+      EXPECT_EQ(t.ms, 0.0) << t.engine_name << " was timed while ineligible";
+    } else {
+      EXPECT_GT(t.ms, 0.0) << t.engine_name;
+    }
+  }
+}
+
+TEST_F(TunerFixture, HeuristicPicksASupportedEngineWithoutTiming) {
+  tuner_->set_mode(Mode::kHeuristic);
+  const auto trials_before =
+      obs::metrics().counter("tune.trials").value();
+  ConvConfig grouped = small_config();
+  grouped.groups = 2;  // only direct + unrolling support groups
+  const Decision d = tuner_->decide(grouped, Pass::kForward);
+  ASSERT_NE(d.engine, nullptr);
+  EXPECT_TRUE(d.engine->supports(grouped));
+  EXPECT_FALSE(d.measured);
+  EXPECT_EQ(obs::metrics().counter("tune.trials").value(), trials_before)
+      << "heuristic mode must not run engines";
+}
+
+TEST_F(TunerFixture, MeasuredDecisionIsDeterministicAndMemoized) {
+  // Pinning the SIMD level makes the candidate set and the memo key
+  // deterministic; the winner itself is whatever the machine measures,
+  // but repeated decides must return the memoized pick without rerunning.
+  const simd::Level level_before =
+      simd::set_active_for_testing(simd::Level::kPortable);
+  tuner_->set_mode(Mode::kMeasure);
+  const Decision first = tuner_->decide(small_config(), Pass::kForward);
+  ASSERT_NE(first.engine, nullptr);
+  EXPECT_TRUE(first.measured);
+  EXPECT_GT(first.best_ms, 0.0);
+  EXPECT_GT(first.baseline_ms, 0.0);
+  // The winner is a min over candidates that includes the default, so it
+  // can never be slower than the default.
+  EXPECT_LE(first.best_ms, first.baseline_ms);
+
+  const auto trials_after_first =
+      obs::metrics().counter("tune.trials").value();
+  const Decision second = tuner_->decide(small_config(), Pass::kForward);
+  EXPECT_EQ(second.engine_name, first.engine_name);
+  EXPECT_EQ(obs::metrics().counter("tune.trials").value(),
+            trials_after_first)
+      << "memoized decision must not re-measure";
+  simd::set_active_for_testing(level_before);
+}
+
+TEST_F(TunerFixture, CacheRoundTripPreservesDecisions) {
+  const std::string path = testing::TempDir() + "tune_cache_rt.json";
+  tuner_->set_mode(Mode::kMeasure);
+  const Decision fwd = tuner_->decide(small_config(), Pass::kForward);
+  const Decision bwd = tuner_->decide(small_config(), Pass::kBackwardData);
+  ASSERT_TRUE(tuner_->save_cache(path));
+
+  tuner_->clear();
+  EXPECT_EQ(tuner_->size(), 0U);
+  EXPECT_EQ(tuner_->load_cache(path), 2U);
+  const auto trials_before = obs::metrics().counter("tune.trials").value();
+  EXPECT_EQ(tuner_->decide(small_config(), Pass::kForward).engine_name,
+            fwd.engine_name);
+  EXPECT_EQ(tuner_->decide(small_config(), Pass::kBackwardData).engine_name,
+            bwd.engine_name);
+  EXPECT_EQ(obs::metrics().counter("tune.trials").value(), trials_before)
+      << "reloaded decisions must be warm";
+}
+
+TEST_F(TunerFixture, CacheInvalidatesOnKeyMismatch) {
+  const std::string path = testing::TempDir() + "tune_cache_inv.json";
+  tuner_->set_mode(Mode::kMeasure);
+  (void)tuner_->decide(small_config(), Pass::kForward);
+  ASSERT_TRUE(tuner_->save_cache(path));
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string original = buf.str();
+
+  const auto tampered_reload = [&](std::string text, std::string_view from,
+                                   std::string_view to) {
+    const auto at = text.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    text.replace(at, from.size(), to);
+    std::ofstream out(path);
+    out << text;
+    out.close();
+    tuner_->clear();
+    return tuner_->load_cache(path);
+  };
+
+  // Wrong SIMD level: the whole file is discarded.
+  EXPECT_EQ(tampered_reload(original,
+                            std::string("\"simd\": \"") +
+                                simd::name(simd::active()) + '"',
+                            "\"simd\": \"sve2\""),
+            0U);
+  // Wrong thread count: the whole file is discarded.
+  EXPECT_EQ(tampered_reload(original, "\"threads\"", "\"threads_x\""), 0U);
+  // Wrong schema version: discarded.
+  EXPECT_EQ(tampered_reload(original, "\"tune_cache_version\": 1",
+                            "\"tune_cache_version\": 999"),
+            0U);
+  // Edited config field: the per-entry hash no longer matches, so the
+  // entry (here, the only one) is dropped while the file stays valid.
+  EXPECT_EQ(tampered_reload(original, "\"kernel\": 3", "\"kernel\": 5"),
+            0U);
+  // Untampered file loads back.
+  {
+    std::ofstream out(path);
+    out << original;
+  }
+  tuner_->clear();
+  EXPECT_EQ(tuner_->load_cache(path), 1U);
+}
+
+TEST_F(TunerFixture, KeyHashSeparatesConfigsAndPasses) {
+  const ConvConfig a = small_config();
+  ConvConfig b = small_config();
+  b.pad = 0;
+  EXPECT_NE(Autotuner::key_hash(a, Pass::kForward),
+            Autotuner::key_hash(b, Pass::kForward));
+  EXPECT_NE(Autotuner::key_hash(a, Pass::kForward),
+            Autotuner::key_hash(a, Pass::kBackwardFilter));
+  EXPECT_EQ(Autotuner::key_hash(a, Pass::kForward),
+            Autotuner::key_hash(small_config(), Pass::kForward));
+}
+
+TEST_F(TunerFixture, DefaultEngineIsTheStaticUnrollingStrategy) {
+  EXPECT_EQ(default_engine().name(), "unrolling");
+  EXPECT_EQ(default_engine().strategy(), conv::Strategy::kUnrolling);
+}
+
+}  // namespace
+}  // namespace gpucnn::tune

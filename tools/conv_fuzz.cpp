@@ -1,6 +1,7 @@
 // Command-line driver for the conv-config fuzzer (analysis/conv_fuzz).
 //
 //   conv_fuzz [--seed N] [--count N] [--start N] [--verbose] [--no-poison]
+//             [--no-fused] [--tune-cache [PATH]]
 //
 // Deterministic per (seed, index): a failing run prints, for every
 // failure, the exact one-config command that reproduces it. Exit status:
@@ -19,7 +20,7 @@ namespace {
 
 int usage(std::ostream& os) {
   os << "usage: conv_fuzz [--seed N] [--count N] [--start N]"
-        " [--verbose] [--no-poison]\n"
+        " [--verbose] [--no-poison] [--no-fused] [--tune-cache [PATH]]\n"
         "  --seed N      RNG seed defining the config sequence"
         " (default 1)\n"
         "  --count N     number of configs to check (default 200)\n"
@@ -27,7 +28,12 @@ int usage(std::ostream& os) {
         " failure (default 0)\n"
         "  --verbose     print every config as it is checked\n"
         "  --no-poison   do not poison workspace scratch during the"
-        " run\n";
+        " run\n"
+        "  --no-fused    skip the fused-vs-unfused layer cross-check\n"
+        "  --tune-cache [PATH]\n"
+        "                round-trip autotuner decisions through the disk"
+        " cache\n"
+        "                (default file: fuzz_tune_cache.json)\n";
   return 2;
 }
 
@@ -50,6 +56,15 @@ int main(int argc, char** argv) {
       options.log = &std::cout;
     } else if (arg == "--no-poison") {
       options.poison = false;
+    } else if (arg == "--no-fused") {
+      options.fused = false;
+    } else if (arg == "--tune-cache") {
+      options.tune_cache = true;
+      // Optional PATH operand: anything that does not look like a flag.
+      if (has_value && argv[i + 1][0] != '-') {
+        options.tune_cache_path = argv[i + 1];
+        ++i;
+      }
     } else if (arg == "--seed" && has_value && parse_u64(argv[i + 1], value)) {
       options.seed = value;
       ++i;
@@ -75,7 +90,9 @@ int main(int argc, char** argv) {
             << report.engine_checks << " engine-pass comparisons ("
             << report.engine_skips << " unsupported skipped), "
             << report.plan_checks << " framework plans validated ("
-            << report.plan_skips << " shape-limited skipped)\n";
+            << report.plan_skips << " shape-limited skipped), "
+            << report.fused_checks << " fused-layer comparisons, "
+            << report.tune_checks << " tune-cache round-trips\n";
 
   for (const auto& failure : report.failures) {
     std::cout << "FAIL [" << failure.index << "] "

@@ -11,8 +11,12 @@ Checks, using only the Python standard library:
   * trace.json, when present, is well-formed Chrome trace_event JSON
     whose complete events nest properly per track.
 
-Usage: tools/validate_export.py EXPORT_DIR [EXPORT_DIR...]
-Exit status 0 when every directory passes.
+A .json FILE argument is validated as an autotuner cache instead
+(tune_cache_version / simd / threads header plus well-formed entries —
+known pass and engine names, 64-bit hex hashes, non-negative timings).
+
+Usage: tools/validate_export.py EXPORT_DIR|TUNE_CACHE.json [...]
+Exit status 0 when every argument passes.
 """
 
 import json
@@ -25,6 +29,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 METRICS_DOC = REPO_ROOT / "docs" / "METRICS.md"
 
 ARTIFACT_KINDS = {"table_csv", "table_json", "json", "metrics", "trace"}
+
+TUNE_CACHE_VERSION = 1
+TUNE_ENTRY_FIELDS = {"batch", "input", "channels", "filters", "kernel",
+                     "stride", "pad", "groups", "pass", "hash", "engine",
+                     "best_ms", "baseline_ms"}
+TUNE_PASSES = {"forward", "backward-data", "backward-filter"}
+TUNE_ENGINES = {"direct", "unrolling", "implicit-gemm", "fft", "fft-tiled",
+                "winograd"}
 
 
 class Failure(Exception):
@@ -161,6 +173,41 @@ def validate_trace(directory, entry, nest_eps=1e-6):
             stack.append((end, name))
 
 
+def validate_tune_cache(path):
+    """Validates one on-disk autotuner cache (src/tune/autotuner.cpp)."""
+    doc = load_json(path)
+    check(doc.get("tune_cache_version") == TUNE_CACHE_VERSION,
+          f"tune_cache_version {doc.get('tune_cache_version')!r}"
+          f" != {TUNE_CACHE_VERSION}")
+    check(isinstance(doc.get("simd"), str) and doc["simd"],
+          "missing/empty 'simd'")
+    threads = doc.get("threads")
+    check(isinstance(threads, (int, float)) and threads >= 1,
+          f"bad 'threads': {threads!r}")
+    entries = doc.get("entries")
+    check(isinstance(entries, list), "'entries' is not a list")
+    for i, entry in enumerate(entries):
+        check(isinstance(entry, dict), f"entry {i}: not an object")
+        missing = TUNE_ENTRY_FIELDS - set(entry)
+        check(not missing, f"entry {i}: missing {sorted(missing)}")
+        check(entry["pass"] in TUNE_PASSES,
+              f"entry {i}: unknown pass {entry['pass']!r}")
+        check(entry["engine"] in TUNE_ENGINES,
+              f"entry {i}: unknown engine {entry['engine']!r}")
+        check(isinstance(entry["hash"], str) and
+              re.fullmatch(r"0x[0-9a-f]{16}", entry["hash"]),
+              f"entry {i}: malformed hash {entry['hash']!r}")
+        for field in TUNE_ENTRY_FIELDS - {"pass", "hash", "engine"}:
+            value = entry[field]
+            check(isinstance(value, (int, float)) and value >= 0,
+                  f"entry {i}: bad {field}: {value!r}")
+        check(entry["best_ms"] <= entry["baseline_ms"] or
+              entry["baseline_ms"] == 0,
+              f"entry {i}: winner {entry['best_ms']} ms slower than the"
+              f" measured default {entry['baseline_ms']} ms")
+    return len(entries)
+
+
 def validate_directory(directory):
     manifest = validate_manifest(directory)
     documented = documented_names()
@@ -192,15 +239,18 @@ def main(argv):
         return 2
     status = 0
     for arg in argv[1:]:
-        directory = Path(arg)
+        path = Path(arg)
         try:
-            count, sanitizer = validate_directory(directory)
+            if path.is_file():
+                count = validate_tune_cache(path)
+                print(f"OK   {path}: tune cache with {count} entries valid")
+            else:
+                count, sanitizer = validate_directory(path)
+                note = f" (sanitizer: {sanitizer})" if sanitizer else ""
+                print(f"OK   {path}: {count} artifacts valid{note}")
         except Failure as failure:
-            print(f"FAIL {directory}: {failure}")
+            print(f"FAIL {path}: {failure}")
             status = 1
-        else:
-            note = f" (sanitizer: {sanitizer})" if sanitizer else ""
-            print(f"OK   {directory}: {count} artifacts valid{note}")
     return status
 
 
