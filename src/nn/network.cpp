@@ -172,6 +172,21 @@ std::size_t Network::parameter_count() {
   return count;
 }
 
+void Network::share_parameters(Network& owner) {
+  check(&owner != this, "a network cannot share parameters with itself");
+  const auto mine = parameters();
+  const auto theirs = owner.parameters();
+  check(mine.size() == theirs.size(),
+        "share_parameters: parameter lists differ — the networks are not "
+        "structurally identical");
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    check(mine[i]->shape() == theirs[i]->shape(),
+          "share_parameters: parameter shape mismatch");
+    if (theirs[i]->count() == 0) continue;  // nothing to share
+    mine[i]->bind_external(theirs[i]->raw(), theirs[i]->count());
+  }
+}
+
 std::size_t Network::fuse_conv_relu() {
   std::size_t fused = 0;
   for (std::size_t i = 0; i + 1 < layers_.size();) {

@@ -69,6 +69,15 @@ class Network {
   /// Total learnable parameter count.
   [[nodiscard]] std::size_t parameter_count();
 
+  /// Rebinds every parameter tensor as a view (Tensor::bind_external)
+  /// over the matching parameter of `owner` — a structurally identical
+  /// network (same layers, same shapes, e.g. built by the same factory).
+  /// Weights are then stored once, however many sharing networks exist:
+  /// the serving runtime's concurrent ModelInstances are the motivating
+  /// caller. The owner must outlive this network; sharing networks must
+  /// not train (their gradients stay private but their weights alias).
+  void share_parameters(Network& owner);
+
   /// Fuses every ConvLayer -> ActivationLayer(kRelu) pair (top level and
   /// inside composite layers); returns the number of pairs fused. Safe
   /// to call once, after the network is fully built.

@@ -1,0 +1,62 @@
+#include "serve/latency.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gpucnn::serve {
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample set:
+/// the smallest value with at least q of the population at or below it.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index > 0) --index;                          // 1-based -> 0-based
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LatencySummary summarize_latencies(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.mean_us = std::accumulate(samples.begin(), samples.end(), 0.0) /
+              static_cast<double>(samples.size());
+  s.p50_us = percentile(samples, 0.50);
+  s.p95_us = percentile(samples, 0.95);
+  s.p99_us = percentile(samples, 0.99);
+  s.max_us = samples.back();
+  return s;
+}
+
+void LatencyRecorder::record(double sample_us) {
+  const std::scoped_lock lock(mutex_);
+  samples_us_.push_back(sample_us);
+}
+
+std::size_t LatencyRecorder::count() const {
+  const std::scoped_lock lock(mutex_);
+  return samples_us_.size();
+}
+
+LatencySummary LatencyRecorder::summary() const {
+  std::vector<double> copy;
+  {
+    const std::scoped_lock lock(mutex_);
+    copy = samples_us_;
+  }
+  return summarize_latencies(std::move(copy));
+}
+
+std::vector<double> LatencyRecorder::take() {
+  const std::scoped_lock lock(mutex_);
+  std::vector<double> out;
+  out.swap(samples_us_);
+  return out;
+}
+
+}  // namespace gpucnn::serve

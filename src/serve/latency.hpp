@@ -1,0 +1,50 @@
+// Exact latency percentiles for the serving runtime.
+//
+// The obs::Histogram's power-of-two buckets are fine for dashboards but
+// too coarse for the p99 numbers the BENCH_serving table reports (one
+// bucket spans a 2x latency range). The recorder keeps every raw sample
+// instead — one double per request is cheap at loadgen scales — and
+// summaries are computed exactly with nearest-rank percentiles.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace gpucnn::serve {
+
+/// Nearest-rank percentile summary of a latency population, in the unit
+/// the samples were recorded in (the server records microseconds).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Summarises a sample set (sorted internally; the argument is consumed).
+[[nodiscard]] LatencySummary summarize_latencies(std::vector<double> samples);
+
+/// Thread-safe raw-sample collector. record() appends under a mutex;
+/// take() drains the accumulated samples so a load generator can compute
+/// per-measurement-window percentiles from one long-lived server.
+class LatencyRecorder {
+ public:
+  void record(double sample_us);
+
+  [[nodiscard]] std::size_t count() const;
+
+  /// Summary of everything recorded since the last take().
+  [[nodiscard]] LatencySummary summary() const;
+
+  /// Removes and returns all accumulated samples.
+  [[nodiscard]] std::vector<double> take();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_us_;
+};
+
+}  // namespace gpucnn::serve

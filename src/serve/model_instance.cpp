@@ -1,0 +1,20 @@
+#include "serve/model_instance.hpp"
+
+#include <utility>
+
+namespace gpucnn::serve {
+
+ModelInstance::ModelInstance(nn::Network net, nn::Network& weight_owner,
+                             bool memory_planning)
+    : net_(std::move(net)) {
+  net_.set_training(false);
+  net_.set_memory_planning(memory_planning);
+  net_.share_parameters(weight_owner);
+}
+
+const Tensor& ModelInstance::run(const Tensor& batch) {
+  ++batches_run_;
+  return net_.forward(batch);
+}
+
+}  // namespace gpucnn::serve

@@ -1,0 +1,45 @@
+// One concurrent copy of the served model.
+//
+// Every worker thread owns one ModelInstance: a structurally identical
+// nn::Network whose *parameters are views* (Tensor::bind_external) over
+// the server's prototype network, so N instances cost N activation
+// arenas but only one copy of the weights — the singa-style split of
+// request-handling state (cheap, per worker) from model state (shared,
+// read-only during serving). Activations stay cheap because instances
+// run with the PR-5 inference memory planner on: each forward binds all
+// intermediate activations into one greedy-first-fit arena.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/tensor.hpp"
+#include "nn/network.hpp"
+
+namespace gpucnn::serve {
+
+class ModelInstance {
+ public:
+  /// Takes ownership of an already-configured network (inference mode,
+  /// fusion/autotune applied) and rebinds its parameters onto
+  /// `weight_owner`'s storage. The owner must outlive the instance and
+  /// must not be mutated while instances are running.
+  ModelInstance(nn::Network net, nn::Network& weight_owner,
+                bool memory_planning);
+
+  ModelInstance(const ModelInstance&) = delete;
+  ModelInstance& operator=(const ModelInstance&) = delete;
+
+  /// Runs one forward pass over a batch tensor (B, C, H, W); the
+  /// returned reference is valid until the next run().
+  const Tensor& run(const Tensor& batch);
+
+  [[nodiscard]] std::size_t batches_run() const { return batches_run_; }
+  [[nodiscard]] nn::Network& network() { return net_; }
+
+ private:
+  nn::Network net_;
+  std::size_t batches_run_ = 0;
+};
+
+}  // namespace gpucnn::serve

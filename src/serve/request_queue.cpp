@@ -1,0 +1,101 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gpucnn::serve {
+
+RequestQueue::RequestQueue(BatchPolicy policy) : policy_(policy) {
+  check(policy_.max_batch >= 1, "BatchPolicy.max_batch must be positive");
+  check(policy_.max_delay_us >= 0,
+        "BatchPolicy.max_delay_us must be non-negative");
+}
+
+std::future<Tensor> RequestQueue::submit(const Tensor& input) {
+  Request req;
+  req.input = input;
+  std::future<Tensor> future = req.response.get_future();
+  {
+    const std::scoped_lock lock(mutex_);
+    check(!closed_, "RequestQueue: submit after close");
+    req.id = next_id_++;
+    req.enqueued = std::chrono::steady_clock::now();
+    if (obs::tracer().enabled()) req.submit_us = obs::tracer().now_us();
+    queue_.push_back(std::move(req));
+    obs::metrics().gauge("serve.queue.depth")
+        .set(static_cast<double>(queue_.size()));
+  }
+  obs::metrics().counter("serve.requests.submitted").add(1);
+  // notify_all: collectors wait at two different points (non-empty and
+  // batch-full / deadline) with different predicates.
+  changed_.notify_all();
+  return future;
+}
+
+bool RequestQueue::collect(std::vector<Request>& batch) {
+  batch.clear();
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    changed_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // closed and fully drained
+    if (closed_ || queue_.size() >= policy_.max_batch) break;
+    // Wait out the latency budget of the current oldest request; a
+    // concurrent collector may drain the queue meanwhile, so a woken
+    // wait re-evaluates from the top against the new front.
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(policy_.max_delay_us);
+    if (changed_.wait_until(lock, deadline, [this] {
+          return closed_ || queue_.size() >= policy_.max_batch;
+        })) {
+      continue;
+    }
+    if (!queue_.empty()) break;  // deadline fired: take what is waiting
+  }
+
+  const std::size_t n = std::min(queue_.size(), policy_.max_batch);
+  const auto now = std::chrono::steady_clock::now();
+  auto& wait_hist = obs::metrics().histogram("serve.queue.wait_us");
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wait_hist.record(std::chrono::duration<double, std::micro>(
+                         now - queue_.front().enqueued)
+                         .count());
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  obs::metrics().gauge("serve.queue.depth")
+      .set(static_cast<double>(queue_.size()));
+  obs::metrics().counter("serve.batches").add(1);
+  obs::metrics().histogram("serve.batch.size")
+      .record(static_cast<double>(n));
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  changed_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  const std::scoped_lock lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t RequestQueue::submitted() const {
+  const std::scoped_lock lock(mutex_);
+  return next_id_;
+}
+
+}  // namespace gpucnn::serve

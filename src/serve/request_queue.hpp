@@ -1,0 +1,84 @@
+// Request queue with dynamic batching — the serving runtime's front door.
+//
+// Producers submit single-image requests and receive a future; consumer
+// (worker) threads collect *batches*. A batch closes on whichever comes
+// first:
+//   * size  — max_batch requests are waiting, or
+//   * time  — the oldest waiting request has been queued max_delay_us
+//             microseconds (the latency budget a request may spend
+//             waiting for co-batching company).
+//
+// close() stops new submissions (submit throws) but keeps collect()
+// serving until every queued request has been handed to a worker, so a
+// shutting-down server drains instead of dropping — collect() returns
+// false only once the queue is both closed and empty.
+//
+// All state is guarded by one mutex; any number of submitters and
+// collectors may run concurrently, and each queued request is handed to
+// exactly one collector (the response promise is moved out with it).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace gpucnn::serve {
+
+/// The two dynamic-batching knobs (docs/SERVING.md discusses tuning).
+struct BatchPolicy {
+  std::size_t max_batch = 8;        ///< close a batch at this many requests
+  std::int64_t max_delay_us = 2000; ///< ... or when the oldest waited this long
+};
+
+/// One queued inference request, handed from submit() to a collector.
+struct Request {
+  std::uint64_t id = 0;
+  Tensor input;  ///< a single image, shape (1, C, H, W)
+  std::promise<Tensor> response;
+  std::chrono::steady_clock::time_point enqueued;
+  double submit_us = 0.0;  ///< tracer timestamp at submit (0 if not tracing)
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(BatchPolicy policy);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues a copy of `input`; the future resolves when a worker has
+  /// computed the response (or fails with the worker's exception).
+  /// Throws gpucnn::Error once the queue is closed.
+  std::future<Tensor> submit(const Tensor& input);
+
+  /// Blocks until a batch closes (size or deadline, see above) and moves
+  /// it into `batch` (previous contents discarded). Returns false — with
+  /// `batch` empty — once the queue is closed and fully drained.
+  bool collect(std::vector<Request>& batch);
+
+  /// Rejects future submissions; wakes all collectors so they can drain.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] const BatchPolicy& policy() const { return policy_; }
+  /// Total requests ever accepted by submit().
+  [[nodiscard]] std::uint64_t submitted() const;
+
+ private:
+  const BatchPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;  ///< submit/close happened
+  std::deque<Request> queue_;
+  std::uint64_t next_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace gpucnn::serve

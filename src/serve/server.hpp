@@ -1,0 +1,119 @@
+// In-process inference serving runtime (docs/SERVING.md).
+//
+// An InferenceServer turns the one-shot library into a request/response
+// system: callers submit single images and receive futures; a
+// RequestQueue coalesces requests into batches under a latency budget
+// (BatchPolicy); a pool of worker threads — each owning one
+// ModelInstance whose weights alias the shared prototype — executes the
+// batches. The workers are thin drivers: all numeric work inside a
+// forward lands on the process-wide ThreadPool through the kernels'
+// parallel_for, so serving adds no second compute pool. With autotuning
+// enabled, every realized batch shape gets its own empirical engine
+// choice (the tune::Autotuner keys on the full ConvConfig including
+// batch).
+//
+// Observability: serve.* counters/gauges/histograms (docs/METRICS.md),
+// per-batch spans on the worker thread tracks and per-request
+// queue/latency events on the serve:requests virtual track of the
+// Chrome trace (docs/OBSERVABILITY.md). Exact p50/p95/p99 latency comes
+// from the raw-sample LatencyRecorder.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/shape.hpp"
+#include "core/tensor.hpp"
+#include "nn/network.hpp"
+#include "serve/latency.hpp"
+#include "serve/model_instance.hpp"
+#include "serve/request_queue.hpp"
+
+namespace gpucnn::serve {
+
+struct ServerOptions {
+  std::size_t workers = 2;    ///< worker threads == concurrent instances
+  BatchPolicy batch;          ///< dynamic batching knobs
+  TensorShape input;          ///< expected request shape; n is ignored
+  std::uint64_t seed = 7;     ///< prototype weight initialisation seed
+  bool fuse_conv_relu = true; ///< rewrite conv->ReLU pairs before serving
+  bool autotune = false;      ///< dispatch convs through tune::Autotuner
+  bool memory_planning = true; ///< per-instance activation arena
+};
+
+/// A consistent snapshot of the server's lifetime counters.
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;  ///< submissions after shutdown began
+  std::int64_t failed = 0;    ///< requests whose batch threw
+  std::int64_t batches = 0;
+  double mean_batch = 0.0;
+  std::size_t max_batch_observed = 0;
+  std::size_t queue_depth = 0;
+  LatencySummary latency;  ///< submit -> response, microseconds
+};
+
+class InferenceServer {
+ public:
+  /// `make_network` builds one structurally identical, uninitialised
+  /// network per call (prototype + one per worker). The server
+  /// initialises only the prototype's weights (options.seed); instance
+  /// weights become views of it via Network::share_parameters.
+  InferenceServer(const std::function<nn::Network()>& make_network,
+                  ServerOptions options);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Submits one image of the configured shape (n must be 1); the
+  /// future resolves with the network output for that image. Throws
+  /// gpucnn::Error on a shape mismatch or after shutdown() began.
+  std::future<Tensor> submit(const Tensor& image);
+
+  /// Stops accepting requests, drains every queued request through the
+  /// workers, and joins them. Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Drains the raw per-request latency samples (microseconds) gathered
+  /// since the last call — the load generator's per-window percentiles.
+  [[nodiscard]] std::vector<double> take_latencies_us();
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  /// The weight-owning network. Safe to read once shutdown() returned;
+  /// must not be mutated while workers are running.
+  [[nodiscard]] nn::Network& prototype() { return prototype_; }
+
+ private:
+  void worker_loop(std::size_t index);
+  void run_batch(ModelInstance& instance, std::vector<Request>& batch);
+
+  ServerOptions options_;
+  nn::Network prototype_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<ModelInstance>> instances_;
+  std::vector<std::thread> workers_;
+  LatencyRecorder latency_;
+
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> batched_requests_{0};
+  std::atomic<std::size_t> max_batch_{0};
+
+  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;
+};
+
+}  // namespace gpucnn::serve

@@ -131,20 +131,20 @@ def validate_metrics(directory, entry, documented):
               f" count {hist['count']}")
 
 
-def validate_trace(directory, entry, nest_eps=1e-6):
+def validate_trace(directory, entry, nest_eps=1e-6, relax_serve=False):
     doc = load_json(directory / entry["file"])
     check(doc.get("displayTimeUnit") == "ms", "trace.json: bad"
           " displayTimeUnit")
     events = doc.get("traceEvents")
     check(isinstance(events, list) and events, "trace.json: no traceEvents")
-    named_tracks = set()
+    track_names = {}
     per_track = {}
     for event in events:
         check(event.get("pid") == 1, "trace.json: unexpected pid")
         if event.get("ph") == "M":
             check(event.get("name") == "thread_name",
                   "trace.json: unknown metadata event")
-            named_tracks.add(event["tid"])
+            track_names[event["tid"]] = event.get("args", {}).get("name", "")
             continue
         check(event.get("ph") == "X",
               f"trace.json: unsupported phase {event.get('ph')!r}")
@@ -154,8 +154,13 @@ def validate_trace(directory, entry, nest_eps=1e-6):
         per_track.setdefault(event["tid"], []).append(
             (event["ts"], event["ts"] + event["dur"], event["name"]))
     for tid, spans in per_track.items():
-        check(tid in named_tracks, f"trace.json: track {tid} has no"
+        check(tid in track_names, f"trace.json: track {tid} has no"
               " thread_name metadata")
+        # Per-request events on serve:* virtual tracks overlap whenever
+        # requests share a batch; a serving run (manifest run.serve)
+        # exempts those tracks from the nesting rule.
+        if relax_serve and track_names[tid].startswith("serve:"):
+            continue
         # Events on one track must nest or be disjoint — no partial
         # overlap (tolerance for float rounding).
         eps = nest_eps
@@ -171,6 +176,31 @@ def validate_trace(directory, entry, nest_eps=1e-6):
                       f"trace.json: track {tid}: '{name}' partially"
                       f" overlaps '{stack[-1][1]}'")
             stack.append((end, name))
+
+
+SERVING_COLUMNS = {"mode", "offered_rps", "submitted", "completed",
+                   "achieved_rps", "p50_ms", "p95_ms", "p99_ms"}
+
+
+def validate_serving_table(directory, entry):
+    """BENCH_serving schema (tools/loadgen): per-step accounting must be
+    self-consistent and percentiles ordered."""
+    doc = load_json(directory / entry["file"])
+    name = entry["file"]
+    missing = SERVING_COLUMNS - set(doc.get("columns", []))
+    check(not missing,
+          f"{name}: BENCH_serving missing columns {sorted(missing)}")
+    check(doc.get("rows"), f"{name}: BENCH_serving has no rows")
+    check(any(row.get("completed", 0) > 0 for row in doc["rows"]),
+          f"{name}: BENCH_serving completed no requests")
+    for i, row in enumerate(doc["rows"]):
+        check(row["completed"] <= row["submitted"],
+              f"{name}: row {i}: completed {row['completed']} >"
+              f" submitted {row['submitted']}")
+        check(row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"],
+              f"{name}: row {i}: percentiles not ordered"
+              f" (p50 {row['p50_ms']}, p95 {row['p95_ms']},"
+              f" p99 {row['p99_ms']})")
 
 
 def validate_tune_cache(path):
@@ -220,6 +250,7 @@ def validate_directory(directory):
     # structural check stays as strict as a plain run.
     sanitizer = manifest.get("run", {}).get("sanitizer")
     nest_eps = 5e-3 if sanitizer else 1e-6
+    serve = manifest.get("run", {}).get("serve")
     for entry in manifest["artifacts"]:
         kind = entry["kind"]
         if kind == "table_json":
@@ -229,7 +260,17 @@ def validate_directory(directory):
         elif kind == "metrics":
             validate_metrics(directory, entry, documented)
         elif kind == "trace":
-            validate_trace(directory, entry, nest_eps)
+            validate_trace(directory, entry, nest_eps, bool(serve))
+    if serve:
+        # A serving run must ship its serving table; the full
+        # BENCH_serving schema is enforced on the loadgen export.
+        serving = [e for e in manifest["artifacts"]
+                   if e["file"].startswith("serving")]
+        check(serving, "manifest run.serve set but no serving table"
+              " exported")
+        for entry in serving:
+            if entry["kind"] == "table_json" and serve == "loadgen":
+                validate_serving_table(directory, entry)
     return len(manifest["artifacts"]), sanitizer
 
 
