@@ -23,7 +23,10 @@
 
 #include "blas/cgemm.hpp"
 #include "blas/gemm.hpp"
+#include "blas/igemm.hpp"
 #include "blas/vector_ops.hpp"
+#include "conv/quantized_conv.hpp"
+#include "quant/quant.hpp"
 #include "conv/conv_engine.hpp"
 #include "conv/gemm_conv.hpp"
 #include "conv/im2col.hpp"
@@ -303,6 +306,111 @@ void BM_ConvThenBiasThenRelu(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvThenBiasThenRelu);
 
+// --- int8 GEMM and quantized conv vs fp32 ----------------------------
+// The BM_Int8* benches and their fp32 twins pair up into the BENCH_int8
+// table (fp32 ns / int8 ns / speedup per case); see main().
+
+void BM_Int8Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::int8_t> a(n * n);
+  std::vector<std::uint8_t> b(n * n);
+  for (auto& v : a) {
+    v = static_cast<std::int8_t>(rng.uniform(-63.0, 64.0));
+  }
+  for (auto& v : b) {
+    v = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+  }
+  const std::vector<float> scales(n, 0.01F);
+  const std::vector<std::int32_t> row_offsets(n, 0);
+  blas::QEpilogue ep;
+  ep.scales = scales.data();
+  ep.row_offsets = row_offsets.data();
+  std::vector<float> c(n * n, 0.0F);
+  for (auto _ : state) {
+    blas::igemm(n, n, n, a, n, b, n, ep, c, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  // int multiply-adds counted like the fp32 twin's FLOPs, so the
+  // GFLOP/s columns of BM_SgemmBlocked and BM_Int8Gemm compare 1:1.
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Int8Gemm)->Arg(128)->Arg(256)->Arg(512);
+
+/// Model-zoo conv shapes for the fp32-vs-int8 forward pair (batch-1
+/// inference, the serving case): AlexNet conv3, VGG conv3_1, GoogLeNet
+/// inception-3a 3x3, VGG conv1_2 (the memory-bound early layer whose
+/// im2col matrix shrinks 4x in uint8).
+constexpr ConvConfig kInt8ConvShapes[] = {
+    {.batch = 1, .input = 13, .channels = 256, .filters = 384, .kernel = 3,
+     .stride = 1, .pad = 1},
+    {.batch = 1, .input = 56, .channels = 128, .filters = 256, .kernel = 3,
+     .stride = 1, .pad = 1},
+    {.batch = 1, .input = 28, .channels = 96, .filters = 128, .kernel = 3,
+     .stride = 1, .pad = 1},
+    {.batch = 1, .input = 224, .channels = 64, .filters = 64, .kernel = 3,
+     .stride = 1, .pad = 1},
+};
+
+std::string int8_shape_name(const ConvConfig& c) {
+  return std::to_string(c.batch) + "x" + std::to_string(c.channels) + "x" +
+         std::to_string(c.input) + " k" + std::to_string(c.kernel) + " f" +
+         std::to_string(c.filters);
+}
+
+void BM_Fp32ConvForward(benchmark::State& state) {
+  const ConvConfig& cfg =
+      kInt8ConvShapes[static_cast<std::size_t>(state.range(0))];
+  const conv::GemmConv engine;
+  Rng rng(5);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  const auto bias = random_vec(cfg.filters, 10);
+  Tensor out(cfg.output_shape());
+  for (auto _ : state) {
+    const bool fused =
+        engine.forward_fused(cfg, in, w, bias, /*relu=*/true, out);
+    if (!fused) state.SkipWithError("GemmConv lost its fused path");
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      cfg.forward_flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fp32ConvForward)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Int8ConvForward(benchmark::State& state) {
+  const ConvConfig& cfg =
+      kInt8ConvShapes[static_cast<std::size_t>(state.range(0))];
+  Rng rng(5);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  const auto bias = random_vec(cfg.filters, 10);
+  Tensor out(cfg.output_shape());
+  // The deployed path: weights prepacked offline, activation scale
+  // pinned by calibration — per-iteration work is im2col_u8 + igemm.
+  const auto qw = quant::quantize_filters(
+      w.data(), cfg.filters,
+      (cfg.channels / cfg.groups) * cfg.kernel * cfg.kernel);
+  const quant::ActQuant aq = quant::choose_act_quant(-1.0F, 1.0F);
+  for (auto _ : state) {
+    conv::quantized_gemm_forward(cfg, in, qw, aq, bias, /*relu=*/true,
+                                 out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      cfg.forward_flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Int8ConvForward)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 // --- autotuner: cold trial cost vs warm cache hit --------------------
 
 void BM_AutotuneColdDecide(benchmark::State& state) {
@@ -459,6 +567,35 @@ int main(int argc, char** argv) {
     (is_autotune_row(row) ? autotune_rows : kernel_rows).push_back(row);
   }
 
+  // Pair each int8 bench with its fp32 twin into the BENCH_int8
+  // speedup table (the raw runs stay in BENCH_cpu_kernels too).
+  const auto real_ns = [&](const std::string& name) -> double {
+    for (const auto& row : reporter.rows()) {
+      if (row[0] == name) return std::stod(row[1]);
+    }
+    return 0.0;
+  };
+  std::vector<std::vector<std::string>> int8_rows;
+  const auto pair_row = [&](const std::string& label,
+                            const std::string& fp32_name,
+                            const std::string& int8_name) {
+    const double fp32 = real_ns(fp32_name);
+    const double int8 = real_ns(int8_name);
+    if (fp32 <= 0.0 || int8 <= 0.0) return;  // filtered out of this run
+    int8_rows.push_back({label, std::to_string(fp32), std::to_string(int8),
+                         std::to_string(fp32 / int8)});
+  };
+  for (const int n : {128, 256, 512}) {
+    pair_row("gemm/" + std::to_string(n),
+             "BM_SgemmBlocked/" + std::to_string(n),
+             "BM_Int8Gemm/" + std::to_string(n));
+  }
+  for (std::size_t i = 0; i < std::size(kInt8ConvShapes); ++i) {
+    pair_row("conv/" + int8_shape_name(kInt8ConvShapes[i]),
+             "BM_Fp32ConvForward/" + std::to_string(i),
+             "BM_Int8ConvForward/" + std::to_string(i));
+  }
+
   gpucnn::obs::RunExporter exporter(options, "bench_cpu_kernels");
   exporter.annotate("simd", gpucnn::simd::name(gpucnn::simd::active()));
   exporter.annotate("quick", quick ? "true" : "false");
@@ -472,6 +609,11 @@ int main(int argc, char** argv) {
       "Fused conv+bias+ReLU epilogue and autotuner cold/warm decide cost",
       {"benchmark", "real_time_ns", "cpu_time_ns", "iterations", "gflops"},
       autotune_rows);
+  exporter.add_table(
+      "BENCH_int8",
+      "fp32 vs int8: blocked GEMM and fused conv forward on model-zoo "
+      "shapes (speedup = fp32_real_ns / int8_real_ns)",
+      {"case", "fp32_real_ns", "int8_real_ns", "speedup"}, int8_rows);
   exporter.finish();
   return 0;
 }

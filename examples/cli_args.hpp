@@ -1,4 +1,5 @@
-// Strict argv number parsing shared by the examples.
+// Small helpers shared by the examples: strict argv number parsing and
+// per-sample top-1 extraction for the fp32-vs-int8 agreement reports.
 //
 // std::atoi / std::strtoul silently turn garbage into 0 (and strtoul
 // wraps negatives to huge values), which then becomes "0 epochs" or a
@@ -7,10 +8,14 @@
 // line when a parse fails.
 #pragma once
 
+#include <algorithm>
 #include <charconv>
 #include <iostream>
 #include <limits>
 #include <string_view>
+#include <vector>
+
+#include "core/tensor.hpp"
 
 namespace gpucnn::examples {
 
@@ -31,6 +36,32 @@ bool parse_positive(std::string_view text, const char* what, T& out,
   }
   out = value;
   return true;
+}
+
+/// Per-sample argmax of a (n, classes, 1, 1) probability tensor. Taken
+/// before and after Network::quantize, the two vectors give the top-1
+/// agreement between the fp32 and int8 paths.
+[[nodiscard]] inline std::vector<std::size_t> top1(const Tensor& probs) {
+  const auto& s = probs.shape();
+  const std::size_t features = s.c * s.h * s.w;
+  std::vector<std::size_t> best(s.n);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* p = probs.raw() + n * features;
+    best[n] = static_cast<std::size_t>(
+        std::max_element(p, p + features) - p);
+  }
+  return best;
+}
+
+/// Fraction of positions where two top-1 vectors agree.
+[[nodiscard]] inline double agreement(const std::vector<std::size_t>& a,
+                                      const std::vector<std::size_t>& b) {
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  return a.empty() ? 1.0 : static_cast<double>(same) /
+                               static_cast<double>(a.size());
 }
 
 }  // namespace gpucnn::examples

@@ -4,19 +4,27 @@
 // type runtime breakdown of each — the Fig. 2 analysis as a library
 // call.
 //
-// Run:  ./model_zoo_tour [--tune off|heuristic|measure]
+// Run:  ./model_zoo_tour [--tune off|heuristic|measure] [--int8]
 //
 // With --tune the tour also runs the executable GoogLeNet (batch 1,
 // inference) through the activation memory planner and, unless the mode
 // is off, the empirical autotuner — closing with the planner's peak-
 // memory saving and the tuner's per-shape engine choices.
+//
+// With --int8 the executable models run synthetic probe batches in
+// fp32, are quantized (Network::quantize, calibrated on those same
+// batches), and run the probes again — closing with the per-model and
+// aggregate fp32-vs-int8 top-1 agreement (docs/QUANTIZATION.md).
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/model_breakdown.hpp"
 #include "analysis/report.hpp"
+#include "cli_args.hpp"
 #include "core/rng.hpp"
 #include "core/timer.hpp"
 #include "nn/model_spec.hpp"
@@ -102,16 +110,90 @@ void tour_executable_googlenet(tune::Mode mode) {
             << " ms measuring\n";
 }
 
+/// Runs the executable zoo (the VGGs are skipped: same 3x3 conv
+/// families as the rest at several times the runtime) through the int8
+/// inference path and reports per-model fp32-vs-int8 top-1 agreement.
+void tour_int8_agreement() {
+  struct Probe {
+    const char* name;
+    std::size_t channels, size, batch, batches;
+    std::function<nn::Network()> make;
+  };
+  std::vector<Probe> probes;
+  probes.push_back({"LeNet-5", 1, 32, 64, 4,
+                    [] { return nn::lenet5().instantiate(); }});
+  probes.push_back({"AlexNet", 3, 227, 8, 2,
+                    [] { return nn::alexnet().instantiate(); }});
+  probes.push_back({"OverFeat", 3, 231, 8, 2,
+                    [] { return nn::overfeat().instantiate(); }});
+  probes.push_back({"GoogLeNet", 3, 224, 4, 2,
+                    [] { return nn::googlenet_network(); }});
+
+  std::cout << "\nInt8 inference across the executable zoo (synthetic"
+               " probes,\nper-channel weights, min/max activation"
+               " calibration on the probe batches)\n";
+  Table table("fp32-vs-int8 top-1 agreement");
+  table.header({"model", "quantized convs", "samples", "agreement"});
+  std::size_t samples_total = 0;
+  double agree_total = 0.0;
+  for (const auto& p : probes) {
+    auto net = p.make();
+    net.fuse_conv_relu();
+    net.set_training(false);
+    Rng rng(13);
+    net.initialize(rng);
+
+    std::vector<Tensor> batches(p.batches);
+    for (auto& t : batches) {
+      t.resize({p.batch, p.channels, p.size, p.size});
+      t.fill_uniform(rng, -1.0F, 1.0F);
+    }
+    std::vector<std::size_t> fp32_top;
+    for (const auto& t : batches) {
+      const auto top = examples::top1(net.forward(t));
+      fp32_top.insert(fp32_top.end(), top.begin(), top.end());
+    }
+    // The probe batches double as the calibration set: agreement should
+    // be judged with activation ranges that actually cover the probes.
+    const auto report = net.quantize(batches);
+    std::vector<std::size_t> int8_top;
+    for (const auto& t : batches) {
+      const auto top = examples::top1(net.forward(t));
+      int8_top.insert(int8_top.end(), top.begin(), top.end());
+    }
+    const double agree = examples::agreement(fp32_top, int8_top);
+    samples_total += fp32_top.size();
+    agree_total += agree * static_cast<double>(fp32_top.size());
+    table.row({p.name, std::to_string(report.layers_quantized),
+               std::to_string(fp32_top.size()), fmt_percent(agree)});
+  }
+  table.print(std::cout);
+  std::cout << "aggregate top-1 agreement: "
+            << fmt_percent(agree_total /
+                           static_cast<double>(samples_total))
+            << " over " << samples_total << " samples\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   std::optional<tune::Mode> tune_mode;
-  const bool flag_ok =
-      argc == 1 ||
-      (argc == 3 && std::string_view(argv[1]) == "--tune" &&
-       (tune_mode = tune::parse_mode(argv[2])).has_value());
+  bool int8 = false;
+  bool flag_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--int8") {
+      int8 = true;
+    } else if (arg == "--tune" && i + 1 < argc) {
+      tune_mode = tune::parse_mode(argv[++i]);
+      flag_ok = flag_ok && tune_mode.has_value();
+    } else {
+      flag_ok = false;
+    }
+  }
   if (!flag_ok) {
-    std::cerr << "usage: model_zoo_tour [--tune off|heuristic|measure]\n";
+    std::cerr << "usage: model_zoo_tour [--tune off|heuristic|measure]"
+                 " [--int8]\n";
     return 2;
   }
 
@@ -156,6 +238,7 @@ int main(int argc, char** argv) try {
   shares.print(std::cout);
 
   if (tune_mode.has_value()) tour_executable_googlenet(*tune_mode);
+  if (int8) tour_int8_agreement();
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "model_zoo_tour: " << e.what() << "\n";

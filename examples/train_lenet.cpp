@@ -3,11 +3,16 @@
 // engines, reporting loss and accuracy per epoch.
 //
 // Run:  ./train_lenet [epochs] [direct|unrolling|fft|winograd]
-//                     [--tune off|heuristic|measure]
+//                     [--tune off|heuristic|measure] [--int8]
 //
 // With --tune the network fuses its conv+ReLU pairs and dispatches every
 // convolution through the empirical autotuner; the closing table shows
 // which engine won each (layer, pass) and what the tuning cost was.
+//
+// With --int8 the trained network is quantized after evaluation
+// (Network::quantize, calibrated on training batches) and re-evaluated
+// on the same 512 samples, reporting the int8 accuracy and the top-1
+// agreement with the fp32 predictions (docs/QUANTIZATION.md).
 //
 // With the fft strategy the closing plan-cache line demonstrates the
 // PlanCache contract: every layer geometry builds its transform plan
@@ -52,6 +57,7 @@ int main(int argc, char** argv) try {
   conv::Strategy strategy = conv::Strategy::kUnrolling;
   tune::Mode tune_mode = tune::Mode::kOff;
   bool tuning = false;
+  bool int8 = false;
 
   // Pull out the --tune flag (anywhere), then parse the positionals.
   std::vector<std::string_view> positional;
@@ -67,6 +73,8 @@ int main(int argc, char** argv) try {
       }
       tune_mode = *parsed;
       tuning = tune_mode != tune::Mode::kOff;
+    } else if (arg == "--int8") {
+      int8 = true;
     } else {
       positional.push_back(arg);
     }
@@ -79,7 +87,7 @@ int main(int argc, char** argv) try {
   if (!ok) {
     std::cerr << "usage: train_lenet [epochs] "
                  "[direct|unrolling|fft|winograd] "
-                 "[--tune off|heuristic|measure]\n";
+                 "[--tune off|heuristic|measure] [--int8]\n";
     return 2;
   }
   constexpr std::size_t kBatch = 32;
@@ -131,8 +139,10 @@ int main(int argc, char** argv) try {
   net.set_training(false);
   const auto eval = data.sample(512);
   const Tensor& probs = net.forward(eval.images);
-  std::cout << "eval accuracy on 512 fresh samples: "
-            << nn::accuracy(probs, eval.labels) << "\n"
+  const double fp32_accuracy = nn::accuracy(probs, eval.labels);
+  const std::vector<std::size_t> fp32_top = examples::top1(probs);
+  std::cout << "eval accuracy on 512 fresh samples: " << fp32_accuracy
+            << "\n"
             << "total training time: " << timer.elapsed_ms() / 1000.0
             << " s\n";
 
@@ -166,6 +176,29 @@ int main(int argc, char** argv) try {
               << analysis::fmt(obs::metrics().gauge("tune.ms_spent").value(),
                                1)
               << " ms measuring\n";
+  }
+
+  if (int8) {
+    // Calibrate on fresh training-distribution batches, quantize the
+    // conv layers in place, and re-run the same eval set.
+    std::vector<Tensor> calibration;
+    for (int i = 0; i < 4; ++i) {
+      calibration.push_back(data.sample(kBatch).images);
+    }
+    const auto report = net.quantize(calibration);
+    const Tensor& qprobs = net.forward(eval.images);
+    const double int8_accuracy = nn::accuracy(qprobs, eval.labels);
+    std::cout << "int8: " << report.layers_quantized
+              << " conv layers quantized ("
+              << report.calibration_batches << " calibration batches)\n"
+              << "int8 eval accuracy: " << int8_accuracy << " (fp32 "
+              << fp32_accuracy << ", delta "
+              << analysis::fmt(int8_accuracy - fp32_accuracy, 4) << ")\n"
+              << "fp32-vs-int8 top-1 agreement: "
+              << analysis::fmt_percent(
+                     examples::agreement(fp32_top,
+                                         examples::top1(qprobs)))
+              << " of 512 samples\n";
   }
 
   const auto hits = obs::metrics().counter("fft.plan_cache.hits").value();

@@ -12,6 +12,7 @@
 #include "conv/conv_engine.hpp"
 #include "conv/fft_conv.hpp"
 #include "conv/implicit_gemm_conv.hpp"
+#include "conv/quantized_conv.hpp"
 #include "conv/tiled_fft_conv.hpp"
 #include "core/rng.hpp"
 #include "core/tensor.hpp"
@@ -341,6 +342,104 @@ void check_fused(const ConvConfig& cfg, std::uint64_t seed,
   }
 }
 
+void check_int8(const ConvConfig& cfg, std::uint64_t seed,
+                std::size_t index, FuzzReport& report) {
+  Rng rng(mix(seed, index) + 4);
+  Tensor input(cfg.input_shape());
+  input.fill_uniform(rng);
+  Tensor filters(cfg.filter_shape());
+  filters.fill_uniform(rng);
+  std::vector<float> bias(cfg.filters);
+  for (auto& b : bias) b = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  auto fail = [&](const std::string& what) {
+    add_failure(report, index, cfg, "int8 forward: " + what);
+  };
+
+  // fp32 reference: the same im2col+GEMM algorithm the int8 path
+  // quantizes, so the only differences left are quantization error.
+  const auto fp32 = conv::make_engine(conv::Strategy::kUnrolling);
+  Tensor ref_plain(cfg.output_shape());
+  Tensor ref_fused(cfg.output_shape());
+  try {
+    fp32->forward(cfg, input, filters, ref_plain);
+    if (!fp32->forward_fused(cfg, input, filters, bias, true, ref_fused)) {
+      fail("fp32 reference has no fused epilogue");
+      return;
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("fp32 reference threw: ") + e.what());
+    return;
+  }
+
+  // Quantization-aware tolerance (see the header comment).
+  float act_absmax = 0.0F;
+  for (const float v : input.data()) {
+    act_absmax = std::max(act_absmax, std::fabs(v));
+  }
+  float w_absmax = 0.0F;
+  for (const float v : filters.data()) {
+    w_absmax = std::max(w_absmax, std::fabs(v));
+  }
+  const double k = static_cast<double>(cfg.group_channels()) * cfg.kernel *
+                   cfg.kernel;
+  const double da = 2.0 * static_cast<double>(act_absmax) / 255.0;
+  const double dw = static_cast<double>(w_absmax) / 63.0;
+  const double tolerance =
+      k * (static_cast<double>(act_absmax) * dw / 2.0 +
+           static_cast<double>(w_absmax) * da / 2.0 + da * dw / 4.0) +
+      1e-5;
+
+  const std::size_t ckk =
+      cfg.group_channels() * cfg.kernel * cfg.kernel;
+  const quant::QuantizedFilters qw =
+      quant::quantize_filters(filters.data(), cfg.filters, ckk);
+  const quant::ActQuant aq =
+      quant::choose_act_quant(-act_absmax, act_absmax);
+
+  struct Variant {
+    const char* label;
+    bool implicit;
+    bool relu;
+  };
+  const Variant variants[] = {
+      {"unrolling-int8 plain", false, false},
+      {"unrolling-int8 fused", false, true},
+      {"implicit-int8 plain", true, false},
+      {"implicit-int8 fused", true, true},
+  };
+  for (const auto& v : variants) {
+    if (v.implicit && cfg.groups != 1) continue;
+    const Tensor& reference = v.relu ? ref_fused : ref_plain;
+    const std::span<const float> b =
+        v.relu ? std::span<const float>(bias) : std::span<const float>();
+    Tensor got(cfg.output_shape());
+    try {
+      if (v.implicit) {
+        conv::quantized_implicit_forward(cfg, input, qw, aq, b, v.relu,
+                                         got);
+      } else {
+        conv::quantized_gemm_forward(cfg, input, qw, aq, b, v.relu, got);
+      }
+    } catch (const std::exception& e) {
+      fail(std::string(v.label) + " threw: " + e.what());
+      continue;
+    }
+    ++report.int8_checks;
+    if (!finite(got)) {
+      fail(std::string(v.label) + " produced non-finite values");
+      continue;
+    }
+    const double diff = max_abs_diff(reference, got);
+    if (!(diff < tolerance)) {
+      std::ostringstream os;
+      os << v.label << " disagrees with fp32: max|diff| = " << diff
+         << " (quantization tolerance " << tolerance << ')';
+      fail(os.str());
+    }
+  }
+}
+
 void check_tune_roundtrip(const ConvConfig& cfg, std::size_t index,
                           FuzzReport& report, const std::string& path) {
   auto& tuner = tune::Autotuner::instance();
@@ -428,6 +527,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     const std::size_t failures_before = report.failures.size();
     check_config(cfg, options.seed, i, report);
     if (options.fused) check_fused(cfg, options.seed, i, report);
+    if (options.int8) check_int8(cfg, options.seed, i, report);
     if (options.tune_cache) {
       check_tune_roundtrip(cfg, i, report, tune_path);
     }

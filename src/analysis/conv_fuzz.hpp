@@ -35,6 +35,7 @@ struct FuzzOptions {
   std::size_t start = 0;     ///< first config index (repro subranges)
   bool poison = true;        ///< scratch-poison the arena for the run
   bool fused = true;         ///< cross-check fused conv+bias+ReLU layers
+  bool int8 = false;         ///< cross-check int8 forwards against fp32
   bool tune_cache = false;   ///< round-trip autotuner decisions via disk
   std::string tune_cache_path;  ///< cache file (tune_cache); "" = default
   std::ostream* log = nullptr;  ///< per-config progress when non-null
@@ -55,6 +56,7 @@ struct FuzzReport {
   std::size_t plan_checks = 0;    ///< framework plans validated
   std::size_t plan_skips = 0;     ///< shape-limited (framework, config)
   std::size_t fused_checks = 0;   ///< fused-vs-unfused layer comparisons
+  std::size_t int8_checks = 0;    ///< int8-vs-fp32 forward comparisons
   std::size_t tune_checks = 0;    ///< tune-cache round-trips validated
   std::vector<FuzzFailure> failures;
 
@@ -75,6 +77,16 @@ void check_config(const ConvConfig& cfg, std::uint64_t seed,
 /// output and all three gradients must match bit for bit, on all passes.
 void check_fused(const ConvConfig& cfg, std::uint64_t seed,
                  std::size_t index, FuzzReport& report);
+
+/// Cross-checks the int8 quantized forwards (im2col+int8-GEMM and,
+/// when groups == 1, tiled implicit) against the fp32 im2col+GEMM
+/// reference — plain and fused bias+ReLU — under a quantization-aware
+/// tolerance: K * (|a|max * dw/2 + |w|max * da/2 + da * dw/4), the
+/// worst-case dequantized rounding error of a K-term dot product with
+/// activation step da and weight step dw. A zero-point-correction or
+/// saturation bug exceeds that bound by orders of magnitude.
+void check_int8(const ConvConfig& cfg, std::uint64_t seed,
+                std::size_t index, FuzzReport& report);
 
 /// Round-trips measured autotuner decisions for `cfg` through the disk
 /// cache at `path`: decide (measure, 1 trial) on all three passes, save,

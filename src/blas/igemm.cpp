@@ -1,0 +1,441 @@
+#include "blas/igemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+
+#include "core/cpu_features.hpp"
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+#include "core/workspace.hpp"
+#include "obs/metrics.hpp"
+
+#if GPUCNN_X86_SIMD
+#include <immintrin.h>
+#endif
+
+namespace gpucnn::blas {
+namespace {
+
+// Blocking parameters. The micro tile is 4x16 (4 weight rows, 16
+// activation columns, 8 ymm int32 accumulators on AVX2); k advances in
+// quads of 4 bytes because maddubs/madd reduce 4 products per int32
+// lane per step. kKcI is a multiple of 4; kMcI of 4; kNcI of 16.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 16;
+constexpr std::size_t kMcI = 96;
+constexpr std::size_t kKcI = 1536;
+
+// The packed-operand contract: for each k quad, the B tile stores
+// 64 bytes — columns 0..7 x 4 k-bytes, then columns 8..15 x 4 k-bytes —
+// and the A tile 16 bytes — rows 0..3 x 4 k-bytes. Zero padding (past
+// kc, jn or im) contributes exact zero products, so ragged edges need
+// no special casing in the kernels.
+struct MicroKernelI {
+  void (*fn)(std::size_t quads, const std::uint8_t* __restrict packed_b,
+             const std::int8_t* __restrict packed_a,
+             std::int32_t* __restrict acc);
+};
+
+void micro_kernel_4x16_portable(std::size_t quads,
+                                const std::uint8_t* __restrict pb,
+                                const std::int8_t* __restrict pa,
+                                std::int32_t* __restrict acc) {
+  std::memset(acc, 0, kMr * kNr * sizeof(std::int32_t));
+  for (std::size_t q = 0; q < quads; ++q) {
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const std::int8_t* arow = pa + i * 4;
+      std::int32_t* accrow = acc + i * kNr;
+      for (std::size_t j = 0; j < kNr; ++j) {
+        const std::uint8_t* bq = pb + (j < 8 ? j * 4 : 32 + (j - 8) * 4);
+        accrow[j] += static_cast<std::int32_t>(arow[0]) * bq[0] +
+                     static_cast<std::int32_t>(arow[1]) * bq[1] +
+                     static_cast<std::int32_t>(arow[2]) * bq[2] +
+                     static_cast<std::int32_t>(arow[3]) * bq[3];
+      }
+    }
+    pa += 16;
+    pb += 64;
+  }
+}
+
+#if GPUCNN_X86_SIMD
+// AVX2 4x16 int8 kernel: 8 ymm accumulators (4 rows x 2 vectors of 8
+// int32 columns). Per quad step: 2 B loads, then per row a 4-byte
+// weight broadcast, maddubs (u8 x s8 -> saturating int16 pair sums; the
+// |a| <= 63 precondition keeps every pair sum under 32767, so no
+// saturation occurs and the kernel is exact) and madd-by-ones to widen
+// the pairs into the int32 accumulators.
+__attribute__((target("avx2"))) void micro_kernel_4x16_avx2(
+    std::size_t quads, const std::uint8_t* __restrict pb,
+    const std::int8_t* __restrict pa, std::int32_t* __restrict acc) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i c0[4];
+  __m256i c1[4];
+#pragma GCC unroll 4
+  for (std::size_t i = 0; i < 4; ++i) {
+    c0[i] = _mm256_setzero_si256();
+    c1[i] = _mm256_setzero_si256();
+  }
+  for (std::size_t q = 0; q < quads; ++q) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + 32));
+    pb += 64;
+#pragma GCC unroll 4
+    for (std::size_t i = 0; i < 4; ++i) {
+      std::int32_t aw;
+      std::memcpy(&aw, pa + i * 4, sizeof(aw));
+      const __m256i a = _mm256_set1_epi32(aw);
+      const __m256i p0 = _mm256_maddubs_epi16(b0, a);
+      const __m256i p1 = _mm256_maddubs_epi16(b1, a);
+      c0[i] = _mm256_add_epi32(c0[i], _mm256_madd_epi16(p0, ones));
+      c1[i] = _mm256_add_epi32(c1[i], _mm256_madd_epi16(p1, ones));
+    }
+    pa += 16;
+  }
+#pragma GCC unroll 4
+  for (std::size_t i = 0; i < 4; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * 16), c0[i]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * 16 + 8),
+                        c1[i]);
+  }
+}
+#endif  // GPUCNN_X86_SIMD
+
+MicroKernelI select_micro_kernel() {
+#if GPUCNN_X86_SIMD
+  if (simd::active() == simd::Level::kAvx2) {
+    return {micro_kernel_4x16_avx2};
+  }
+#endif
+  return {micro_kernel_4x16_portable};
+}
+
+obs::Counter& igemm_calls_counter() {
+  static obs::Counter& c = obs::metrics().counter("blas.igemm.calls");
+  return c;
+}
+
+obs::Counter& igemm_bytes_packed_counter() {
+  static obs::Counter& c = obs::metrics().counter("blas.igemm.bytes_packed");
+  return c;
+}
+
+// Packs a kc x jn slice of B at (p0, j0) into one quad-layout tile.
+void pack_b_tile(std::span<const std::uint8_t> b, std::size_t ldb,
+                 std::size_t p0, std::size_t kc, std::size_t j0,
+                 std::size_t jn, std::uint8_t* dst) {
+  const std::size_t quads = (kc + 3) / 4;
+  for (std::size_t q = 0; q < quads; ++q) {
+    std::uint8_t* out = dst + q * 64;
+    // Full interior tile: interleave four B rows branch-free (the hot
+    // case — ragged k or n edges fall through to the guarded loop).
+    if (jn == kNr && q * 4 + 4 <= kc) {
+      const std::uint8_t* row = &b[(p0 + q * 4) * ldb + j0];
+#pragma GCC unroll 4
+      for (std::size_t t = 0; t < 4; ++t, row += ldb) {
+        for (std::size_t j = 0; j < 8; ++j) out[j * 4 + t] = row[j];
+        for (std::size_t j = 8; j < 16; ++j) {
+          out[32 + (j - 8) * 4 + t] = row[j];
+        }
+      }
+      continue;
+    }
+    for (std::size_t j = 0; j < kNr; ++j) {
+      std::uint8_t* cell = out + (j < 8 ? j * 4 : 32 + (j - 8) * 4);
+      for (std::size_t t = 0; t < 4; ++t) {
+        const std::size_t p = q * 4 + t;
+        cell[t] = (j < jn && p < kc) ? b[(p0 + p) * ldb + j0 + j]
+                                     : std::uint8_t{0};
+      }
+    }
+  }
+}
+
+// Packs an im x kc slice of A at (i0, p0) into one quad-layout tile.
+void pack_a_tile(std::span<const std::int8_t> a, std::size_t lda,
+                 std::size_t i0, std::size_t im, std::size_t p0,
+                 std::size_t kc, std::int8_t* dst) {
+  const std::size_t quads = (kc + 3) / 4;
+  for (std::size_t q = 0; q < quads; ++q) {
+    std::int8_t* out = dst + q * 16;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      for (std::size_t t = 0; t < 4; ++t) {
+        const std::size_t p = q * 4 + t;
+        out[i * 4 + t] = (i < im && p < kc) ? a[(i0 + i) * lda + p0 + p]
+                                            : std::int8_t{0};
+      }
+    }
+  }
+}
+
+// Saturating uint8 re-quantization of one dequantized value. The clamp
+// compares in float space before any float->int conversion, so an
+// arbitrarily large accumulator can never hit the UB of an
+// unrepresentable cast (the classic saturating-cast bug UBSan exists
+// to catch).
+inline std::uint8_t requantize_u8(float v, float out_scale,
+                                  std::int32_t out_zp) {
+  const float shifted = v / out_scale + static_cast<float>(out_zp);
+  if (!(shifted > 0.0F)) return 0;
+  if (shifted >= 255.0F) return 255;
+  // floor(x + 0.5) == lround(x) on the guarded positive range; the
+  // cast keeps libm out of the write-back loop.
+  return static_cast<std::uint8_t>(
+      static_cast<std::int32_t>(shifted + 0.5F));
+}
+
+// Applies the epilogue to one finished int32 row (stride 1, jn values
+// belonging to C row `row`) and stores fp32 or uint8.
+template <typename OutT>
+void write_final_row(const std::int32_t* acc, std::size_t jn,
+                     std::size_t row, const QEpilogue& ep, OutT* out) {
+  const float scale = ep.scales[row];
+  const std::int32_t off =
+      ep.row_offsets != nullptr ? ep.row_offsets[row] : 0;
+  const float bias = ep.bias != nullptr ? ep.bias[row] : 0.0F;
+  for (std::size_t j = 0; j < jn; ++j) {
+    float v = scale * static_cast<float>(acc[j] - off) + bias;
+    if (ep.relu && v < 0.0F) v = 0.0F;
+    if constexpr (std::is_same_v<OutT, float>) {
+      out[j] = v;
+    } else {
+      out[j] = requantize_u8(v, ep.out_scale, ep.out_zero_point);
+    }
+  }
+}
+
+enum class OutKind { kS32, kF32, kU8 };
+
+struct OutPtr {
+  std::int32_t* s32 = nullptr;
+  float* f32 = nullptr;
+  std::uint8_t* u8 = nullptr;
+};
+
+template <typename OutT>
+OutT* out_row(const OutPtr& c, std::size_t ldc, std::size_t i,
+              std::size_t j) {
+  if constexpr (std::is_same_v<OutT, float>) {
+    return c.f32 + i * ldc + j;
+  } else {
+    return c.u8 + i * ldc + j;
+  }
+}
+
+void igemm_driver(std::size_t m, std::size_t n, std::size_t k,
+                  std::span<const std::int8_t> a, std::size_t lda,
+                  std::span<const std::uint8_t> b, std::size_t ldb,
+                  const QEpilogue* ep, OutKind kind, OutPtr c,
+                  std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  check(k <= kMaxIgemmK, "igemm k exceeds the int32 accumulator bound");
+  if (kind != OutKind::kS32) {
+    check(ep != nullptr && ep->scales != nullptr,
+          "igemm epilogue requires per-row scales");
+  }
+  igemm_calls_counter().add(1);
+
+  // k == 0: the reduction is empty; outputs are the epilogue of zero.
+  if (k == 0) {
+    ws::Scratch<std::int32_t> zero(n, /*zero=*/true);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (kind == OutKind::kS32) {
+        std::memset(c.s32 + i * ldc, 0, n * sizeof(std::int32_t));
+      } else if (kind == OutKind::kF32) {
+        write_final_row(zero.data(), n, i, *ep,
+                        out_row<float>(c, ldc, i, 0));
+      } else {
+        write_final_row(zero.data(), n, i, *ep,
+                        out_row<std::uint8_t>(c, ldc, i, 0));
+      }
+    }
+    return;
+  }
+
+  // Small problems: packing and dispatch overhead dominates; run the
+  // naive reduction (into scratch when the output is not int32).
+  if (static_cast<double>(m) * static_cast<double>(n) *
+          static_cast<double>(k) < 64.0 * 64.0 * 64.0) {
+    if (kind == OutKind::kS32) {
+      igemm_s32_naive(m, n, k, a, lda, b, ldb,
+                      {c.s32, (m - 1) * ldc + n}, ldc);
+      return;
+    }
+    ws::Scratch<std::int32_t> tmp(m * n);
+    igemm_s32_naive(m, n, k, a, lda, b, ldb, tmp.span(), n);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (kind == OutKind::kF32) {
+        write_final_row(tmp.data() + i * n, n, i, *ep,
+                        out_row<float>(c, ldc, i, 0));
+      } else {
+        write_final_row(tmp.data() + i * n, n, i, *ep,
+                        out_row<std::uint8_t>(c, ldc, i, 0));
+      }
+    }
+    return;
+  }
+
+  const MicroKernelI uk = select_micro_kernel();
+  const bool multi_k = k > kKcI;
+  // Multi-block reductions stage partial int32 sums (m x n, row stride
+  // n); raw-int32 output accumulates straight into C instead.
+  std::optional<ws::Scratch<std::int32_t>> staging;
+  if (multi_k && kind != OutKind::kS32) staging.emplace(m * n);
+
+  for (std::size_t pc = 0; pc < k; pc += kKcI) {
+    const std::size_t kc = std::min(kKcI, k - pc);
+    const std::size_t quads = (kc + 3) / 4;
+    const bool first = pc == 0;
+    const bool last = pc + kc == k;
+
+    const std::size_t n_tiles = (n + kNr - 1) / kNr;
+    ws::Scratch<std::uint8_t> packed_b(n_tiles * quads * 64);
+    std::uint8_t* pb = packed_b.data();
+    parallel_for(
+        0, n_tiles,
+        [&](std::size_t t) {
+          const std::size_t j0 = t * kNr;
+          pack_b_tile(b, ldb, pc, kc, j0, std::min(kNr, n - j0),
+                      pb + t * quads * 64);
+        },
+        /*serial_threshold=*/8);
+    igemm_bytes_packed_counter().add(
+        static_cast<std::int64_t>(n_tiles * quads * 64));
+
+    const std::size_t m_blocks = (m + kMcI - 1) / kMcI;
+    parallel_for(0, m_blocks, [&](std::size_t block) {
+      const std::size_t ic = block * kMcI;
+      const std::size_t mc = std::min(kMcI, m - ic);
+      const std::size_t m_tiles = (mc + kMr - 1) / kMr;
+      ws::Scratch<std::int8_t> packed_a(m_tiles * quads * 16);
+      for (std::size_t t = 0; t < m_tiles; ++t) {
+        const std::size_t i0 = ic + t * kMr;
+        pack_a_tile(a, lda, i0, std::min(kMr, m - i0), pc, kc,
+                    packed_a.data() + t * quads * 16);
+      }
+      igemm_bytes_packed_counter().add(
+          static_cast<std::int64_t>(m_tiles * quads * 16));
+      alignas(64) std::int32_t acc[kMr * kNr];
+      for (std::size_t ti = 0; ti < m_tiles; ++ti) {
+        const std::size_t i0 = ic + ti * kMr;
+        const std::size_t im = std::min(kMr, m - i0);
+        for (std::size_t tj = 0; tj < n_tiles; ++tj) {
+          const std::size_t j0 = tj * kNr;
+          const std::size_t jn = std::min(kNr, n - j0);
+          uk.fn(quads, pb + tj * quads * 64,
+                packed_a.data() + ti * quads * 16, acc);
+
+          if (kind == OutKind::kS32) {
+            for (std::size_t i = 0; i < im; ++i) {
+              std::int32_t* crow = c.s32 + (i0 + i) * ldc + j0;
+              const std::int32_t* accrow = acc + i * kNr;
+              if (first) {
+                for (std::size_t j = 0; j < jn; ++j) crow[j] = accrow[j];
+              } else {
+                for (std::size_t j = 0; j < jn; ++j) crow[j] += accrow[j];
+              }
+            }
+            continue;
+          }
+
+          if (multi_k && !last) {
+            for (std::size_t i = 0; i < im; ++i) {
+              std::int32_t* srow = staging->data() + (i0 + i) * n + j0;
+              const std::int32_t* accrow = acc + i * kNr;
+              if (first) {
+                for (std::size_t j = 0; j < jn; ++j) srow[j] = accrow[j];
+              } else {
+                for (std::size_t j = 0; j < jn; ++j) srow[j] += accrow[j];
+              }
+            }
+            continue;
+          }
+
+          // Final k block: fold staged partials into the registers'
+          // spill tile, then dequantize / bias / ReLU / (re-)quantize
+          // straight to the output — the int32 never round-trips
+          // through an intermediate matrix on the single-block path.
+          if (multi_k && !first) {
+            for (std::size_t i = 0; i < im; ++i) {
+              const std::int32_t* srow =
+                  staging->data() + (i0 + i) * n + j0;
+              std::int32_t* accrow = acc + i * kNr;
+              for (std::size_t j = 0; j < jn; ++j) accrow[j] += srow[j];
+            }
+          }
+          for (std::size_t i = 0; i < im; ++i) {
+            if (kind == OutKind::kF32) {
+              write_final_row(acc + i * kNr, jn, i0 + i, *ep,
+                              out_row<float>(c, ldc, i0 + i, j0));
+            } else {
+              write_final_row(acc + i * kNr, jn, i0 + i, *ep,
+                              out_row<std::uint8_t>(c, ldc, i0 + i, j0));
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void igemm_s32_naive(std::size_t m, std::size_t n, std::size_t k,
+                     std::span<const std::int8_t> a, std::size_t lda,
+                     std::span<const std::uint8_t> b, std::size_t ldb,
+                     std::span<std::int32_t> c, std::size_t ldc) {
+  check(k <= kMaxIgemmK, "igemm k exceeds the int32 accumulator bound");
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(a[i * lda + p]) *
+               static_cast<std::int32_t>(b[p * ldb + j]);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+void igemm_s32(std::size_t m, std::size_t n, std::size_t k,
+               std::span<const std::int8_t> a, std::size_t lda,
+               std::span<const std::uint8_t> b, std::size_t ldb,
+               std::span<std::int32_t> c, std::size_t ldc) {
+  OutPtr out;
+  out.s32 = c.data();
+  igemm_driver(m, n, k, a, lda, b, ldb, nullptr, OutKind::kS32, out, ldc);
+}
+
+void igemm(std::size_t m, std::size_t n, std::size_t k,
+           std::span<const std::int8_t> a, std::size_t lda,
+           std::span<const std::uint8_t> b, std::size_t ldb,
+           const QEpilogue& ep, std::span<float> c, std::size_t ldc) {
+  check(ep.out == QEpilogue::Out::kF32,
+        "fp32-output igemm called with a uint8 epilogue");
+  OutPtr out;
+  out.f32 = c.data();
+  igemm_driver(m, n, k, a, lda, b, ldb, &ep, OutKind::kF32, out, ldc);
+}
+
+void igemm(std::size_t m, std::size_t n, std::size_t k,
+           std::span<const std::int8_t> a, std::size_t lda,
+           std::span<const std::uint8_t> b, std::size_t ldb,
+           const QEpilogue& ep, std::span<std::uint8_t> c,
+           std::size_t ldc) {
+  check(ep.out == QEpilogue::Out::kU8,
+        "uint8-output igemm called with an fp32 epilogue");
+  check(std::isfinite(ep.out_scale) && ep.out_scale > 0.0F,
+        "uint8 epilogue needs a positive finite output scale");
+  check(ep.out_zero_point >= 0 && ep.out_zero_point <= 255,
+        "uint8 epilogue zero point must lie in [0, 255]");
+  OutPtr out;
+  out.u8 = c.data();
+  igemm_driver(m, n, k, a, lda, b, ldb, &ep, OutKind::kU8, out, ldc);
+}
+
+}  // namespace gpucnn::blas

@@ -4,6 +4,7 @@
 
 #include "nn/activation_layer.hpp"
 #include "nn/conv_layer.hpp"
+#include "nn/quantized_conv_layer.hpp"
 #include "obs/metrics.hpp"
 
 namespace gpucnn::nn {
@@ -209,6 +210,40 @@ std::size_t Network::fuse_conv_relu() {
 
 void Network::enable_autotune(bool on) {
   for (const auto& layer : layers_) layer->set_auto_tune(on);
+}
+
+Network::QuantizeReport Network::quantize(
+    std::span<const Tensor> calibration,
+    quant::Observer::Kind observer_kind) {
+  QuantizeReport report;
+  std::vector<QuantizedConvLayer*> quantized;
+  for (auto& slot : layers_) {
+    auto* conv = dynamic_cast<ConvLayer*>(slot.get());
+    if (conv == nullptr) continue;
+    auto replacement =
+        std::make_unique<QuantizedConvLayer>(*conv, observer_kind);
+    quantized.push_back(replacement.get());
+    slot = std::move(replacement);
+  }
+  report.layers_quantized = quantized.size();
+  if (quantized.empty()) return report;
+
+  // Calibration forwards: quantized layers are still in observe mode,
+  // so the whole pass runs fp32 and every observer sees the exact
+  // activation distribution its layer will face at inference.
+  const bool was_training = training_;
+  set_training(false);
+  for (const Tensor& batch : calibration) {
+    (void)forward(batch);
+    ++report.calibration_batches;
+  }
+  for (QuantizedConvLayer* layer : quantized) {
+    layer->freeze();
+    report.layers_calibrated += layer->calibrated() ? 1 : 0;
+  }
+  set_training(was_training);
+  has_forward_state_ = false;  // calibration activations are not history
+  return report;
 }
 
 }  // namespace gpucnn::nn

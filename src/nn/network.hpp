@@ -18,9 +18,11 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "quant/quant.hpp"
 
 namespace gpucnn::nn {
 
@@ -85,6 +87,25 @@ class Network {
 
   /// Toggles autotuned engine selection on every layer.
   void enable_autotune(bool on = true);
+
+  /// Post-training int8 quantization report.
+  struct QuantizeReport {
+    std::size_t layers_quantized = 0;   ///< convs rewritten to int8
+    std::size_t layers_calibrated = 0;  ///< of those, with observed ranges
+    std::size_t calibration_batches = 0;
+  };
+
+  /// Rewrites every top-level ConvLayer into an int8 QuantizedConvLayer
+  /// (weights quantized per channel offline), runs the given calibration
+  /// batches through the network to observe per-layer activation ranges,
+  /// then freezes the quantized layers. With no calibration data the
+  /// layers quantize activations dynamically per batch. The network
+  /// becomes inference-only: backward() through a quantized layer
+  /// throws. Call after fuse_conv_relu() so fused ReLUs ride the int8
+  /// epilogue. Convs inside composite layers are left in fp32.
+  QuantizeReport quantize(std::span<const Tensor> calibration = {},
+                          quant::Observer::Kind observer_kind =
+                              quant::Observer::Kind::kMinMax);
 
   /// Toggles the inference activation planner (applies when the network
   /// is in inference mode, i.e. after set_training(false)).

@@ -40,17 +40,35 @@ InferenceServer::InferenceServer(
   Rng rng(options_.seed);
   prototype_.initialize(rng);
 
+  // Synthetic calibration set for --int8: the load generator draws
+  // request images uniform in [-1, 1], so calibrating on the same
+  // distribution gives every instance a representative activation range.
+  std::vector<Tensor> calibration;
+  if (options_.int8) {
+    Rng calib_rng(options_.seed + 1);
+    calibration.resize(options_.int8_calibration_batches);
+    for (auto& t : calibration) {
+      t.resize({1, options_.input.c, options_.input.h, options_.input.w});
+      t.fill_uniform(calib_rng, -1.0F, 1.0F);
+    }
+  }
+
   instances_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     nn::Network net = make_network();
     net.set_training(false);
     if (options_.fuse_conv_relu) net.fuse_conv_relu();
     net.enable_autotune(options_.autotune);
-    instances_.push_back(std::make_unique<ModelInstance>(
-        std::move(net), prototype_, options_.memory_planning));
+    auto instance = std::make_unique<ModelInstance>(
+        std::move(net), prototype_, options_.memory_planning);
+    if (options_.int8) {
+      (void)instance->network().quantize(calibration);
+    }
+    instances_.push_back(std::move(instance));
   }
   obs::metrics().gauge("serve.workers")
       .set(static_cast<double>(options_.workers));
+  obs::metrics().gauge("serve.int8").set(options_.int8 ? 1.0 : 0.0);
 
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {

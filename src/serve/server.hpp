@@ -45,6 +45,13 @@ struct ServerOptions {
   bool fuse_conv_relu = true; ///< rewrite conv->ReLU pairs before serving
   bool autotune = false;      ///< dispatch convs through tune::Autotuner
   bool memory_planning = true; ///< per-instance activation arena
+  /// Serve int8: each instance's conv layers are rewritten to the
+  /// quantized inference path (Network::quantize) after weight sharing,
+  /// calibrated on synthetic batches drawn from the request
+  /// distribution. Outputs stay fp32; accuracy shifts by quantization
+  /// error (docs/QUANTIZATION.md).
+  bool int8 = false;
+  std::size_t int8_calibration_batches = 4;
 };
 
 /// A consistent snapshot of the server's lifetime counters.

@@ -12,6 +12,7 @@
 #include "conv/fft_conv.hpp"
 #include "conv/gemm_conv.hpp"
 #include "conv/implicit_gemm_conv.hpp"
+#include "conv/quantized_conv.hpp"
 #include "conv/tiled_fft_conv.hpp"
 #include "conv/winograd_conv.hpp"
 #include "core/cpu_features.hpp"
@@ -25,7 +26,11 @@
 namespace gpucnn::tune {
 namespace {
 
-constexpr int kCacheVersion = 1;
+// Version 2: the key grew a dtype word and the file header an "engines"
+// field naming the engine set the writer shipped. Version-1 caches
+// (pre-int8) are rejected wholesale on load — their decisions were made
+// without the int8 candidates and would pin stale fp32-only picks.
+constexpr int kCacheVersion = 2;
 /// Prune a candidate whose single warm-up run is already this many times
 /// slower than the best engine seen so far for the key.
 constexpr double kPruneFactor = 2.5;
@@ -47,8 +52,9 @@ obs::Gauge& ms_spent_gauge() {
   return g;
 }
 
-/// The candidate pool: every distinct real engine, in a fixed base order.
-/// Index 1 (unrolling) is the static default every ConvLayer starts with.
+/// The fp32 candidate pool: every distinct exact engine, in a fixed base
+/// order. Index 1 (unrolling) is the static default every ConvLayer
+/// starts with.
 std::span<const conv::ConvEngine* const> candidates() {
   static const conv::DirectConv direct;
   static const conv::GemmConv gemm;
@@ -61,21 +67,70 @@ std::span<const conv::ConvEngine* const> candidates() {
   return all;
 }
 
+/// The int8 pool, offered *in addition* to the fp32 pool, and only to
+/// Dtype::kInt8 callers on the forward pass (the engines are
+/// inference-only and lossy).
+std::span<const conv::ConvEngine* const> int8_candidates() {
+  static const conv::QuantizedGemmConv gemm_int8;
+  static const conv::QuantizedImplicitGemmConv implicit_int8;
+  static const conv::ConvEngine* const all[] = {&gemm_int8,
+                                                &implicit_int8};
+  return all;
+}
+
 constexpr std::size_t kDefaultIndex = 1;  // GemmConv ("unrolling")
+
+/// Combined indexing: [0, candidates().size()) are the fp32 engines,
+/// the int8 engines follow.
+const conv::ConvEngine* engine_at(std::size_t idx) {
+  const auto fp32 = candidates();
+  return idx < fp32.size() ? fp32[idx]
+                           : int8_candidates()[idx - fp32.size()];
+}
+
+bool int8_pool_eligible(Pass pass, Dtype dtype) {
+  return dtype == Dtype::kInt8 && pass == Pass::kForward;
+}
+
+/// Comma-joined names of every engine this binary ships, in pool order —
+/// the cache header field that invalidates caches written by binaries
+/// with a different engine set.
+std::string engine_set_string() {
+  std::string out;
+  for (const auto* e : candidates()) {
+    if (!out.empty()) out += ',';
+    out += std::string(e->name());
+  }
+  for (const auto* e : int8_candidates()) {
+    out += ',';
+    out += std::string(e->name());
+  }
+  return out;
+}
 
 /// Search order for `cfg`: candidates sorted by the recommend model's
 /// simulated runtimes (fastest strategy first), so on real hardware the
 /// likely winner is measured first and slow candidates hit the prune
 /// check. Engines the model cannot rank (Winograd post-dates the paper)
 /// append in base order.
-std::vector<std::size_t> prior_order(const ConvConfig& cfg) {
+std::vector<std::size_t> prior_order(const ConvConfig& cfg, Pass pass,
+                                     Dtype dtype) {
   std::vector<std::size_t> order;
-  order.reserve(candidates().size());
+  order.reserve(candidates().size() + int8_candidates().size());
   const auto push_unique = [&order](std::size_t idx) {
     if (std::find(order.begin(), order.end(), idx) == order.end()) {
       order.push_back(idx);
     }
   };
+
+  // Int8 callers: the quantized engines lead the search — they are the
+  // likely winners, so measuring them first arms the prune check before
+  // the slower fp32 candidates run.
+  if (int8_pool_eligible(pass, dtype)) {
+    for (std::size_t i = 0; i < int8_candidates().size(); ++i) {
+      push_unique(candidates().size() + i);
+    }
+  }
 
   analysis::Recommendation rec;
   try {
@@ -180,11 +235,31 @@ std::optional<Pass> pass_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+std::size_t dtype_index(Dtype dtype) {
+  return static_cast<std::size_t>(dtype);
+}
+
+std::optional<Dtype> dtype_from_name(std::string_view name) {
+  if (name == "fp32") return Dtype::kF32;
+  if (name == "int8") return Dtype::kInt8;
+  return std::nullopt;
+}
+
 const conv::ConvEngine* engine_from_name(std::string_view name) {
   for (const auto* e : candidates()) {
     if (e->name() == name) return e;
   }
+  for (const auto* e : int8_candidates()) {
+    if (e->name() == name) return e;
+  }
   return nullptr;
+}
+
+bool is_int8_engine(const conv::ConvEngine* engine) {
+  for (const auto* e : int8_candidates()) {
+    if (e == engine) return true;
+  }
+  return false;
 }
 
 // --- minimal JSON parser (obs::Json is a writer-only document model) ---
@@ -368,6 +443,14 @@ std::optional<Mode> parse_mode(std::string_view text) {
   return std::nullopt;
 }
 
+std::string_view to_string(Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kF32: return "fp32";
+    case Dtype::kInt8: return "int8";
+  }
+  return "?";
+}
+
 Autotuner& Autotuner::instance() {
   static Autotuner tuner;
   return tuner;
@@ -392,14 +475,17 @@ void Autotuner::set_mode(Mode mode) {
   mode_ = mode;
 }
 
-Autotuner::Key Autotuner::make_key(const ConvConfig& cfg, Pass pass) {
-  return {cfg.batch, cfg.input,  cfg.channels, cfg.filters,     cfg.kernel,
-          cfg.stride, cfg.pad,   cfg.groups,   pass_index(pass)};
+Autotuner::Key Autotuner::make_key(const ConvConfig& cfg, Pass pass,
+                                   Dtype dtype) {
+  return {cfg.batch,  cfg.input, cfg.channels, cfg.filters,
+          cfg.kernel, cfg.stride, cfg.pad,     cfg.groups,
+          pass_index(pass), dtype_index(dtype)};
 }
 
-std::uint64_t Autotuner::key_hash(const ConvConfig& cfg, Pass pass) {
+std::uint64_t Autotuner::key_hash(const ConvConfig& cfg, Pass pass,
+                                  Dtype dtype) {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the key words
-  for (const std::size_t word : make_key(cfg, pass)) {
+  for (const std::size_t word : make_key(cfg, pass, dtype)) {
     auto v = static_cast<std::uint64_t>(word);
     for (int byte = 0; byte < 8; ++byte) {
       h ^= (v >> (8 * byte)) & 0xFFU;
@@ -409,18 +495,20 @@ std::uint64_t Autotuner::key_hash(const ConvConfig& cfg, Pass pass) {
   return h;
 }
 
-const conv::ConvEngine* Autotuner::choose(const ConvConfig& cfg, Pass pass) {
+const conv::ConvEngine* Autotuner::choose(const ConvConfig& cfg, Pass pass,
+                                          Dtype dtype) {
   std::lock_guard lock(mutex_);
   if (mode_ == Mode::kOff) return nullptr;
-  return decide_locked(cfg, pass).engine;
+  return decide_locked(cfg, pass, dtype).engine;
 }
 
-Decision Autotuner::decide(const ConvConfig& cfg, Pass pass) {
+Decision Autotuner::decide(const ConvConfig& cfg, Pass pass, Dtype dtype) {
   std::lock_guard lock(mutex_);
-  return decide_locked(cfg, pass);
+  return decide_locked(cfg, pass, dtype);
 }
 
-Decision Autotuner::decide_locked(const ConvConfig& cfg, Pass pass) {
+Decision Autotuner::decide_locked(const ConvConfig& cfg, Pass pass,
+                                  Dtype dtype) {
   if (!cache_loaded_ && !cache_path_.empty()) {
     cache_loaded_ = true;  // one attempt per process, hit or miss
     // Re-entrancy is safe: load_cache locks nothing below this level.
@@ -433,7 +521,7 @@ Decision Autotuner::decide_locked(const ConvConfig& cfg, Pass pass) {
     }
     (void)kept;
   }
-  const Key key = make_key(cfg, pass);
+  const Key key = make_key(cfg, pass, dtype);
   const auto it = memo_.find(key);
   if (it != memo_.end() &&
       (mode_ != Mode::kMeasure || it->second.measured)) {
@@ -441,17 +529,18 @@ Decision Autotuner::decide_locked(const ConvConfig& cfg, Pass pass) {
     return it->second;
   }
   misses_counter().add(1);
-  Decision d = mode_ == Mode::kMeasure ? measure_locked(cfg, pass)
-                                       : heuristic_locked(cfg, pass);
+  Decision d = mode_ == Mode::kMeasure ? measure_locked(cfg, pass, dtype)
+                                       : heuristic_locked(cfg, pass, dtype);
   memo_[key] = d;
   if (d.measured) persist_locked();
   return d;
 }
 
-Decision Autotuner::heuristic_locked(const ConvConfig& cfg, Pass pass) {
+Decision Autotuner::heuristic_locked(const ConvConfig& cfg, Pass pass,
+                                     Dtype dtype) {
   (void)pass;  // the model prior does not distinguish passes
-  for (const std::size_t idx : prior_order(cfg)) {
-    const conv::ConvEngine* engine = candidates()[idx];
+  for (const std::size_t idx : prior_order(cfg, pass, dtype)) {
+    const conv::ConvEngine* engine = engine_at(idx);
     if (engine->supports(cfg)) {
       return {.engine = engine,
               .engine_name = engine->name(),
@@ -464,14 +553,15 @@ Decision Autotuner::heuristic_locked(const ConvConfig& cfg, Pass pass) {
   return {.engine = fallback, .engine_name = fallback->name()};
 }
 
-Decision Autotuner::measure_locked(const ConvConfig& cfg, Pass pass) {
+Decision Autotuner::measure_locked(const ConvConfig& cfg, Pass pass,
+                                   Dtype dtype) {
   Workload work(cfg);
   const conv::ConvEngine* best_engine = nullptr;
   double best_ms = 0.0;
   double baseline_ms = 0.0;
 
-  for (const std::size_t idx : prior_order(cfg)) {
-    const conv::ConvEngine* engine = candidates()[idx];
+  for (const std::size_t idx : prior_order(cfg, pass, dtype)) {
+    const conv::ConvEngine* engine = engine_at(idx);
     if (!engine->supports(cfg)) continue;
     double warmup = 0.0;
     Timer probe;
@@ -510,12 +600,16 @@ Decision Autotuner::measure_locked(const ConvConfig& cfg, Pass pass) {
 }
 
 std::vector<EngineTiming> Autotuner::measure_all(const ConvConfig& cfg,
-                                                 Pass pass) {
+                                                 Pass pass, Dtype dtype) {
   std::lock_guard lock(mutex_);
   Workload work(cfg);
+  const std::size_t pool_size =
+      candidates().size() +
+      (int8_pool_eligible(pass, dtype) ? int8_candidates().size() : 0);
   std::vector<EngineTiming> timings;
-  timings.reserve(candidates().size());
-  for (const auto* engine : candidates()) {
+  timings.reserve(pool_size);
+  for (std::size_t idx = 0; idx < pool_size; ++idx) {
+    const conv::ConvEngine* engine = engine_at(idx);
     EngineTiming t{.engine_name = engine->name()};
     if (engine->supports(cfg)) {
       t.eligible = true;
@@ -544,12 +638,14 @@ obs::Json Autotuner::cache_json_locked() const {
   root.set("tune_cache_version", obs::Json(kCacheVersion));
   root.set("simd", obs::Json(simd::name(simd::active())));
   root.set("threads", obs::Json(active_threads()));
+  root.set("engines", obs::Json(engine_set_string()));
   obs::Json entries = obs::Json::array();
   for (const auto& [key, decision] : memo_) {
     if (!decision.measured) continue;  // heuristic picks are free to redo
     const ConvConfig cfg{key[0], key[1], key[2], key[3],
                          key[4], key[5], key[6], key[7]};
     const auto pass = static_cast<Pass>(key[8]);
+    const auto dtype = static_cast<Dtype>(key[9]);
     obs::Json entry = obs::Json::object();
     entry.set("batch", obs::Json(cfg.batch));
     entry.set("input", obs::Json(cfg.input));
@@ -560,10 +656,12 @@ obs::Json Autotuner::cache_json_locked() const {
     entry.set("pad", obs::Json(cfg.pad));
     entry.set("groups", obs::Json(cfg.groups));
     entry.set("pass", obs::Json(std::string(to_string(pass))));
+    entry.set("dtype", obs::Json(std::string(to_string(dtype))));
     // Hex string: a JSON double cannot carry 64 hash bits exactly.
     char hex[19];
-    std::snprintf(hex, sizeof hex, "0x%016llx",
-                  static_cast<unsigned long long>(key_hash(cfg, pass)));
+    std::snprintf(
+        hex, sizeof hex, "0x%016llx",
+        static_cast<unsigned long long>(key_hash(cfg, pass, dtype)));
     entry.set("hash", obs::Json(std::string(hex)));
     entry.set("engine", obs::Json(std::string(decision.engine_name)));
     entry.set("best_ms", obs::Json(decision.best_ms));
@@ -600,6 +698,10 @@ std::size_t Autotuner::ingest_cache_text(const std::string& text) {
       active_threads()) {
     return 0;
   }
+  // The engine set must match the running binary: a cache written by a
+  // binary with fewer (or different) engines never compared against the
+  // ones this binary ships, so its winners are not trustworthy.
+  if (string_or(root, "engines") != engine_set_string()) return 0;
   const obs::Json* entries = root.find("entries");
   if (entries == nullptr || entries->type() != obs::Json::Type::kArray) {
     return 0;
@@ -618,16 +720,23 @@ std::size_t Autotuner::ingest_cache_text(const std::string& text) {
         static_cast<std::size_t>(number_or(entry, "groups", 0))};
     const auto pass = pass_from_name(string_or(entry, "pass"));
     if (!pass) continue;
+    const auto dtype = dtype_from_name(string_or(entry, "dtype"));
+    if (!dtype) continue;
     // Per-entry key check: recompute the hash from the stored fields; a
     // mismatch means the entry was edited or the key schema changed.
     char hex[19];
-    std::snprintf(hex, sizeof hex, "0x%016llx",
-                  static_cast<unsigned long long>(key_hash(cfg, *pass)));
+    std::snprintf(
+        hex, sizeof hex, "0x%016llx",
+        static_cast<unsigned long long>(key_hash(cfg, *pass, *dtype)));
     if (string_or(entry, "hash") != hex) continue;
     const conv::ConvEngine* engine =
         engine_from_name(string_or(entry, "engine"));
     if (engine == nullptr || !engine->supports(cfg)) continue;
-    memo_[make_key(cfg, *pass)] =
+    // An int8 engine can only ever have won in the int8 forward pool.
+    if (is_int8_engine(engine) && !int8_pool_eligible(*pass, *dtype)) {
+      continue;
+    }
+    memo_[make_key(cfg, *pass, *dtype)] =
         Decision{.engine = engine,
                  .engine_name = engine->name(),
                  .best_ms = number_or(entry, "best_ms", 0.0),
@@ -660,7 +769,8 @@ std::vector<Autotuner::Entry> Autotuner::entries() {
   for (const auto& [key, decision] : memo_) {
     out.push_back({ConvConfig{key[0], key[1], key[2], key[3], key[4],
                               key[5], key[6], key[7]},
-                   static_cast<Pass>(key[8]), decision});
+                   static_cast<Pass>(key[8]), static_cast<Dtype>(key[9]),
+                   decision});
   }
   return out;
 }

@@ -4,9 +4,12 @@
 // eligible real engine, seeded in search order by the analysis/recommend
 // model prior so bad candidates are pruned after one warm-up run, picks
 // the fastest and memoizes the decision process-wide. Decisions persist
-// in a versioned on-disk JSON cache keyed by config hash + active SIMD
-// level + thread count; entries whose key no longer matches the running
-// process are discarded on load.
+// in a versioned on-disk JSON cache keyed by config hash + dtype +
+// active SIMD level + thread count + the engine set the binary ships
+// (so a cache written before an engine existed — e.g. any pre-int8
+// cache — is invalidated instead of silently pinning stale decisions);
+// entries whose key no longer matches the running process are discarded
+// on load.
 //
 // Modes (GPUCNN_TUNE environment override, lowest priority; set_mode
 // wins):
@@ -40,8 +43,17 @@ enum class Pass { kForward, kBackwardData, kBackwardFilter };
 
 enum class Mode { kOff, kHeuristic, kMeasure };
 
+/// Numeric flavour a caller wants tuned. kF32 callers see only the six
+/// exact fp32 engines (quantized engines would silently change results);
+/// kInt8 callers — quantized conv layers, which have already accepted
+/// quantization error — additionally get the int8 engines in the
+/// forward-pass candidate pool, so a measured decision picks int8 only
+/// when it is actually faster than the best fp32 engine.
+enum class Dtype { kF32, kInt8 };
+
 [[nodiscard]] std::string_view to_string(Pass pass);
 [[nodiscard]] std::string_view to_string(Mode mode);
+[[nodiscard]] std::string_view to_string(Dtype dtype);
 /// Parses "off" / "heuristic" / "measure"; nullopt otherwise.
 [[nodiscard]] std::optional<Mode> parse_mode(std::string_view text);
 
@@ -73,16 +85,19 @@ class Autotuner {
   /// The engine (cfg, pass) should run with under the current mode, or
   /// nullptr in kOff mode (callers keep their static engine).
   [[nodiscard]] const conv::ConvEngine* choose(const ConvConfig& cfg,
-                                               Pass pass);
+                                               Pass pass,
+                                               Dtype dtype = Dtype::kF32);
 
-  /// The memoized decision for (cfg, pass), measuring candidates on a
-  /// miss when the mode is kMeasure (kOff / kHeuristic never time).
-  Decision decide(const ConvConfig& cfg, Pass pass);
+  /// The memoized decision for (cfg, pass, dtype), measuring candidates
+  /// on a miss when the mode is kMeasure (kOff / kHeuristic never time).
+  Decision decide(const ConvConfig& cfg, Pass pass,
+                  Dtype dtype = Dtype::kF32);
 
-  /// Times every engine on (cfg, pass) — no memo, no pruning. The
-  /// engine_advisor --measure comparison and tests use this.
-  [[nodiscard]] std::vector<EngineTiming> measure_all(const ConvConfig& cfg,
-                                                      Pass pass);
+  /// Times every engine in the (pass, dtype) candidate pool on cfg — no
+  /// memo, no pruning. The engine_advisor --measure comparison and
+  /// tests use this.
+  [[nodiscard]] std::vector<EngineTiming> measure_all(
+      const ConvConfig& cfg, Pass pass, Dtype dtype = Dtype::kF32);
 
   /// Writes every measured decision to `path` (versioned JSON, keyed by
   /// config hash + SIMD level + thread count). Returns false on I/O
@@ -101,6 +116,7 @@ class Autotuner {
   struct Entry {
     ConvConfig config;
     Pass pass{};
+    Dtype dtype{};
     Decision decision;
   };
   /// Snapshot of every memoized decision, in key order (examples print
@@ -116,19 +132,21 @@ class Autotuner {
   /// previous value.
   int set_trials_for_testing(int trials);
 
-  /// FNV-1a hash of the config fields + pass, the cache entry key.
+  /// FNV-1a hash of the config fields + pass + dtype, the cache entry
+  /// key.
   [[nodiscard]] static std::uint64_t key_hash(const ConvConfig& cfg,
-                                              Pass pass);
+                                              Pass pass,
+                                              Dtype dtype = Dtype::kF32);
 
  private:
   Autotuner();
 
-  using Key = std::array<std::size_t, 9>;  // 8 config fields + pass
-  static Key make_key(const ConvConfig& cfg, Pass pass);
+  using Key = std::array<std::size_t, 10>;  // 8 config fields+pass+dtype
+  static Key make_key(const ConvConfig& cfg, Pass pass, Dtype dtype);
 
-  Decision decide_locked(const ConvConfig& cfg, Pass pass);
-  Decision measure_locked(const ConvConfig& cfg, Pass pass);
-  Decision heuristic_locked(const ConvConfig& cfg, Pass pass);
+  Decision decide_locked(const ConvConfig& cfg, Pass pass, Dtype dtype);
+  Decision measure_locked(const ConvConfig& cfg, Pass pass, Dtype dtype);
+  Decision heuristic_locked(const ConvConfig& cfg, Pass pass, Dtype dtype);
   [[nodiscard]] obs::Json cache_json_locked() const;
   std::size_t ingest_cache_text(const std::string& text);
   void persist_locked();

@@ -32,6 +32,29 @@ TEST(ConvFuzz, SeededSmokeBatchFindsNoFailures) {
   }
 }
 
+TEST(ConvFuzz, Int8BatchFindsNoFailures) {
+  // 40 adversarial configs through the int8-vs-fp32 cross-check. The
+  // fused and tune-cache checks already ran in the smoke batch above,
+  // so this batch leaves them off.
+  FuzzOptions options;
+  options.seed = 1;
+  options.count = 40;
+  options.fused = false;
+  options.int8 = true;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_EQ(report.configs_run, options.count);
+  // Every config gets the two unrolling-int8 variants; groups == 1
+  // configs add the two implicit-int8 ones.
+  EXPECT_GE(report.int8_checks, 2 * options.count);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << '[' << failure.index << "] "
+                  << failure.config.to_string() << ": " << failure.what
+                  << "\n  repro: "
+                  << repro_command(options.seed, failure.index)
+                  << " --int8";
+  }
+}
+
 TEST(ConvFuzz, ConfigIsAPureFunctionOfSeedAndIndex) {
   // Identical across calls, and independent of which other indices were
   // generated before — the property --start repro relies on.

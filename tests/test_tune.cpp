@@ -168,9 +168,14 @@ TEST_F(TunerFixture, CacheInvalidatesOnKeyMismatch) {
   // Wrong thread count: the whole file is discarded.
   EXPECT_EQ(tampered_reload(original, "\"threads\"", "\"threads_x\""), 0U);
   // Wrong schema version: discarded.
-  EXPECT_EQ(tampered_reload(original, "\"tune_cache_version\": 1",
+  EXPECT_EQ(tampered_reload(original, "\"tune_cache_version\": 2",
                             "\"tune_cache_version\": 999"),
             0U);
+  // Wrong engine set (a binary with different engines wrote the file):
+  // discarded.
+  EXPECT_EQ(tampered_reload(original, "\"engines\"", "\"engines_x\""), 0U);
+  // Entry dtype missing (pre-v2 entry shape): that entry is dropped.
+  EXPECT_EQ(tampered_reload(original, "\"dtype\"", "\"dtype_x\""), 0U);
   // Edited config field: the per-entry hash no longer matches, so the
   // entry (here, the only one) is dropped while the file stays valid.
   EXPECT_EQ(tampered_reload(original, "\"kernel\": 3", "\"kernel\": 5"),
@@ -194,6 +199,70 @@ TEST_F(TunerFixture, KeyHashSeparatesConfigsAndPasses) {
             Autotuner::key_hash(a, Pass::kBackwardFilter));
   EXPECT_EQ(Autotuner::key_hash(a, Pass::kForward),
             Autotuner::key_hash(small_config(), Pass::kForward));
+}
+
+TEST_F(TunerFixture, KeyHashSeparatesDtypes) {
+  const ConvConfig a = small_config();
+  EXPECT_NE(Autotuner::key_hash(a, Pass::kForward, Dtype::kF32),
+            Autotuner::key_hash(a, Pass::kForward, Dtype::kInt8));
+  EXPECT_EQ(Autotuner::key_hash(a, Pass::kForward),
+            Autotuner::key_hash(a, Pass::kForward, Dtype::kF32));
+}
+
+TEST_F(TunerFixture, Int8PoolOnlyExtendsTheForwardPass) {
+  // The int8 engines join the candidate pool for (kForward, kInt8) only:
+  // fp32 callers keep the exact six engines, and no backward pass ever
+  // sees an inference-only engine.
+  const ConvConfig cfg = small_config();
+  EXPECT_EQ(tuner_->measure_all(cfg, Pass::kForward).size(), 6U);
+  EXPECT_EQ(tuner_->measure_all(cfg, Pass::kBackwardData, Dtype::kInt8)
+                .size(),
+            6U);
+  const auto timings = tuner_->measure_all(cfg, Pass::kForward, Dtype::kInt8);
+  ASSERT_EQ(timings.size(), 8U);
+  bool unrolling_int8 = false;
+  bool implicit_int8 = false;
+  for (const auto& t : timings) {
+    unrolling_int8 |= t.engine_name == "unrolling-int8";
+    implicit_int8 |= t.engine_name == "implicit-int8";
+  }
+  EXPECT_TRUE(unrolling_int8);
+  EXPECT_TRUE(implicit_int8);
+}
+
+TEST_F(TunerFixture, Int8DecisionsMemoizeSeparatelyAndRoundTrip) {
+  const std::string path = testing::TempDir() + "tune_cache_int8.json";
+  tuner_->set_mode(Mode::kMeasure);
+  const Decision f32 = tuner_->decide(small_config(), Pass::kForward);
+  const Decision int8 =
+      tuner_->decide(small_config(), Pass::kForward, Dtype::kInt8);
+  ASSERT_NE(f32.engine, nullptr);
+  ASSERT_NE(int8.engine, nullptr);
+  EXPECT_EQ(tuner_->size(), 2U) << "dtypes must get separate memo keys";
+
+  ASSERT_TRUE(tuner_->save_cache(path));
+  tuner_->clear();
+  EXPECT_EQ(tuner_->load_cache(path), 2U);
+  EXPECT_EQ(
+      tuner_->decide(small_config(), Pass::kForward, Dtype::kInt8)
+          .engine_name,
+      int8.engine_name);
+  EXPECT_EQ(tuner_->decide(small_config(), Pass::kForward).engine_name,
+            f32.engine_name);
+}
+
+TEST_F(TunerFixture, PreInt8CacheIsRejectedWholesale) {
+  // A handcrafted v1-era cache (no engines field, no dtype, version 1)
+  // must load zero entries rather than resurrect stale decisions.
+  const std::string path = testing::TempDir() + "tune_cache_v1.json";
+  {
+    std::ofstream out(path);
+    out << "{\"tune_cache_version\": 1, \"simd\": \""
+        << simd::name(simd::active()) << "\", \"threads\": 1, "
+        << "\"entries\": []}";
+  }
+  tuner_->clear();
+  EXPECT_EQ(tuner_->load_cache(path), 0U);
 }
 
 TEST_F(TunerFixture, DefaultEngineIsTheStaticUnrollingStrategy) {

@@ -1,7 +1,7 @@
 // Command-line driver for the conv-config fuzzer (analysis/conv_fuzz).
 //
 //   conv_fuzz [--seed N] [--count N] [--start N] [--verbose] [--no-poison]
-//             [--no-fused] [--tune-cache [PATH]]
+//             [--no-fused] [--int8] [--tune-cache [PATH]]
 //
 // Deterministic per (seed, index): a failing run prints, for every
 // failure, the exact one-config command that reproduces it. Exit status:
@@ -20,7 +20,8 @@ namespace {
 
 int usage(std::ostream& os) {
   os << "usage: conv_fuzz [--seed N] [--count N] [--start N]"
-        " [--verbose] [--no-poison] [--no-fused] [--tune-cache [PATH]]\n"
+        " [--verbose] [--no-poison] [--no-fused] [--int8]"
+        " [--tune-cache [PATH]]\n"
         "  --seed N      RNG seed defining the config sequence"
         " (default 1)\n"
         "  --count N     number of configs to check (default 200)\n"
@@ -30,6 +31,8 @@ int usage(std::ostream& os) {
         "  --no-poison   do not poison workspace scratch during the"
         " run\n"
         "  --no-fused    skip the fused-vs-unfused layer cross-check\n"
+        "  --int8        cross-check int8 quantized forwards against"
+        " fp32\n"
         "  --tune-cache [PATH]\n"
         "                round-trip autotuner decisions through the disk"
         " cache\n"
@@ -58,6 +61,8 @@ int main(int argc, char** argv) {
       options.poison = false;
     } else if (arg == "--no-fused") {
       options.fused = false;
+    } else if (arg == "--int8") {
+      options.int8 = true;
     } else if (arg == "--tune-cache") {
       options.tune_cache = true;
       // Optional PATH operand: anything that does not look like a flag.
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
             << report.plan_checks << " framework plans validated ("
             << report.plan_skips << " shape-limited skipped), "
             << report.fused_checks << " fused-layer comparisons, "
+            << report.int8_checks << " int8-vs-fp32 comparisons, "
             << report.tune_checks << " tune-cache round-trips\n";
 
   for (const auto& failure : report.failures) {

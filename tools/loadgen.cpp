@@ -63,6 +63,7 @@ struct LoadgenOptions {
   double step_ms = 500;  // arrival window per step
   std::uint64_t seed = 7;
   bool autotune = false;
+  bool int8 = false;     // serve the int8 quantized inference path
   bool compare = true;   // run the batch-1 comparison server
 };
 
@@ -80,6 +81,7 @@ void usage() {
       "  --step-ms=N       arrival window per step, ms (500)\n"
       "  --seed=N          weight + arrival seed (7)\n"
       "  --autotune        per-batch-shape engine autotuning\n"
+      "  --int8            serve the int8 quantized conv path\n"
       "  --no-compare      skip the batch-1 comparison run\n";
 }
 
@@ -124,6 +126,8 @@ bool parse_args(int argc, char** argv, LoadgenOptions& opt) {
       ok = parse_value(value, opt.seed);
     } else if (arg == "--autotune") {
       opt.autotune = true;
+    } else if (arg == "--int8") {
+      opt.int8 = true;
     } else if (arg == "--no-compare") {
       opt.compare = false;
     } else {
@@ -273,6 +277,8 @@ int main(int argc, char** argv) {
   server_opts.input = model.input;
   server_opts.seed = opt.seed;
   server_opts.autotune = opt.autotune;
+  server_opts.int8 = opt.int8;
+  exporter.annotate("int8", opt.int8 ? "1" : "0");
 
   Rng rng(opt.seed ^ 0x10adbeefULL);
   Tensor image(1, model.input.c, model.input.h, model.input.w);
@@ -280,7 +286,8 @@ int main(int argc, char** argv) {
 
   std::cout << "Serving " << opt.model << " ("
             << (opt.model == "tiny" ? "fc" : opt.strategy)
-            << " engine) with " << opt.workers
+            << (opt.int8 ? " engine, int8" : " engine") << ") with "
+            << opt.workers
             << " workers, max_batch " << opt.max_batch << ", max delay "
             << opt.max_delay_us << " us; Poisson ramp x" << opt.ramp
             << " from " << fmt(opt.rate, 0) << " rps ("

@@ -30,13 +30,14 @@ METRICS_DOC = REPO_ROOT / "docs" / "METRICS.md"
 
 ARTIFACT_KINDS = {"table_csv", "table_json", "json", "metrics", "trace"}
 
-TUNE_CACHE_VERSION = 1
+TUNE_CACHE_VERSION = 2
 TUNE_ENTRY_FIELDS = {"batch", "input", "channels", "filters", "kernel",
-                     "stride", "pad", "groups", "pass", "hash", "engine",
-                     "best_ms", "baseline_ms"}
+                     "stride", "pad", "groups", "pass", "dtype", "hash",
+                     "engine", "best_ms", "baseline_ms"}
 TUNE_PASSES = {"forward", "backward-data", "backward-filter"}
+TUNE_DTYPES = {"fp32", "int8"}
 TUNE_ENGINES = {"direct", "unrolling", "implicit-gemm", "fft", "fft-tiled",
-                "winograd"}
+                "winograd", "unrolling-int8", "implicit-int8"}
 
 
 class Failure(Exception):
@@ -203,6 +204,29 @@ def validate_serving_table(directory, entry):
               f" p99 {row['p99_ms']})")
 
 
+INT8_COLUMNS = {"case", "fp32_real_ns", "int8_real_ns", "speedup"}
+
+
+def validate_int8_table(directory, entry):
+    """BENCH_int8 schema (bench_cpu_kernels): each row pairs an fp32
+    benchmark with its int8 twin; the speedup column must be their
+    actual ratio."""
+    doc = load_json(directory / entry["file"])
+    name = entry["file"]
+    missing = INT8_COLUMNS - set(doc.get("columns", []))
+    check(not missing,
+          f"{name}: BENCH_int8 missing columns {sorted(missing)}")
+    for i, row in enumerate(doc.get("rows", [])):
+        fp32 = float(row["fp32_real_ns"])
+        int8 = float(row["int8_real_ns"])
+        speedup = float(row["speedup"])
+        check(fp32 > 0 and int8 > 0,
+              f"{name}: row {i}: non-positive timing")
+        check(abs(speedup - fp32 / int8) <= 1e-3 * speedup + 1e-6,
+              f"{name}: row {i}: speedup {speedup} != fp32/int8"
+              f" {fp32 / int8}")
+
+
 def validate_tune_cache(path):
     """Validates one on-disk autotuner cache (src/tune/autotuner.cpp)."""
     doc = load_json(path)
@@ -214,6 +238,12 @@ def validate_tune_cache(path):
     threads = doc.get("threads")
     check(isinstance(threads, (int, float)) and threads >= 1,
           f"bad 'threads': {threads!r}")
+    # v2: the header advertises the writer's engine set; a reader whose
+    # set differs rejects the whole cache rather than misread decisions.
+    engines = doc.get("engines")
+    check(isinstance(engines, str) and engines,
+          "missing/empty 'engines'")
+    advertised = set(engines.split(","))
     entries = doc.get("entries")
     check(isinstance(entries, list), "'entries' is not a list")
     for i, entry in enumerate(entries):
@@ -222,12 +252,18 @@ def validate_tune_cache(path):
         check(not missing, f"entry {i}: missing {sorted(missing)}")
         check(entry["pass"] in TUNE_PASSES,
               f"entry {i}: unknown pass {entry['pass']!r}")
+        check(entry["dtype"] in TUNE_DTYPES,
+              f"entry {i}: unknown dtype {entry['dtype']!r}")
         check(entry["engine"] in TUNE_ENGINES,
               f"entry {i}: unknown engine {entry['engine']!r}")
+        check(entry["engine"] in advertised,
+              f"entry {i}: engine {entry['engine']!r} not in the"
+              " advertised 'engines' set")
         check(isinstance(entry["hash"], str) and
               re.fullmatch(r"0x[0-9a-f]{16}", entry["hash"]),
               f"entry {i}: malformed hash {entry['hash']!r}")
-        for field in TUNE_ENTRY_FIELDS - {"pass", "hash", "engine"}:
+        for field in TUNE_ENTRY_FIELDS - {"pass", "dtype", "hash",
+                                          "engine"}:
             value = entry[field]
             check(isinstance(value, (int, float)) and value >= 0,
                   f"entry {i}: bad {field}: {value!r}")
@@ -255,6 +291,8 @@ def validate_directory(directory):
         kind = entry["kind"]
         if kind == "table_json":
             validate_table(directory, entry, documented)
+            if entry["file"].startswith("BENCH_int8"):
+                validate_int8_table(directory, entry)
         elif kind == "table_csv":
             validate_csv(directory, entry)
         elif kind == "metrics":
