@@ -28,6 +28,7 @@
 #include "conv/quantized_conv.hpp"
 #include "quant/quant.hpp"
 #include "conv/conv_engine.hpp"
+#include "conv/depthwise_conv.hpp"
 #include "conv/gemm_conv.hpp"
 #include "conv/im2col.hpp"
 #include "core/cpu_features.hpp"
@@ -216,6 +217,81 @@ void BM_ConvWinograd(benchmark::State& state) {
   conv_strategy_bench(state, conv::Strategy::kWinograd);
 }
 BENCHMARK(BM_ConvWinograd)->Arg(3);  // F(2x2,3x3): 3x3 kernels only
+
+// --- depthwise and pointwise engines ---------------------------------
+
+/// MobileNet-style interior depthwise layer: 3x3, C = 64, 56x56.
+/// Acceptance geometry: DepthwiseConv must beat grouped GemmConv here —
+/// the grouped im2col+GEMM path moves the whole column matrix for a
+/// reduction of only k*k.
+constexpr ConvConfig kDepthwiseCfg{.batch = 1, .input = 56, .channels = 64,
+                                   .filters = 64, .kernel = 3, .stride = 1,
+                                   .pad = 1, .groups = 64};
+
+void depthwise_forward_bench(benchmark::State& state,
+                             const conv::ConvEngine& engine) {
+  Rng rng(12);
+  Tensor in(kDepthwiseCfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(kDepthwiseCfg.filter_shape());
+  w.fill_uniform(rng);
+  Tensor out(kDepthwiseCfg.output_shape());
+  for (auto _ : state) {
+    engine.forward(kDepthwiseCfg, in, w, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      kDepthwiseCfg.forward_flops() *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_DepthwiseConvForward(benchmark::State& state) {
+  const conv::DepthwiseConv engine;
+  depthwise_forward_bench(state, engine);
+}
+void BM_DepthwiseViaGroupedGemm(benchmark::State& state) {
+  const conv::GemmConv engine;
+  depthwise_forward_bench(state, engine);
+}
+BENCHMARK(BM_DepthwiseConvForward);
+BENCHMARK(BM_DepthwiseViaGroupedGemm);
+
+/// Pointwise (1x1) projection layer from the same separable block. The
+/// fast path feeds the NCHW planes straight to SGEMM; the staged path
+/// copies them through the column buffer first.
+constexpr ConvConfig kPointwiseCfg{.batch = 1, .input = 56, .channels = 64,
+                                   .filters = 128, .kernel = 1, .stride = 1,
+                                   .pad = 0};
+
+void pointwise_forward_bench(benchmark::State& state, bool fast_path) {
+  const bool previous = conv::set_pointwise_fast_path(fast_path);
+  const conv::GemmConv engine;
+  Rng rng(13);
+  Tensor in(kPointwiseCfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(kPointwiseCfg.filter_shape());
+  w.fill_uniform(rng);
+  Tensor out(kPointwiseCfg.output_shape());
+  for (auto _ : state) {
+    engine.forward(kPointwiseCfg, in, w, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  conv::set_pointwise_fast_path(previous);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      kPointwiseCfg.forward_flops() *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_PointwiseConvDirectGemm(benchmark::State& state) {
+  pointwise_forward_bench(state, /*fast_path=*/true);
+}
+void BM_PointwiseConvStagedIm2col(benchmark::State& state) {
+  pointwise_forward_bench(state, /*fast_path=*/false);
+}
+BENCHMARK(BM_PointwiseConvDirectGemm);
+BENCHMARK(BM_PointwiseConvStagedIm2col);
 
 // --- FFT conv: half-spectrum vs full-complex -------------------------
 

@@ -204,6 +204,7 @@ int main(int argc, char** argv) try {
   zoo.push_back(nn::vgg19());
   zoo.push_back(nn::googlenet());
   zoo.push_back(nn::overfeat());
+  zoo.push_back(nn::mobilenet_v1());
 
   Table table("model zoo");
   table.header({"model", "layers", "conv", "fc", "parameters (M)",
@@ -215,6 +216,7 @@ int main(int argc, char** argv) try {
       "\"19 layers ... over 144 million parameters\"",
       "\"22 layers with about 6.8 million\"",
       "OverFeat fast",
+      "depthwise-separable (post-paper)",
   };
   for (std::size_t i = 0; i < zoo.size(); ++i) {
     const auto& m = zoo[i];

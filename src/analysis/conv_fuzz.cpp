@@ -10,6 +10,7 @@
 
 #include "analysis/conv_runner.hpp"
 #include "conv/conv_engine.hpp"
+#include "conv/depthwise_conv.hpp"
 #include "conv/fft_conv.hpp"
 #include "conv/implicit_gemm_conv.hpp"
 #include "conv/quantized_conv.hpp"
@@ -86,6 +87,7 @@ std::vector<std::unique_ptr<conv::ConvEngine>> make_checked_engines() {
       std::make_unique<conv::FftConv>(conv::FftConv::Spectrum::kFull));
   engines.push_back(std::make_unique<conv::TiledFftConv>());
   engines.push_back(conv::make_engine(conv::Strategy::kWinograd));
+  engines.push_back(std::make_unique<conv::DepthwiseConv>());
   return engines;
 }
 
@@ -250,10 +252,19 @@ ConvConfig fuzz_config(std::uint64_t seed, std::size_t index) {
   Rng rng(mix(seed, index));
   for (int attempt = 0; attempt < 64; ++attempt) {
     ConvConfig cfg;
-    cfg.groups = pick(rng, {1, 1, 1, 1, 1, 2, 2, 3, 4});
+    // One draw in six lands the depthwise-degenerate family
+    // (groups == channels, multiplier >= 1) the DepthwiseConv engine
+    // owns; the rest keeps the original grouped/ungrouped mix.
+    if (pick(rng, {0, 0, 0, 0, 0, 1}) == 1) {
+      cfg.groups = pick(rng, {2, 3, 4, 6, 8});
+      cfg.channels = cfg.groups;
+      cfg.filters = cfg.groups * pick(rng, {1, 1, 2, 3});
+    } else {
+      cfg.groups = pick(rng, {1, 1, 1, 1, 1, 2, 2, 3, 4});
+      cfg.channels = cfg.groups * pick(rng, {1, 1, 2, 3, 5, 8});
+      cfg.filters = cfg.groups * pick(rng, {1, 2, 3, 4, 8});
+    }
     cfg.batch = pick(rng, {1, 1, 2, 3, 4});
-    cfg.channels = cfg.groups * pick(rng, {1, 1, 2, 3, 5, 8});
-    cfg.filters = cfg.groups * pick(rng, {1, 2, 3, 4, 8});
     cfg.kernel = pick(rng, {1, 2, 3, 3, 3, 4, 5, 7, 9, 11});
     // Stride beyond the kernel skips input pixels entirely; stride
     // beyond the input collapses the output to one pixel per border.
@@ -274,6 +285,32 @@ ConvConfig fuzz_config(std::uint64_t seed, std::size_t index) {
   // back to a fixed minimal config so the run stays deterministic.
   return ConvConfig{.batch = 1, .input = 8, .channels = 1, .filters = 1,
                     .kernel = 3, .stride = 1, .pad = 0, .groups = 1};
+}
+
+ConvConfig fuzz_depthwise_config(std::uint64_t seed, std::size_t index) {
+  // A distinct mix offset decorrelates this sequence from fuzz_config's.
+  Rng rng(mix(seed, index) ^ 0xD3E7);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ConvConfig cfg;
+    cfg.groups = pick(rng, {1, 2, 3, 4, 6, 8, 16, 32});
+    cfg.channels = cfg.groups;
+    // Multipliers > 1 weighted heavily: the filter-indexing bugs a
+    // depthwise engine can have (filter f reading channel f instead of
+    // f / M) only show up with a multiplier.
+    cfg.filters = cfg.groups * pick(rng, {1, 2, 2, 3, 4});
+    cfg.batch = pick(rng, {1, 1, 2, 3, 4});
+    cfg.kernel = pick(rng, {1, 2, 3, 3, 3, 5, 7, 9});
+    cfg.stride = pick(rng, {1, 1, 1, 1, 2, 2, 3, 4});
+    cfg.pad = pick(rng, {0, 0, 1, 1, 2, cfg.kernel - 1, cfg.kernel,
+                         cfg.kernel + 1});
+    cfg.input = pick(rng, {1, 3, 5, 7, 9, 12, 15, 16, 17, 23, 28, 31, 32,
+                           33, 56, 63, 64, 65});
+    if (cfg.input + 2 * cfg.pad < cfg.kernel) continue;
+    if (!affordable(cfg)) continue;
+    return cfg;
+  }
+  return ConvConfig{.batch = 1, .input = 8, .channels = 4, .filters = 8,
+                    .kernel = 3, .stride = 1, .pad = 1, .groups = 4};
 }
 
 void check_config(const ConvConfig& cfg, std::uint64_t seed,
@@ -508,10 +545,12 @@ void check_tune_roundtrip(const ConvConfig& cfg, std::size_t index,
   tuner.set_mode(mode_before);
 }
 
-std::string repro_command(std::uint64_t seed, std::size_t index) {
+std::string repro_command(std::uint64_t seed, std::size_t index,
+                          bool depthwise) {
   std::ostringstream os;
   os << "tools/conv_fuzz --seed " << seed << " --start " << index
      << " --count 1";
+  if (depthwise) os << " --depthwise";
   return os.str();
 }
 
@@ -523,7 +562,9 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
                                     : options.tune_cache_path;
   for (std::size_t i = options.start; i < options.start + options.count;
        ++i) {
-    const ConvConfig cfg = fuzz_config(options.seed, i);
+    const ConvConfig cfg = options.depthwise
+                               ? fuzz_depthwise_config(options.seed, i)
+                               : fuzz_config(options.seed, i);
     const std::size_t failures_before = report.failures.size();
     check_config(cfg, options.seed, i, report);
     if (options.fused) check_fused(cfg, options.seed, i, report);

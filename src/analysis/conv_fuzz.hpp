@@ -36,6 +36,7 @@ struct FuzzOptions {
   bool poison = true;        ///< scratch-poison the arena for the run
   bool fused = true;         ///< cross-check fused conv+bias+ReLU layers
   bool int8 = false;         ///< cross-check int8 forwards against fp32
+  bool depthwise = false;    ///< depthwise-only generator (groups == C)
   bool tune_cache = false;   ///< round-trip autotuner decisions via disk
   std::string tune_cache_path;  ///< cache file (tune_cache); "" = default
   std::ostream* log = nullptr;  ///< per-config progress when non-null
@@ -67,6 +68,12 @@ struct FuzzReport {
 /// arguments, independent of any other index.
 [[nodiscard]] ConvConfig fuzz_config(std::uint64_t seed, std::size_t index);
 
+/// The depthwise-degenerate config at (seed, index): always
+/// groups == channels, channel multipliers > 1 included — the family the
+/// DepthwiseConv engine owns. Pure function of its arguments.
+[[nodiscard]] ConvConfig fuzz_depthwise_config(std::uint64_t seed,
+                                               std::size_t index);
+
 /// Checks one config (engines + plans). Failure strings are appended to
 /// `report.failures` tagged with `index`; counters accumulate.
 void check_config(const ConvConfig& cfg, std::uint64_t seed,
@@ -96,9 +103,11 @@ void check_int8(const ConvConfig& cfg, std::uint64_t seed,
 void check_tune_roundtrip(const ConvConfig& cfg, std::size_t index,
                           FuzzReport& report, const std::string& path);
 
-/// The one-line command rerunning exactly config (seed, index).
+/// The one-line command rerunning exactly config (seed, index);
+/// `depthwise` selects the depthwise-only generator's sequence.
 [[nodiscard]] std::string repro_command(std::uint64_t seed,
-                                        std::size_t index);
+                                        std::size_t index,
+                                        bool depthwise = false);
 
 /// Generates and checks options.count configs starting at options.start.
 [[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);

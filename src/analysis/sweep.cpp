@@ -27,8 +27,13 @@ ConvConfig base_config() {
                     .kernel = 11, .stride = 1};
 }
 
+ConvConfig depthwise_base_config() {
+  return ConvConfig{.batch = 64, .input = 56, .channels = 64, .filters = 64,
+                    .kernel = 3, .stride = 1, .pad = 1, .groups = 64};
+}
+
 ConvConfig SweepSpec::config_for(std::size_t value) const {
-  ConvConfig cfg = base_config();
+  ConvConfig cfg = base.batch != 0 ? base : base_config();
   switch (parameter) {
     case SweepParameter::kBatch:
       cfg.batch = value;
@@ -47,6 +52,8 @@ ConvConfig SweepSpec::config_for(std::size_t value) const {
       break;
   }
   check(cfg.input >= cfg.kernel, "swept config has kernel > input");
+  check(cfg.filters % cfg.groups == 0,
+        "swept filter count must stay a multiple of the group count");
   return cfg;
 }
 
@@ -60,6 +67,24 @@ std::vector<SweepSpec> paper_sweeps() {
   for (std::size_t f = 32; f <= 512; f += 16) sweeps[2].values.push_back(f);
   sweeps[3].parameter = SweepParameter::kKernel;
   for (std::size_t k = 3; k <= 31; k += 2) sweeps[3].values.push_back(k);
+  sweeps[4].parameter = SweepParameter::kStride;
+  for (std::size_t s = 1; s <= 4; ++s) sweeps[4].values.push_back(s);
+  return sweeps;
+}
+
+std::vector<SweepSpec> depthwise_sweeps() {
+  std::vector<SweepSpec> sweeps(5);
+  for (auto& s : sweeps) s.base = depthwise_base_config();
+  sweeps[0].parameter = SweepParameter::kBatch;
+  for (std::size_t b = 32; b <= 256; b += 32) sweeps[0].values.push_back(b);
+  sweeps[1].parameter = SweepParameter::kInput;
+  for (std::size_t i = 8; i <= 64; i += 8) sweeps[1].values.push_back(i);
+  // Sweeping filters on a groups == channels base steps the channel
+  // multiplier: 64 filters = multiplier 1, 128 = 2, ...
+  sweeps[2].parameter = SweepParameter::kFilters;
+  for (std::size_t f = 64; f <= 256; f += 64) sweeps[2].values.push_back(f);
+  sweeps[3].parameter = SweepParameter::kKernel;
+  for (std::size_t k = 3; k <= 11; k += 2) sweeps[3].values.push_back(k);
   sweeps[4].parameter = SweepParameter::kStride;
   for (std::size_t s = 1; s <= 4; ++s) sweeps[4].values.push_back(s);
   return sweeps;

@@ -20,9 +20,15 @@ enum class SweepParameter { kBatch, kInput, kFilters, kKernel, kStride };
 struct SweepSpec {
   SweepParameter parameter{};
   std::vector<std::size_t> values;
+  /// The tuple held fixed while `parameter` varies; empty (batch == 0)
+  /// means the paper's base_config(). Depthwise sweeps substitute a
+  /// groups == channels base here.
+  ConvConfig base{.batch = 0};
 
   /// Materialises the configuration for one swept value, holding the
-  /// paper's base tuple for the rest.
+  /// base tuple for the rest. For a grouped base, sweeping the filter
+  /// count steps the channel multiplier (values must stay multiples of
+  /// the group count).
   [[nodiscard]] ConvConfig config_for(std::size_t value) const;
 };
 
@@ -30,10 +36,19 @@ struct SweepSpec {
 /// convnet-benchmarks L1 depth the tuple mirrors).
 [[nodiscard]] ConvConfig base_config();
 
+/// Post-paper depthwise base: a MobileNet-style interior layer
+/// (64, 56, 64, 3, 1) with pad 1 and groups == channels == 64.
+[[nodiscard]] ConvConfig depthwise_base_config();
+
 /// The five sweeps with the paper's ranges: b in [32, 512] step 32,
 /// i in [32, 256] step 16, f in [32, 512] step 16, k in [3, 31] step 2,
 /// s in [1, 4].
 [[nodiscard]] std::vector<SweepSpec> paper_sweeps();
+
+/// Fig-3-style sweeps over the depthwise base: b in [32, 256] step 32,
+/// i in [8, 64] step 8, f in {64..256 step 64} (the channel multiplier),
+/// k in [3, 11] step 2, s in [1, 4].
+[[nodiscard]] std::vector<SweepSpec> depthwise_sweeps();
 
 /// Result of one sweep point: every framework evaluated on the config.
 struct SweepPoint {

@@ -1,5 +1,7 @@
 #include "conv/gemm_conv.hpp"
 
+#include <atomic>
+
 #include "blas/gemm.hpp"
 #include "conv/im2col.hpp"
 #include "core/workspace.hpp"
@@ -20,7 +22,24 @@ ConvConfig group_view(const ConvConfig& cfg) {
   return g;
 }
 
+std::atomic<bool> g_pointwise_fast_path{true};
+
+// For a 1x1 stride-1 pad-0 convolution, im2col is the identity: the
+// column matrix is (C x OhOw) with OhOw == input^2 — exactly the input
+// plane block, same values, same leading dimension. The GEMMs can then
+// consume (and col2im targets receive) the NCHW activations directly,
+// skipping the staging copy entirely (cuConv's observation: the
+// transform adds no locality on pointwise shapes).
+bool pointwise(const ConvConfig& cfg) {
+  return cfg.kernel == 1 && cfg.stride == 1 && cfg.pad == 0 &&
+         g_pointwise_fast_path.load(std::memory_order_relaxed);
+}
+
 }  // namespace
+
+bool set_pointwise_fast_path(bool enabled) {
+  return g_pointwise_fast_path.exchange(enabled, std::memory_order_relaxed);
+}
 
 void GemmConv::forward(const ConvConfig& cfg, const Tensor& input,
                        const Tensor& filters, Tensor& output) const {
@@ -46,24 +65,30 @@ void GemmConv::run_forward(const ConvConfig& cfg, const Tensor& input,
   const std::size_t o = cfg.output();
   const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
   const std::size_t cols = o * o;
-  ws::Scratch<float> col(col_buffer_size(gv));
+  const bool direct_b = pointwise(cfg);
+  ws::Scratch<float> col(direct_b ? 0 : col_buffer_size(gv));
 
   // Per image and group: out(F_g x OhOw) = W_g(F_g x CKK) * col. The
   // GEMM itself is parallel, matching Caffe's per-image cuBLAS calls.
   // Bias + ReLU (when requested) ride the GEMM's write-back epilogue:
   // the GEMM rows are this group's filters, so row i gets bias[g*F_g+i].
+  // Pointwise shapes feed the GEMM the input planes directly (see
+  // pointwise() above) — no im2col, same result bit-for-bit.
   for (std::size_t n = 0; n < cfg.batch; ++n) {
     for (std::size_t g = 0; g < cfg.groups; ++g) {
-      im2col(gv,
-             {input.plane(n, g * gv.channels),
-              gv.channels * cfg.input * cfg.input},
-             col.span());
+      std::span<const float> b{
+          input.plane(n, g * gv.channels),
+          gv.channels * cfg.input * cfg.input};
+      if (!direct_b) {
+        im2col(gv, b, col.span());
+        b = col.span();
+      }
       const blas::Epilogue ep{
           .bias = bias == nullptr ? nullptr : bias + g * gv.filters,
           .relu = relu};
       blas::sgemm(Trans::kNo, Trans::kNo, gv.filters, cols, ckk, 1.0F,
                   {filters.plane(g * gv.filters, 0), gv.filters * ckk},
-                  ckk, col.span(), cols, 0.0F,
+                  ckk, b, cols, 0.0F,
                   {output.plane(n, g * gv.filters), gv.filters * cols},
                   cols, ep);
     }
@@ -81,21 +106,25 @@ void GemmConv::backward_data(const ConvConfig& cfg, const Tensor& grad_output,
   const std::size_t o = cfg.output();
   const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
   const std::size_t cols = o * o;
-  ws::Scratch<float> col(col_buffer_size(gv));
-  grad_input.fill(0.0F);
+  const bool direct_c = pointwise(cfg);
+  ws::Scratch<float> col(direct_c ? 0 : col_buffer_size(gv));
+  if (!direct_c) grad_input.fill(0.0F);
 
   // Per image and group: col_grad(CKK x OhOw) = W_g^T(CKK x F_g) *
   // gout_g(F_g x OhOw), then col2im scatters into the input gradient.
+  // On pointwise shapes every input cell receives exactly one column
+  // cell, so the GEMM writes the gradient planes directly (beta = 0
+  // replaces the zero-fill + scatter-add).
   for (std::size_t n = 0; n < cfg.batch; ++n) {
     for (std::size_t g = 0; g < cfg.groups; ++g) {
+      std::span<float> gin{grad_input.plane(n, g * gv.channels),
+                           gv.channels * cfg.input * cfg.input};
       blas::sgemm(Trans::kYes, Trans::kNo, ckk, cols, gv.filters, 1.0F,
                   {filters.plane(g * gv.filters, 0), gv.filters * ckk},
                   ckk,
                   {grad_output.plane(n, g * gv.filters), gv.filters * cols},
-                  cols, 0.0F, col.span(), cols);
-      col2im(gv, col.span(),
-             {grad_input.plane(n, g * gv.channels),
-              gv.channels * cfg.input * cfg.input});
+                  cols, 0.0F, direct_c ? gin : col.span(), cols);
+      if (!direct_c) col2im(gv, col.span(), gin);
     }
   }
 }
@@ -112,19 +141,24 @@ void GemmConv::backward_filter(const ConvConfig& cfg, const Tensor& input,
   const std::size_t o = cfg.output();
   const std::size_t ckk = gv.channels * cfg.kernel * cfg.kernel;
   const std::size_t cols = o * o;
-  ws::Scratch<float> col(col_buffer_size(gv));
+  const bool direct_b = pointwise(cfg);
+  ws::Scratch<float> col(direct_b ? 0 : col_buffer_size(gv));
   grad_filters.fill(0.0F);
 
-  // Per image and group: gw_g(F_g x CKK) += gout_g * col^T.
+  // Per image and group: gw_g(F_g x CKK) += gout_g * col^T. Pointwise
+  // shapes read the input planes as the column matrix directly.
   for (std::size_t n = 0; n < cfg.batch; ++n) {
     for (std::size_t g = 0; g < cfg.groups; ++g) {
-      im2col(gv,
-             {input.plane(n, g * gv.channels),
-              gv.channels * cfg.input * cfg.input},
-             col.span());
+      std::span<const float> b{
+          input.plane(n, g * gv.channels),
+          gv.channels * cfg.input * cfg.input};
+      if (!direct_b) {
+        im2col(gv, b, col.span());
+        b = col.span();
+      }
       blas::sgemm(Trans::kNo, Trans::kYes, gv.filters, ckk, cols, 1.0F,
                   {grad_output.plane(n, g * gv.filters), gv.filters * cols},
-                  cols, col.span(), cols, 1.0F,
+                  cols, b, cols, 1.0F,
                   {grad_filters.plane(g * gv.filters, 0),
                    gv.filters * ckk},
                   ckk);

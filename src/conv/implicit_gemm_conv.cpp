@@ -16,7 +16,12 @@ struct Geometry {
   std::size_t o, in, k, s, p, ckk, positions;
 };
 
+// All three passes assume ungrouped geometry (ckk spans every channel,
+// filter planes are channels wide); supports() declines groups > 1, so
+// the autotuner/advisor never select this engine for grouped shapes.
+// The guard keeps a direct mis-call from reading out of bounds.
 Geometry geometry_of(const ConvConfig& cfg) {
+  check(cfg.groups == 1, "implicit GEMM does not support grouped filters");
   const std::size_t o = cfg.output();
   return {o,
           cfg.input,
@@ -104,7 +109,6 @@ void ImplicitGemmConv::run_forward(const ConvConfig& cfg,
                                    const Tensor& filters, Tensor& output,
                                    const float* bias, bool relu) {
   validate_forward(cfg, input, filters, output);
-  check(cfg.groups == 1, "implicit GEMM does not support grouped filters");
   const Geometry g = geometry_of(cfg);
 
   parallel_for(0, cfg.batch, [&](std::size_t n) {

@@ -85,6 +85,41 @@ gpusim::KernelProfile cudnn_precompute(const ConvConfig& cfg,
   return k;
 }
 
+// Depthwise (groups == channels) shapes: cuDNN dispatches a dedicated
+// per-channel kernel instead of implicit GEMM. With only k*k MACs per
+// output element there is no reduction to tile, so the kernel is
+// memory-bound: it streams input + filters in and output out with
+// near-unit coalescing and touches no shared memory.
+gpusim::KernelProfile cudnn_depthwise_kernel(const ConvConfig& cfg,
+                                             const char* name) {
+  gpusim::KernelProfile k;
+  k.name = name;
+  k.kind = gpusim::KernelClass::kDepthwise;
+  k.block_threads = 256;
+  k.regs_per_thread = 40;
+  k.smem_per_block = 0;
+  const auto o = static_cast<double>(cfg.output());
+  k.grid_blocks = grid_for(static_cast<double>(cfg.batch) *
+                               static_cast<double>(cfg.filters) * o * o,
+                           k.block_threads);
+  k.flops = conv_pass_flops(cfg);  // group-aware: 2*N*F*o^2*k^2
+  k.global_load_bytes = input_bytes(cfg) + filter_bytes(cfg);
+  k.global_store_bytes = output_bytes(cfg);
+  // One thread per output pixel walking a contiguous row window:
+  // coalesced apart from the halo columns.
+  k.gld_efficiency = 0.85;
+  k.gst_efficiency = 0.90;
+  k.gld_dram_factor = 1.05;
+  k.gst_dram_factor = 1.05;
+  k.shared_bytes = 0.0;
+  k.shared_efficiency = 1.0;
+  k.warp_exec_efficiency = 0.97;
+  k.compute_efficiency = 0.45;  // latency-bound at k*k MACs per element
+  k.achieved_occupancy_factor = 0.90;
+  k.occupancy_needed = 0.25;    // no ILP from a reduction loop
+  return k;
+}
+
 class Cudnn final : public Framework {
  public:
   [[nodiscard]] FrameworkId id() const override {
@@ -100,6 +135,23 @@ class Cudnn final : public Framework {
   [[nodiscard]] ExecutionPlan plan(const ConvConfig& cfg) const override {
     const PlanScope obs_scope("cudnn");
     ExecutionPlan plan;
+    if (cfg.groups == cfg.channels && cfg.groups > 1) {
+      // Depthwise path: no im2col identity to exploit, no pre-transforms,
+      // no algorithm workspace — three memory-bound streaming kernels.
+      plan.kernels.push_back(tagged(
+          cudnn_depthwise_kernel(cfg, "cuDNN_depthwise.fwd"),
+          gpusim::Pass::kForward));
+      plan.kernels.push_back(tagged(
+          cudnn_depthwise_kernel(cfg, "cuDNN_depthwise.bwd_data"),
+          gpusim::Pass::kBackwardData));
+      plan.kernels.push_back(tagged(
+          cudnn_depthwise_kernel(cfg, "cuDNN_depthwise.bwd_filter"),
+          gpusim::Pass::kBackwardFilter));
+      add_activation_memory(plan, cfg, /*with_gradient_buffers=*/true,
+                            120.0, "cudnn");
+      add_batch_transfers(plan, cfg, /*pinned=*/true, /*overlap=*/0.98);
+      return plan;
+    }
     plan.kernels.push_back(tagged(
         cudnn_precompute(cfg, "cudnn_transform.fwd"),
         gpusim::Pass::kForward));

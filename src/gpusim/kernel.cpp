@@ -16,6 +16,8 @@ const char* to_string(KernelClass c) {
       return "transpose";
     case KernelClass::kDirectConv:
       return "direct-conv";
+    case KernelClass::kDepthwise:
+      return "depthwise";
     case KernelClass::kPointwise:
       return "pointwise";
     case KernelClass::kPrecompute:

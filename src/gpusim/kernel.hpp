@@ -22,6 +22,7 @@ enum class KernelClass {
   kFftInverse,  // inverse FFT
   kTranspose,   // data layout conversion
   kDirectConv,  // direct convolution kernels (cuda-convnet2)
+  kDepthwise,   // depthwise (groups == channels) convolution kernels
   kPointwise,   // bias/activation/scale helpers
   kPrecompute,  // preparatory kernels (cuDNN pre-transforms, Theano prep)
 };

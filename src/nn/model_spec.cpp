@@ -371,6 +371,56 @@ ModelSpec overfeat(std::size_t batch) {
       .build();
 }
 
+ModelSpec mobilenet_v1(std::size_t batch) {
+  Builder b("MobileNet-v1", batch, 3, 224);
+  b.conv("conv1", 32, 3, 2, 1).relu();
+  std::size_t index = 1;
+  std::size_t channels = 32;
+  // One depthwise-separable block: 3x3 depthwise (groups == channels)
+  // then a 1x1 pointwise expansion — the factorisation that replaces a
+  // dense 3x3 conv at a fraction of the FLOPs.
+  const auto separable = [&](std::size_t out, std::size_t stride) {
+    const std::string stem = "conv" + std::to_string(++index);
+    b.conv(stem + "/dw", channels, 3, stride, 1, channels).relu();
+    b.conv(stem + "/pw", out, 1).relu();
+    channels = out;
+  };
+  separable(64, 1);
+  separable(128, 2);
+  separable(128, 1);
+  separable(256, 2);
+  separable(256, 1);
+  separable(512, 2);
+  for (int i = 0; i < 5; ++i) separable(512, 1);
+  separable(1024, 2);
+  separable(1024, 1);
+  b.pool(7, 1, /*average=*/true);
+  b.fc("fc", 1000).softmax();
+  return b.build();
+}
+
+ModelSpec mobilenet_mini(std::size_t batch) {
+  // 32x32 input, two separable blocks; the first depthwise stage uses a
+  // channel multiplier of 2 (filters = 2 * channels, still
+  // groups == channels).
+  return Builder("MobileNet-mini", batch, 3, 32)
+      .conv("conv1", 8, 3, 1, 1)
+      .relu()
+      .conv("conv2/dw", 16, 3, 1, 1, 8)  // multiplier 2 depthwise
+      .relu()
+      .conv("conv2/pw", 16, 1)
+      .relu()
+      .pool(2, 2)
+      .conv("conv3/dw", 16, 3, 2, 1, 16)
+      .relu()
+      .conv("conv3/pw", 32, 1)
+      .relu()
+      .pool(2, 2)
+      .fc("fc", 10)
+      .softmax()
+      .build();
+}
+
 std::vector<ModelSpec> figure2_models() {
   std::vector<ModelSpec> models;
   models.push_back(googlenet());

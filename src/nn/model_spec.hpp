@@ -78,6 +78,14 @@ struct ModelSpec {
 [[nodiscard]] ModelSpec googlenet(std::size_t batch = 128);
 /// OverFeat fast model (231x231x3; 5 conv + 3 fc).
 [[nodiscard]] ModelSpec overfeat(std::size_t batch = 128);
+/// MobileNet v1 (224x224x3; post-paper): 13 depthwise-separable blocks —
+/// a 3x3 depthwise conv (groups == channels) followed by a pointwise 1x1
+/// — the memory-bound workload the DepthwiseConv engine targets.
+[[nodiscard]] ModelSpec mobilenet_v1(std::size_t batch = 64);
+/// A small MobileNet-style separable net on 32x32 input, cheap enough to
+/// instantiate and train in tests; its depthwise stage uses a channel
+/// multiplier of 2 to exercise the multiplier > 1 path.
+[[nodiscard]] ModelSpec mobilenet_mini(std::size_t batch = 8);
 
 /// The four models of Fig. 2, in the paper's plotting order.
 [[nodiscard]] std::vector<ModelSpec> figure2_models();

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "analysis/recommend.hpp"
+#include "conv/depthwise_conv.hpp"
 #include "conv/direct_conv.hpp"
 #include "conv/fft_conv.hpp"
 #include "conv/gemm_conv.hpp"
@@ -62,8 +63,9 @@ std::span<const conv::ConvEngine* const> candidates() {
   static const conv::FftConv fft;              // half-spectrum
   static const conv::TiledFftConv fft_tiled;
   static const conv::WinogradConv winograd;
+  static const conv::DepthwiseConv depthwise;
   static const conv::ConvEngine* const all[] = {
-      &direct, &gemm, &implicit, &fft, &fft_tiled, &winograd};
+      &direct, &gemm, &implicit, &fft, &fft_tiled, &winograd, &depthwise};
   return all;
 }
 
@@ -131,6 +133,11 @@ std::vector<std::size_t> prior_order(const ConvConfig& cfg, Pass pass,
       push_unique(candidates().size() + i);
     }
   }
+
+  // Depthwise-degenerate shapes: the specialised engine is the likely
+  // winner (no im2col traffic, no wasted reduction), so it leads the
+  // search; the recommend model below only knows the paper's strategies.
+  if (cfg.groups == cfg.channels && cfg.groups > 1) push_unique(6);
 
   analysis::Recommendation rec;
   try {

@@ -72,6 +72,8 @@ TEST(ConvFuzz, GeneratorCoversTheAdversarialFamilies) {
   bool single_channel = false;
   bool single_image = false;
   bool grouped = false;
+  bool depthwise = false;
+  bool depthwise_multiplier = false;
   bool input_at_most_kernel = false;
   std::set<std::size_t> inputs;
   for (std::size_t i = 0; i < 500; ++i) {
@@ -82,6 +84,9 @@ TEST(ConvFuzz, GeneratorCoversTheAdversarialFamilies) {
     single_channel |= cfg.channels == 1;
     single_image |= cfg.batch == 1;
     grouped |= cfg.groups > 1;
+    const bool dw = cfg.groups > 1 && cfg.groups == cfg.channels;
+    depthwise |= dw;
+    depthwise_multiplier |= dw && cfg.group_filters() > 1;
     input_at_most_kernel |= cfg.input <= cfg.kernel;
     inputs.insert(cfg.input);
   }
@@ -90,6 +95,8 @@ TEST(ConvFuzz, GeneratorCoversTheAdversarialFamilies) {
   EXPECT_TRUE(single_channel);
   EXPECT_TRUE(single_image);
   EXPECT_TRUE(grouped);
+  EXPECT_TRUE(depthwise);
+  EXPECT_TRUE(depthwise_multiplier);
   EXPECT_TRUE(input_at_most_kernel);
   // Non-power-of-two sizes around the FFT padding boundaries appear.
   EXPECT_TRUE(inputs.contains(17) || inputs.contains(33));
@@ -99,6 +106,41 @@ TEST(ConvFuzz, GeneratorCoversTheAdversarialFamilies) {
 TEST(ConvFuzz, ReproCommandPinsOneConfig) {
   EXPECT_EQ(repro_command(42, 17),
             "tools/conv_fuzz --seed 42 --start 17 --count 1");
+  EXPECT_EQ(repro_command(42, 17, /*depthwise=*/true),
+            "tools/conv_fuzz --seed 42 --start 17 --count 1 --depthwise");
+}
+
+TEST(ConvFuzz, DepthwiseGeneratorStaysDegenerateAndAdversarial) {
+  // Every config from the depthwise generator must be in the family the
+  // DepthwiseConv engine owns (channels == groups), and the sequence
+  // must still cover the adversarial sub-families: channel multipliers,
+  // strides past the kernel, halo-only padding, 1x1 kernels.
+  bool multiplier = false;
+  bool wide = false;  // groups >= 16 exercises the SIMD row kernels
+  bool stride_exceeds_kernel = false;
+  bool pad_reaches_kernel = false;
+  bool pointwise = false;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const ConvConfig cfg = fuzz_depthwise_config(1, i);
+    ASSERT_NO_THROW((void)cfg.output()) << "invalid geometry at index " << i;
+    ASSERT_EQ(cfg.channels, cfg.groups) << "not depthwise at index " << i;
+    ASSERT_EQ(cfg.filters % cfg.groups, 0U);
+    multiplier |= cfg.group_filters() > 1;
+    wide |= cfg.groups >= 16;
+    stride_exceeds_kernel |= cfg.stride > cfg.kernel;
+    pad_reaches_kernel |= cfg.pad >= cfg.kernel;
+    pointwise |= cfg.kernel == 1;
+  }
+  EXPECT_TRUE(multiplier);
+  EXPECT_TRUE(wide);
+  EXPECT_TRUE(stride_exceeds_kernel);
+  EXPECT_TRUE(pad_reaches_kernel);
+  EXPECT_TRUE(pointwise);
+
+  // Pure function of (seed, index), like the main generator.
+  const ConvConfig a = fuzz_depthwise_config(7, 42);
+  (void)fuzz_depthwise_config(7, 1);
+  EXPECT_EQ(a, fuzz_depthwise_config(7, 42));
 }
 
 TEST(ConvFuzz, StartOffsetReproducesTheSameFailurelessSlice) {

@@ -6,8 +6,18 @@
 // construction and with each other on every pass.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "conv/conv_engine.hpp"
+#include "conv/depthwise_conv.hpp"
 #include "conv/direct_conv.hpp"
+#include "conv/fft_conv.hpp"
+#include "conv/gemm_conv.hpp"
+#include "conv/implicit_gemm_conv.hpp"
+#include "conv/tiled_fft_conv.hpp"
+#include "conv/winograd_conv.hpp"
+#include "core/error.hpp"
 #include "core/rng.hpp"
 
 namespace gpucnn::conv {
@@ -154,8 +164,95 @@ TEST(GroupedConvLimits, FftWinogradImplicitRejectGroups) {
                        .kernel = 3, .stride = 1, .groups = 2};
   EXPECT_FALSE(make_engine(Strategy::kFft)->supports(cfg));
   EXPECT_FALSE(make_engine(Strategy::kWinograd)->supports(cfg));
+  EXPECT_FALSE(ImplicitGemmConv().supports(cfg));
+  EXPECT_FALSE(TiledFftConv().supports(cfg));
   EXPECT_TRUE(make_engine(Strategy::kDirect)->supports(cfg));
   EXPECT_TRUE(make_engine(Strategy::kUnrolling)->supports(cfg));
+}
+
+// The autotuner's full fp32 pool.
+std::vector<std::unique_ptr<ConvEngine>> full_engine_pool() {
+  std::vector<std::unique_ptr<ConvEngine>> pool;
+  pool.push_back(std::make_unique<DirectConv>());
+  pool.push_back(std::make_unique<GemmConv>());
+  pool.push_back(std::make_unique<ImplicitGemmConv>());
+  pool.push_back(std::make_unique<FftConv>());
+  pool.push_back(std::make_unique<TiledFftConv>());
+  pool.push_back(std::make_unique<WinogradConv>());
+  pool.push_back(std::make_unique<DepthwiseConv>());
+  return pool;
+}
+
+// The contract the autotuner and advisor rely on: on a grouped config,
+// every engine in the pool either declines in supports() or computes
+// all three passes correctly. No engine may accept and then throw —
+// that is exactly the select-then-throw bug this suite pins.
+TEST(GroupedConvLimits, EveryEngineMatchesDirectOrDeclines) {
+  const ConvConfig configs[] = {
+      {.batch = 2, .input = 8, .channels = 4, .filters = 8, .kernel = 3,
+       .stride = 1, .pad = 1, .groups = 2},
+      // Depthwise, multiplier 1 and 2.
+      {.batch = 1, .input = 9, .channels = 6, .filters = 6, .kernel = 3,
+       .stride = 1, .pad = 1, .groups = 6},
+      {.batch = 2, .input = 7, .channels = 4, .filters = 8, .kernel = 3,
+       .stride = 2, .pad = 1, .groups = 4},
+  };
+  for (const ConvConfig& cfg : configs) {
+    Rng rng(37);
+    Tensor x(cfg.input_shape());
+    x.fill_uniform(rng);
+    Tensor w(cfg.filter_shape());
+    w.fill_uniform(rng);
+    Tensor gout(cfg.output_shape());
+    gout.fill_uniform(rng);
+
+    DirectConv direct;
+    Tensor want_y(cfg.output_shape());
+    Tensor want_gx(cfg.input_shape());
+    Tensor want_gw(cfg.filter_shape());
+    direct.forward(cfg, x, w, want_y);
+    direct.backward_data(cfg, gout, w, want_gx);
+    direct.backward_filter(cfg, x, gout, want_gw);
+
+    for (const auto& engine : full_engine_pool()) {
+      if (!engine->supports(cfg)) continue;  // declining is the other
+                                             // half of the contract
+      SCOPED_TRACE(std::string(engine->name()) + " on " + cfg.to_string());
+      Tensor y(cfg.output_shape());
+      Tensor gx(cfg.input_shape());
+      Tensor gw(cfg.filter_shape());
+      ASSERT_NO_THROW(engine->forward(cfg, x, w, y));
+      ASSERT_NO_THROW(engine->backward_data(cfg, gout, w, gx));
+      ASSERT_NO_THROW(engine->backward_filter(cfg, x, gout, gw));
+      EXPECT_LT(max_abs_diff(want_y, y), 1e-4);
+      EXPECT_LT(max_abs_diff(want_gx, gx), 1e-4);
+      EXPECT_LT(max_abs_diff(want_gw, gw), 1e-3);
+    }
+  }
+}
+
+// Regression for the latent out-of-bounds bug this PR fixes: implicit
+// GEMM's backward passes assumed ungrouped geometry but had no guard, so
+// a direct mis-call (bypassing supports()) read past the filter planes.
+// All three passes must now refuse grouped configs up front.
+TEST(GroupedConvLimits, ImplicitGemmThrowsCleanlyOnDirectGroupedMisCall) {
+  const ConvConfig cfg{.batch = 1, .input = 8, .channels = 4, .filters = 4,
+                       .kernel = 3, .stride = 1, .pad = 1, .groups = 2};
+  ImplicitGemmConv engine;
+  ASSERT_FALSE(engine.supports(cfg));
+  Rng rng(38);
+  Tensor x(cfg.input_shape());
+  x.fill_uniform(rng);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  Tensor gout(cfg.output_shape());
+  gout.fill_uniform(rng);
+  Tensor y(cfg.output_shape());
+  Tensor gx(cfg.input_shape());
+  Tensor gw(cfg.filter_shape());
+  EXPECT_THROW(engine.forward(cfg, x, w, y), Error);
+  EXPECT_THROW(engine.backward_data(cfg, gout, w, gx), Error);
+  EXPECT_THROW(engine.backward_filter(cfg, x, gout, gw), Error);
 }
 
 }  // namespace

@@ -165,6 +165,74 @@ TEST(QuantizedNetworkTest, QuantizeCalibratesFreezesAndStaysAccurate) {
   EXPECT_THROW(int8_net.backward(grad), Error);
 }
 
+TEST(QuantizedNetworkTest, QuantizeTwiceIsANoOp) {
+  // QuantizedConvLayer derives from Layer, not ConvLayer, so the
+  // dynamic_cast filter in Network::quantize() must skip already-
+  // quantized slots: a second call rewrites nothing and the outputs
+  // stay bit-identical.
+  const ConvConfig geom{.batch = 1, .input = 8, .channels = 2, .filters = 4,
+                        .kernel = 3, .stride = 1, .pad = 1, .groups = 1};
+  nn::Network net;
+  net.emplace<nn::ConvLayer>("c1", geom);
+  net.emplace<nn::ActivationLayer>("relu1", nn::Activation::kRelu);
+  Rng rng(51);
+  net.initialize(rng);
+  ASSERT_EQ(net.fuse_conv_relu(), 1U);
+
+  std::vector<Tensor> calibration(1);
+  calibration[0].resize(geom.input_shape());
+  calibration[0].fill_uniform(rng, -1.0F, 1.0F);
+  const auto first = net.quantize(calibration);
+  EXPECT_EQ(first.layers_quantized, 1U);
+
+  Tensor probe(geom.input_shape());
+  probe.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor before = net.forward(probe);  // copy: forward() returns a ref
+
+  const auto second = net.quantize(calibration);
+  EXPECT_EQ(second.layers_quantized, 0U);
+  EXPECT_EQ(second.calibration_batches, 0U);
+  const Tensor& after = net.forward(probe);
+  EXPECT_EQ(max_abs_diff(before, after), 0.0);
+}
+
+TEST(QuantizedNetworkTest, DepthwiseConvLayersQuantize) {
+  // A depthwise (groups == channels) layer goes through the grouped
+  // im2col + igemm path; quantize() must rewrite it like any conv and
+  // track the fp32 network within quantization tolerance.
+  const ConvConfig geom{.batch = 2, .input = 8, .channels = 4, .filters = 8,
+                        .kernel = 3, .stride = 1, .pad = 1, .groups = 4};
+  nn::Network fp32_net;
+  fp32_net.emplace<nn::ConvLayer>("dw", geom);
+  Rng rng(52);
+  fp32_net.initialize(rng);
+
+  nn::Network int8_net;
+  int8_net.emplace<nn::ConvLayer>("dw", geom);
+  int8_net.initialize(rng);
+  int8_net.share_parameters(fp32_net);
+
+  std::vector<Tensor> calibration(2);
+  for (auto& t : calibration) {
+    t.resize(geom.input_shape());
+    t.fill_uniform(rng, -1.0F, 1.0F);
+  }
+  const auto report = int8_net.quantize(calibration);
+  EXPECT_EQ(report.layers_quantized, 1U);
+  EXPECT_EQ(report.layers_calibrated, 1U);
+
+  Tensor probe(geom.input_shape());
+  probe.fill_uniform(rng, -1.0F, 1.0F);
+  const Tensor& want = fp32_net.forward(probe);
+  const Tensor& got = int8_net.forward(probe);
+  const double tol = quant_tolerance(geom, 1.0F, 1.5F);
+  const auto w = want.data();
+  const auto g = got.data();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], g[i], tol);
+  }
+}
+
 TEST(QuantizedNetworkTest, QuantizeWithoutCalibrationGoesDynamic) {
   const ConvConfig geom{.batch = 1, .input = 6, .channels = 1, .filters = 2,
                         .kernel = 3, .stride = 1, .pad = 1, .groups = 1};

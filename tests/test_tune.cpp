@@ -63,12 +63,14 @@ TEST_F(TunerFixture, EligibilityRespectsEngineShapeLimits) {
   ConvConfig strided = small_config();
   strided.stride = 2;
   const auto timings = tuner_->measure_all(strided, Pass::kForward);
-  ASSERT_EQ(timings.size(), 6U);
+  ASSERT_EQ(timings.size(), 7U);
   for (const auto& t : timings) {
-    const bool fft_family = t.engine_name == "fft" ||
+    // Depthwise is also out: the config is ungrouped multi-channel.
+    const bool ineligible = t.engine_name == "fft" ||
                             t.engine_name == "fft-tiled" ||
-                            t.engine_name == "winograd";
-    EXPECT_EQ(t.eligible, !fft_family) << t.engine_name;
+                            t.engine_name == "winograd" ||
+                            t.engine_name == "depthwise";
+    EXPECT_EQ(t.eligible, !ineligible) << t.engine_name;
     if (!t.eligible) {
       EXPECT_EQ(t.ms, 0.0) << t.engine_name << " was timed while ineligible";
     } else {
@@ -89,6 +91,24 @@ TEST_F(TunerFixture, HeuristicPicksASupportedEngineWithoutTiming) {
   EXPECT_FALSE(d.measured);
   EXPECT_EQ(obs::metrics().counter("tune.trials").value(), trials_before)
       << "heuristic mode must not run engines";
+}
+
+TEST_F(TunerFixture, HeuristicPrefersDepthwiseOnDepthwiseShapes) {
+  tuner_->set_mode(Mode::kHeuristic);
+  ConvConfig dw = small_config();
+  dw.channels = 8;
+  dw.filters = 16;  // multiplier 2
+  dw.groups = 8;
+  const Decision d = tuner_->decide(dw, Pass::kForward);
+  ASSERT_NE(d.engine, nullptr);
+  EXPECT_EQ(d.engine_name, "depthwise");
+
+  // Ungrouped configs keep their previous heuristic picks: the
+  // depthwise engine accepts channels == 1 but must not jump the queue.
+  tuner_->clear();
+  const Decision plain = tuner_->decide(small_config(), Pass::kForward);
+  ASSERT_NE(plain.engine, nullptr);
+  EXPECT_NE(plain.engine_name, "depthwise");
 }
 
 TEST_F(TunerFixture, MeasuredDecisionIsDeterministicAndMemoized) {
@@ -211,15 +231,15 @@ TEST_F(TunerFixture, KeyHashSeparatesDtypes) {
 
 TEST_F(TunerFixture, Int8PoolOnlyExtendsTheForwardPass) {
   // The int8 engines join the candidate pool for (kForward, kInt8) only:
-  // fp32 callers keep the exact six engines, and no backward pass ever
+  // fp32 callers keep the exact seven engines, and no backward pass ever
   // sees an inference-only engine.
   const ConvConfig cfg = small_config();
-  EXPECT_EQ(tuner_->measure_all(cfg, Pass::kForward).size(), 6U);
+  EXPECT_EQ(tuner_->measure_all(cfg, Pass::kForward).size(), 7U);
   EXPECT_EQ(tuner_->measure_all(cfg, Pass::kBackwardData, Dtype::kInt8)
                 .size(),
-            6U);
+            7U);
   const auto timings = tuner_->measure_all(cfg, Pass::kForward, Dtype::kInt8);
-  ASSERT_EQ(timings.size(), 8U);
+  ASSERT_EQ(timings.size(), 9U);
   bool unrolling_int8 = false;
   bool implicit_int8 = false;
   for (const auto& t : timings) {

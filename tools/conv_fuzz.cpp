@@ -1,7 +1,7 @@
 // Command-line driver for the conv-config fuzzer (analysis/conv_fuzz).
 //
 //   conv_fuzz [--seed N] [--count N] [--start N] [--verbose] [--no-poison]
-//             [--no-fused] [--int8] [--tune-cache [PATH]]
+//             [--no-fused] [--int8] [--depthwise] [--tune-cache [PATH]]
 //
 // Deterministic per (seed, index): a failing run prints, for every
 // failure, the exact one-config command that reproduces it. Exit status:
@@ -20,7 +20,7 @@ namespace {
 
 int usage(std::ostream& os) {
   os << "usage: conv_fuzz [--seed N] [--count N] [--start N]"
-        " [--verbose] [--no-poison] [--no-fused] [--int8]"
+        " [--verbose] [--no-poison] [--no-fused] [--int8] [--depthwise]"
         " [--tune-cache [PATH]]\n"
         "  --seed N      RNG seed defining the config sequence"
         " (default 1)\n"
@@ -33,6 +33,8 @@ int usage(std::ostream& os) {
         "  --no-fused    skip the fused-vs-unfused layer cross-check\n"
         "  --int8        cross-check int8 quantized forwards against"
         " fp32\n"
+        "  --depthwise   draw only depthwise-degenerate configs"
+        " (groups == C, multipliers > 1)\n"
         "  --tune-cache [PATH]\n"
         "                round-trip autotuner decisions through the disk"
         " cache\n"
@@ -63,6 +65,8 @@ int main(int argc, char** argv) {
       options.fused = false;
     } else if (arg == "--int8") {
       options.int8 = true;
+    } else if (arg == "--depthwise") {
+      options.depthwise = true;
     } else if (arg == "--tune-cache") {
       options.tune_cache = true;
       // Optional PATH operand: anything that does not look like a flag.
@@ -105,7 +109,8 @@ int main(int argc, char** argv) {
               << failure.config.to_string() << " pad=" << failure.config.pad
               << " groups=" << failure.config.groups << "\n  "
               << failure.what << "\n  repro: "
-              << gpucnn::analysis::repro_command(options.seed, failure.index)
+              << gpucnn::analysis::repro_command(options.seed, failure.index,
+                                                 options.depthwise)
               << '\n';
   }
   if (!report.ok()) {
