@@ -24,6 +24,7 @@
 #include "blas/cgemm.hpp"
 #include "blas/gemm.hpp"
 #include "blas/igemm.hpp"
+#include "blas/packed.hpp"
 #include "blas/vector_ops.hpp"
 #include "conv/quantized_conv.hpp"
 #include "quant/quant.hpp"
@@ -487,6 +488,84 @@ void BM_Int8ConvForward(benchmark::State& state) {
 }
 BENCHMARK(BM_Int8ConvForward)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+// --- prepacked weight reuse vs per-call packing ----------------------
+// The BM_*Prepacked benches pair with the staged runs above into the
+// BENCH_prepack table (staged ns / prepacked ns / speedup); see main().
+
+void BM_SgemmPrepacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 1);
+  const auto b = random_vec(n * n, 2);
+  std::vector<float> c(n * n, 0.0F);
+  // Weights packed once, outside the loop — the serving steady state.
+  const blas::PackedMatrix pa = blas::pack_a(blas::Trans::kNo, n, n, a, n);
+  for (auto _ : state) {
+    blas::sgemm_prepacked(n, n, n, 1.0F, pa, blas::Trans::kNo, b, n, 0.0F,
+                          c, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SgemmPrepacked)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Int8GemmPrepacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::int8_t> a(n * n);
+  std::vector<std::uint8_t> b(n * n);
+  for (auto& v : a) {
+    v = static_cast<std::int8_t>(rng.uniform(-63.0, 64.0));
+  }
+  for (auto& v : b) {
+    v = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+  }
+  const std::vector<float> scales(n, 0.01F);
+  const std::vector<std::int32_t> row_offsets(n, 0);
+  blas::QEpilogue ep;
+  ep.scales = scales.data();
+  ep.row_offsets = row_offsets.data();
+  std::vector<float> c(n * n, 0.0F);
+  const blas::PackedMatrixI8 pa = blas::pack_a_i8(n, n, a, n);
+  for (auto _ : state) {
+    blas::igemm_prepacked(n, n, n, pa, b, n, ep, c, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Int8GemmPrepacked)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_PrepackedConvForward(benchmark::State& state) {
+  // Same shapes, inputs, and fused epilogue as BM_Fp32ConvForward; the
+  // only difference is the cached weight panels.
+  const ConvConfig& cfg =
+      kInt8ConvShapes[static_cast<std::size_t>(state.range(0))];
+  const conv::GemmConv engine;
+  Rng rng(5);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  const auto bias = random_vec(cfg.filters, 10);
+  Tensor out(cfg.output_shape());
+  const conv::PackedFilters packed = conv::prepack_filters(cfg, w);
+  for (auto _ : state) {
+    const bool ran = engine.forward_prepacked(cfg, in, packed, w, bias,
+                                              /*relu=*/true, out);
+    if (!ran) state.SkipWithError("GemmConv refused its own pack");
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      cfg.forward_flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PrepackedConvForward)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 // --- autotuner: cold trial cost vs warm cache hit --------------------
 
 void BM_AutotuneColdDecide(benchmark::State& state) {
@@ -672,6 +751,33 @@ int main(int argc, char** argv) {
              "BM_Int8ConvForward/" + std::to_string(i));
   }
 
+  // Same pairing for the prepacked-vs-staged runs: the BENCH_prepack
+  // table quantifies what pack-once/execute-many buys per GEMM shape.
+  std::vector<std::vector<std::string>> prepack_rows;
+  const auto prepack_row = [&](const std::string& label,
+                               const std::string& staged_name,
+                               const std::string& prepacked_name) {
+    const double staged = real_ns(staged_name);
+    const double prepacked = real_ns(prepacked_name);
+    if (staged <= 0.0 || prepacked <= 0.0) return;
+    prepack_rows.push_back({label, std::to_string(staged),
+                            std::to_string(prepacked),
+                            std::to_string(staged / prepacked)});
+  };
+  for (const int n : {128, 256, 512}) {
+    prepack_row("sgemm/" + std::to_string(n),
+                "BM_SgemmBlocked/" + std::to_string(n),
+                "BM_SgemmPrepacked/" + std::to_string(n));
+    prepack_row("igemm/" + std::to_string(n),
+                "BM_Int8Gemm/" + std::to_string(n),
+                "BM_Int8GemmPrepacked/" + std::to_string(n));
+  }
+  for (std::size_t i = 0; i < std::size(kInt8ConvShapes); ++i) {
+    prepack_row("conv/" + int8_shape_name(kInt8ConvShapes[i]),
+                "BM_Fp32ConvForward/" + std::to_string(i),
+                "BM_PrepackedConvForward/" + std::to_string(i));
+  }
+
   gpucnn::obs::RunExporter exporter(options, "bench_cpu_kernels");
   exporter.annotate("simd", gpucnn::simd::name(gpucnn::simd::active()));
   exporter.annotate("quick", quick ? "true" : "false");
@@ -690,6 +796,13 @@ int main(int argc, char** argv) {
       "fp32 vs int8: blocked GEMM and fused conv forward on model-zoo "
       "shapes (speedup = fp32_real_ns / int8_real_ns)",
       {"case", "fp32_real_ns", "int8_real_ns", "speedup"}, int8_rows);
+  exporter.add_table(
+      "BENCH_prepack",
+      "per-call weight packing vs prepacked reuse: blocked sgemm/igemm "
+      "and fused conv forward (speedup = staged_real_ns / "
+      "prepacked_real_ns)",
+      {"case", "staged_real_ns", "prepacked_real_ns", "speedup"},
+      prepack_rows);
   exporter.finish();
   return 0;
 }

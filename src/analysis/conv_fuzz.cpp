@@ -477,6 +477,117 @@ void check_int8(const ConvConfig& cfg, std::uint64_t seed,
   }
 }
 
+void check_prepack(const ConvConfig& cfg, std::uint64_t seed,
+                   std::size_t index, FuzzReport& report) {
+  Rng rng(mix(seed, index) + 5);
+  Tensor input(cfg.input_shape());
+  input.fill_uniform(rng);
+  Tensor filters(cfg.filter_shape());
+  filters.fill_uniform(rng);
+  std::vector<float> bias(cfg.filters);
+  for (auto& b : bias) b = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  auto fail = [&](const std::string& what) {
+    add_failure(report, index, cfg, "prepacked forward: " + what);
+  };
+
+  // The staged twin of each variant below runs the same kernels with the
+  // same epilogue; only the weight panels come from a per-call pack
+  // instead of the cache, so agreement must be exact.
+  struct Variant {
+    bool implicit;
+    bool relu;
+  };
+  constexpr Variant kVariants[] = {
+      {false, false}, {false, true}, {true, false}, {true, true}};
+
+  const auto gemm = conv::make_engine(conv::Strategy::kUnrolling);
+  const conv::ImplicitGemmConv implicit;
+  const conv::PackedFilters packed = conv::prepack_filters(cfg, filters);
+  for (const auto& v : kVariants) {
+    if (v.implicit && cfg.groups != 1) continue;
+    const conv::ConvEngine& engine =
+        v.implicit ? static_cast<const conv::ConvEngine&>(implicit) : *gemm;
+    const std::string label = std::string(engine.name()) +
+                              (v.relu ? " fused" : " plain");
+    const std::span<const float> b =
+        v.relu ? std::span<const float>(bias) : std::span<const float>();
+    Tensor staged(cfg.output_shape());
+    Tensor reused(cfg.output_shape());
+    try {
+      if (!engine.forward_fused(cfg, input, filters, b, v.relu, staged)) {
+        fail(label + ": staged forward refused the config");
+        continue;
+      }
+      if (!engine.forward_prepacked(cfg, input, packed, filters, b, v.relu,
+                                    reused)) {
+        fail(label + ": forward_prepacked refused its own pack");
+        continue;
+      }
+    } catch (const std::exception& e) {
+      fail(label + " threw: " + e.what());
+      continue;
+    }
+    ++report.prepack_checks;
+    if (!finite(reused)) {
+      fail(label + " produced non-finite values");
+      continue;
+    }
+    if (max_abs_diff(staged, reused) != 0.0) {
+      fail(label + " is not bit-identical to the staged forward");
+    }
+  }
+
+  // The int8 packed overloads share every quantized step with the staged
+  // ones except the weight tiling, so they face the same exact bar.
+  float act_absmax = 0.0F;
+  for (const float v : input.data()) {
+    act_absmax = std::max(act_absmax, std::fabs(v));
+  }
+  const std::size_t ckk =
+      cfg.group_channels() * cfg.kernel * cfg.kernel;
+  const quant::QuantizedFilters qw =
+      quant::quantize_filters(filters.data(), cfg.filters, ckk);
+  const quant::ActQuant aq =
+      quant::choose_act_quant(-act_absmax, act_absmax);
+  const conv::PackedQFilters qpacked =
+      conv::prepack_quantized_filters(cfg, qw);
+  for (const auto& v : kVariants) {
+    if (v.implicit && cfg.groups != 1) continue;
+    const std::string label =
+        std::string(v.implicit ? "implicit-int8" : "unrolling-int8") +
+        (v.relu ? " fused" : " plain");
+    const std::span<const float> b =
+        v.relu ? std::span<const float>(bias) : std::span<const float>();
+    Tensor staged(cfg.output_shape());
+    Tensor reused(cfg.output_shape());
+    try {
+      if (v.implicit) {
+        conv::quantized_implicit_forward(cfg, input, qw, aq, b, v.relu,
+                                         staged);
+        conv::quantized_implicit_forward(cfg, input, qw, qpacked, aq, b,
+                                         v.relu, reused);
+      } else {
+        conv::quantized_gemm_forward(cfg, input, qw, aq, b, v.relu,
+                                     staged);
+        conv::quantized_gemm_forward(cfg, input, qw, qpacked, aq, b,
+                                     v.relu, reused);
+      }
+    } catch (const std::exception& e) {
+      fail(label + " threw: " + e.what());
+      continue;
+    }
+    ++report.prepack_checks;
+    if (!finite(reused)) {
+      fail(label + " produced non-finite values");
+      continue;
+    }
+    if (max_abs_diff(staged, reused) != 0.0) {
+      fail(label + " is not bit-identical to the staged forward");
+    }
+  }
+}
+
 void check_tune_roundtrip(const ConvConfig& cfg, std::size_t index,
                           FuzzReport& report, const std::string& path) {
   auto& tuner = tune::Autotuner::instance();
@@ -569,6 +680,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     check_config(cfg, options.seed, i, report);
     if (options.fused) check_fused(cfg, options.seed, i, report);
     if (options.int8) check_int8(cfg, options.seed, i, report);
+    if (options.prepack) check_prepack(cfg, options.seed, i, report);
     if (options.tune_cache) {
       check_tune_roundtrip(cfg, i, report, tune_path);
     }

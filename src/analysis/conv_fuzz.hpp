@@ -36,6 +36,7 @@ struct FuzzOptions {
   bool poison = true;        ///< scratch-poison the arena for the run
   bool fused = true;         ///< cross-check fused conv+bias+ReLU layers
   bool int8 = false;         ///< cross-check int8 forwards against fp32
+  bool prepack = false;      ///< cross-check prepacked vs staged forwards
   bool depthwise = false;    ///< depthwise-only generator (groups == C)
   bool tune_cache = false;   ///< round-trip autotuner decisions via disk
   std::string tune_cache_path;  ///< cache file (tune_cache); "" = default
@@ -58,6 +59,7 @@ struct FuzzReport {
   std::size_t plan_skips = 0;     ///< shape-limited (framework, config)
   std::size_t fused_checks = 0;   ///< fused-vs-unfused layer comparisons
   std::size_t int8_checks = 0;    ///< int8-vs-fp32 forward comparisons
+  std::size_t prepack_checks = 0;  ///< prepacked-vs-staged comparisons
   std::size_t tune_checks = 0;    ///< tune-cache round-trips validated
   std::vector<FuzzFailure> failures;
 
@@ -94,6 +96,15 @@ void check_fused(const ConvConfig& cfg, std::uint64_t seed,
 /// saturation bug exceeds that bound by orders of magnitude.
 void check_int8(const ConvConfig& cfg, std::uint64_t seed,
                 std::size_t index, FuzzReport& report);
+
+/// Cross-checks the prepacked forwards against their staged twins with
+/// identical inputs, weights, and fused bias+ReLU epilogues: im2col+GEMM
+/// and (groups == 1) implicit-GEMM in fp32, plus both int8 quantized
+/// paths. Pack-once/execute-many reuses the exact panel bytes the staged
+/// path packs per call, so every comparison demands bit-identity — any
+/// difference is a packing-layout or offset bug, not rounding.
+void check_prepack(const ConvConfig& cfg, std::uint64_t seed,
+                   std::size_t index, FuzzReport& report);
 
 /// Round-trips measured autotuner decisions for `cfg` through the disk
 /// cache at `path`: decide (measure, 1 trial) on all three passes, save,

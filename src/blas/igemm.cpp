@@ -1,5 +1,7 @@
 #include "blas/igemm.hpp"
 
+#include "blas/packed.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -120,8 +122,31 @@ obs::Counter& igemm_calls_counter() {
   return c;
 }
 
-obs::Counter& igemm_bytes_packed_counter() {
-  static obs::Counter& c = obs::metrics().counter("blas.igemm.bytes_packed");
+// Packing traffic split by operand: A carries the quantized weights,
+// B the quantized activations (see the header's operand convention), so
+// the split separates prepack-avoidable weight packing from per-call
+// activation packing.
+obs::Counter& igemm_bytes_packed_a_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("blas.igemm.bytes_packed_a");
+  return c;
+}
+
+obs::Counter& igemm_bytes_packed_b_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("blas.igemm.bytes_packed_b");
+  return c;
+}
+
+obs::Counter& igemm_prepack_hits_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("blas.igemm.prepack_hits");
+  return c;
+}
+
+obs::Counter& igemm_prepack_bytes_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("blas.igemm.prepack_bytes");
   return c;
 }
 
@@ -227,11 +252,15 @@ OutT* out_row(const OutPtr& c, std::size_t ldc, std::size_t i,
   }
 }
 
+// `pa` (optional) supplies prepacked weight quad tiles; a pack that no
+// longer matches the call (SIMD switch, different dims) is demoted to
+// staged packing over the same `a` span, keeping one code shape per
+// call so prepacked results are bit-exact by construction.
 void igemm_driver(std::size_t m, std::size_t n, std::size_t k,
                   std::span<const std::int8_t> a, std::size_t lda,
                   std::span<const std::uint8_t> b, std::size_t ldb,
                   const QEpilogue* ep, OutKind kind, OutPtr c,
-                  std::size_t ldc) {
+                  std::size_t ldc, const PackedMatrixI8* pa = nullptr) {
   if (m == 0 || n == 0) return;
   check(k <= kMaxIgemmK, "igemm k exceeds the int32 accumulator bound");
   if (kind != OutKind::kS32) {
@@ -281,6 +310,12 @@ void igemm_driver(std::size_t m, std::size_t n, std::size_t k,
   }
 
   const MicroKernelI uk = select_micro_kernel();
+  if (pa != nullptr && !(pa->valid() && pa->rows() == m &&
+                         pa->cols() == k && pa->kc_block() == kKcI)) {
+    pa = nullptr;
+  }
+  if (pa != nullptr) igemm_prepack_hits_counter().add(1);
+  const std::size_t a_tiles_total = (m + kMr - 1) / kMr;
   const bool multi_k = k > kKcI;
   // Multi-block reductions stage partial int32 sums (m x n, row stride
   // n); raw-int32 output accumulates straight into C instead.
@@ -304,7 +339,7 @@ void igemm_driver(std::size_t m, std::size_t n, std::size_t k,
                       pb + t * quads * 64);
         },
         /*serial_threshold=*/8);
-    igemm_bytes_packed_counter().add(
+    igemm_bytes_packed_b_counter().add(
         static_cast<std::int64_t>(n_tiles * quads * 64));
 
     const std::size_t m_blocks = (m + kMcI - 1) / kMcI;
@@ -312,14 +347,23 @@ void igemm_driver(std::size_t m, std::size_t n, std::size_t k,
       const std::size_t ic = block * kMcI;
       const std::size_t mc = std::min(kMcI, m - ic);
       const std::size_t m_tiles = (mc + kMr - 1) / kMr;
-      ws::Scratch<std::int8_t> packed_a(m_tiles * quads * 16);
-      for (std::size_t t = 0; t < m_tiles; ++t) {
-        const std::size_t i0 = ic + t * kMr;
-        pack_a_tile(a, lda, i0, std::min(kMr, m - i0), pc, kc,
-                    packed_a.data() + t * quads * 16);
+      ws::Scratch<std::int8_t> packed_a(
+          pa == nullptr ? m_tiles * quads * 16 : 0);
+      const std::int8_t* pa_tiles = nullptr;
+      if (pa == nullptr) {
+        for (std::size_t t = 0; t < m_tiles; ++t) {
+          const std::size_t i0 = ic + t * kMr;
+          pack_a_tile(a, lda, i0, std::min(kMr, m - i0), pc, kc,
+                      packed_a.data() + t * quads * 16);
+        }
+        igemm_bytes_packed_a_counter().add(
+            static_cast<std::int64_t>(m_tiles * quads * 16));
+        pa_tiles = packed_a.data();
+      } else {
+        pa_tiles = pa->data() +
+                   (pc / kKcI) * a_tiles_total * (kKcI / 4) * 16 +
+                   (ic / kMr) * quads * 16;
       }
-      igemm_bytes_packed_counter().add(
-          static_cast<std::int64_t>(m_tiles * quads * 16));
       alignas(64) std::int32_t acc[kMr * kNr];
       for (std::size_t ti = 0; ti < m_tiles; ++ti) {
         const std::size_t i0 = ic + ti * kMr;
@@ -327,8 +371,8 @@ void igemm_driver(std::size_t m, std::size_t n, std::size_t k,
         for (std::size_t tj = 0; tj < n_tiles; ++tj) {
           const std::size_t j0 = tj * kNr;
           const std::size_t jn = std::min(kNr, n - j0);
-          uk.fn(quads, pb + tj * quads * 64,
-                packed_a.data() + ti * quads * 16, acc);
+          uk.fn(quads, pb + tj * quads * 64, pa_tiles + ti * quads * 16,
+                acc);
 
           if (kind == OutKind::kS32) {
             for (std::size_t i = 0; i < im; ++i) {
@@ -436,6 +480,78 @@ void igemm(std::size_t m, std::size_t n, std::size_t k,
   OutPtr out;
   out.u8 = c.data();
   igemm_driver(m, n, k, a, lda, b, ldb, &ep, OutKind::kU8, out, ldc);
+}
+
+PackedMatrixI8 pack_a_i8(std::size_t m, std::size_t k,
+                         std::span<const std::int8_t> a, std::size_t lda) {
+  PackedMatrixI8 p;
+  p.rows_ = m;
+  p.cols_ = k;
+  p.origin_ = a;
+  p.origin_ld_ = lda;
+  if (m == 0 || k == 0) return p;
+  p.level_ = simd::active();
+  p.kc_block_ = kKcI;
+  const std::size_t tiles = (m + kMr - 1) / kMr;
+  std::size_t total = 0;
+  for (std::size_t pc = 0; pc < k; pc += kKcI) {
+    const std::size_t kc = std::min(kKcI, k - pc);
+    total += tiles * ((kc + 3) / 4) * 16;
+  }
+  p.data_.resize(total);
+  for (std::size_t pc = 0; pc < k; pc += kKcI) {
+    const std::size_t kc = std::min(kKcI, k - pc);
+    const std::size_t quads = (kc + 3) / 4;
+    std::int8_t* block =
+        p.data_.data() + (pc / kKcI) * tiles * (kKcI / 4) * 16;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const std::size_t i0 = t * kMr;
+      pack_a_tile(a, lda, i0, std::min(kMr, m - i0), pc, kc,
+                  block + t * quads * 16);
+    }
+  }
+  igemm_prepack_bytes_counter().add(static_cast<std::int64_t>(p.bytes()));
+  return p;
+}
+
+void igemm_prepacked(std::size_t m, std::size_t n, std::size_t k,
+                     const PackedMatrixI8& a,
+                     std::span<const std::uint8_t> b, std::size_t ldb,
+                     std::span<std::int32_t> c, std::size_t ldc) {
+  OutPtr out;
+  out.s32 = c.data();
+  igemm_driver(m, n, k, a.origin(), a.origin_ld(), b, ldb, nullptr,
+               OutKind::kS32, out, ldc, &a);
+}
+
+void igemm_prepacked(std::size_t m, std::size_t n, std::size_t k,
+                     const PackedMatrixI8& a,
+                     std::span<const std::uint8_t> b, std::size_t ldb,
+                     const QEpilogue& ep, std::span<float> c,
+                     std::size_t ldc) {
+  check(ep.out == QEpilogue::Out::kF32,
+        "fp32-output igemm called with a uint8 epilogue");
+  OutPtr out;
+  out.f32 = c.data();
+  igemm_driver(m, n, k, a.origin(), a.origin_ld(), b, ldb, &ep,
+               OutKind::kF32, out, ldc, &a);
+}
+
+void igemm_prepacked(std::size_t m, std::size_t n, std::size_t k,
+                     const PackedMatrixI8& a,
+                     std::span<const std::uint8_t> b, std::size_t ldb,
+                     const QEpilogue& ep, std::span<std::uint8_t> c,
+                     std::size_t ldc) {
+  check(ep.out == QEpilogue::Out::kU8,
+        "uint8-output igemm called with an fp32 epilogue");
+  check(std::isfinite(ep.out_scale) && ep.out_scale > 0.0F,
+        "uint8 epilogue needs a positive finite output scale");
+  check(ep.out_zero_point >= 0 && ep.out_zero_point <= 255,
+        "uint8 epilogue zero point must lie in [0, 255]");
+  OutPtr out;
+  out.u8 = c.data();
+  igemm_driver(m, n, k, a.origin(), a.origin_ld(), b, ldb, &ep,
+               OutKind::kU8, out, ldc, &a);
 }
 
 }  // namespace gpucnn::blas

@@ -21,6 +21,21 @@ std::string_view to_string(Strategy s) {
   return "unknown";
 }
 
+PackedFilters prepack_filters(const ConvConfig& cfg, const Tensor& filters) {
+  check(filters.shape() == cfg.filter_shape(), "filter shape mismatch");
+  const std::size_t group_filters = cfg.group_filters();
+  const std::size_t ckk =
+      cfg.group_channels() * cfg.kernel * cfg.kernel;
+  PackedFilters packed;
+  packed.groups.reserve(cfg.groups);
+  for (std::size_t g = 0; g < cfg.groups; ++g) {
+    packed.groups.push_back(blas::pack_a(
+        blas::Trans::kNo, group_filters, ckk,
+        {filters.plane(g * group_filters, 0), group_filters * ckk}, ckk));
+  }
+  return packed;
+}
+
 void ConvEngine::validate_forward(const ConvConfig& cfg, const Tensor& input,
                                   const Tensor& filters,
                                   const Tensor& output) {

@@ -12,7 +12,9 @@
 #include <memory>
 #include <span>
 #include <string_view>
+#include <vector>
 
+#include "blas/packed.hpp"
 #include "core/shape.hpp"
 #include "core/tensor.hpp"
 
@@ -24,6 +26,28 @@ namespace gpucnn::conv {
 enum class Strategy { kDirect, kUnrolling, kFft, kWinograd };
 
 [[nodiscard]] std::string_view to_string(Strategy s);
+
+/// A conv layer's filters packed once into blas micro-kernel panels
+/// (blas/packed.hpp), one PackedMatrix per group — the GEMM engines'
+/// weight operand. Immutable after construction, so instances are shared
+/// by const reference / shared_ptr across serving workers; each pack
+/// retains a span over the filter tensor it was built from, which must
+/// outlive the pack (the layer owns both).
+struct PackedFilters {
+  std::vector<blas::PackedMatrix> groups;
+
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const auto& g : groups) total += g.bytes();
+    return total;
+  }
+};
+
+/// Packs `filters` (cfg.filter_shape()) for the GEMM engines: per group,
+/// W_g(F_g x CKK) becomes the A operand of the forward GEMM. Engines
+/// consume the result through forward_prepacked().
+[[nodiscard]] PackedFilters prepack_filters(const ConvConfig& cfg,
+                                            const Tensor& filters);
 
 /// A convolution implementation: stateless and thread-compatible; all
 /// buffers are caller-owned.
@@ -52,6 +76,25 @@ class ConvEngine {
                                            const Tensor&,
                                            std::span<const float> /*bias*/,
                                            bool /*relu*/, Tensor&) const {
+    return false;
+  }
+
+  /// True when the engine can consume prepack_filters() output via
+  /// forward_prepacked() — the pack-once/execute-many inference path.
+  [[nodiscard]] virtual bool supports_prepack() const { return false; }
+
+  /// Fused forward over prepacked filters: bit-identical to
+  /// forward_fused(cfg, input, filters, bias, relu, output), reading the
+  /// weight panels from `packed` instead of re-packing per GEMM call.
+  /// `filters` stays the fallback operand: a stale pack (SIMD dispatch
+  /// changed since packing) or shape-mismatched pack degrades to the
+  /// staged path inside blas, never to a wrong answer. Returns false when
+  /// the engine has no prepacked path (the default); the caller then runs
+  /// forward_fused / the unfused sequence itself.
+  [[nodiscard]] virtual bool forward_prepacked(
+      const ConvConfig&, const Tensor&, const PackedFilters& /*packed*/,
+      const Tensor& /*filters*/, std::span<const float> /*bias*/,
+      bool /*relu*/, Tensor&) const {
     return false;
   }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "blas/gemm.hpp"
+#include "blas/packed.hpp"
 #include "conv/im2col.hpp"
 #include "core/workspace.hpp"
 
@@ -57,9 +58,23 @@ bool GemmConv::forward_fused(const ConvConfig& cfg, const Tensor& input,
   return true;
 }
 
+bool GemmConv::forward_prepacked(const ConvConfig& cfg, const Tensor& input,
+                                 const PackedFilters& packed,
+                                 const Tensor& filters,
+                                 std::span<const float> bias, bool relu,
+                                 Tensor& output) const {
+  if (packed.groups.size() != cfg.groups) return false;
+  check(bias.empty() || bias.size() == cfg.filters,
+        "fused bias length must equal the filter count");
+  run_forward(cfg, input, filters, output,
+              bias.empty() ? nullptr : bias.data(), relu, &packed);
+  return true;
+}
+
 void GemmConv::run_forward(const ConvConfig& cfg, const Tensor& input,
                            const Tensor& filters, Tensor& output,
-                           const float* bias, bool relu) {
+                           const float* bias, bool relu,
+                           const PackedFilters* packed) {
   validate_forward(cfg, input, filters, output);
   const ConvConfig gv = group_view(cfg);
   const std::size_t o = cfg.output();
@@ -86,11 +101,19 @@ void GemmConv::run_forward(const ConvConfig& cfg, const Tensor& input,
       const blas::Epilogue ep{
           .bias = bias == nullptr ? nullptr : bias + g * gv.filters,
           .relu = relu};
-      blas::sgemm(Trans::kNo, Trans::kNo, gv.filters, cols, ckk, 1.0F,
-                  {filters.plane(g * gv.filters, 0), gv.filters * ckk},
-                  ckk, b, cols, 0.0F,
-                  {output.plane(n, g * gv.filters), gv.filters * cols},
-                  cols, ep);
+      const std::span<float> out{output.plane(n, g * gv.filters),
+                                 gv.filters * cols};
+      if (packed != nullptr) {
+        // Weights come from the per-group pack; a stale or mismatched
+        // pack falls back to the staged path inside the driver.
+        blas::sgemm_prepacked(gv.filters, cols, ckk, 1.0F,
+                              packed->groups[g], Trans::kNo, b, cols, 0.0F,
+                              out, cols, ep);
+      } else {
+        blas::sgemm(Trans::kNo, Trans::kNo, gv.filters, cols, ckk, 1.0F,
+                    {filters.plane(g * gv.filters, 0), gv.filters * ckk},
+                    ckk, b, cols, 0.0F, out, cols, ep);
+      }
     }
   }
 }

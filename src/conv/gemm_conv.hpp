@@ -34,6 +34,16 @@ class GemmConv final : public ConvEngine {
                                    const Tensor& filters,
                                    std::span<const float> bias, bool relu,
                                    Tensor& output) const override;
+  [[nodiscard]] bool supports_prepack() const override { return true; }
+  /// Per-group SGEMMs consume the cached weight panels (A operand)
+  /// instead of re-packing them every call; the 1x1 fast path benefits
+  /// the most since the GEMM is then the whole forward.
+  [[nodiscard]] bool forward_prepacked(const ConvConfig& cfg,
+                                       const Tensor& input,
+                                       const PackedFilters& packed,
+                                       const Tensor& filters,
+                                       std::span<const float> bias, bool relu,
+                                       Tensor& output) const override;
   void backward_data(const ConvConfig& cfg, const Tensor& grad_output,
                      const Tensor& filters, Tensor& grad_input) const override;
   void backward_filter(const ConvConfig& cfg, const Tensor& input,
@@ -43,7 +53,8 @@ class GemmConv final : public ConvEngine {
  private:
   static void run_forward(const ConvConfig& cfg, const Tensor& input,
                           const Tensor& filters, Tensor& output,
-                          const float* bias, bool relu);
+                          const float* bias, bool relu,
+                          const PackedFilters* packed = nullptr);
 };
 
 }  // namespace gpucnn::conv

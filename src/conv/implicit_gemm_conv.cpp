@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "blas/gemm.hpp"
+#include "blas/packed.hpp"
 #include "core/thread_pool.hpp"
 
 namespace gpucnn::conv {
@@ -104,10 +105,25 @@ bool ImplicitGemmConv::forward_fused(const ConvConfig& cfg,
   return true;
 }
 
+bool ImplicitGemmConv::forward_prepacked(const ConvConfig& cfg,
+                                         const Tensor& input,
+                                         const PackedFilters& packed,
+                                         const Tensor& filters,
+                                         std::span<const float> bias,
+                                         bool relu, Tensor& output) const {
+  if (packed.groups.size() != 1 || cfg.groups != 1) return false;
+  check(bias.empty() || bias.size() == cfg.filters,
+        "fused bias length must equal the filter count");
+  run_forward(cfg, input, filters, output,
+              bias.empty() ? nullptr : bias.data(), relu, &packed);
+  return true;
+}
+
 void ImplicitGemmConv::run_forward(const ConvConfig& cfg,
                                    const Tensor& input,
                                    const Tensor& filters, Tensor& output,
-                                   const float* bias, bool relu) {
+                                   const float* bias, bool relu,
+                                   const PackedFilters* packed) {
   validate_forward(cfg, input, filters, output);
   const Geometry g = geometry_of(cfg);
 
@@ -122,11 +138,19 @@ void ImplicitGemmConv::run_forward(const ConvConfig& cfg,
       // tile is reused across every filter — implicit GEMM's win. Bias
       // and ReLU land in the tile epilogue (rows are the filters), so
       // the copy-out below moves finished values.
-      blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, cfg.filters, cols,
-                  g.ckk, 1.0F, filters.data(), g.ckk,
-                  {tile.data(), g.ckk * cols}, cols, 0.0F,
-                  {out_tile.data(), cfg.filters * cols}, cols,
-                  blas::Epilogue{.bias = bias, .relu = relu});
+      if (packed != nullptr) {
+        blas::sgemm_prepacked(cfg.filters, cols, g.ckk, 1.0F,
+                              packed->groups[0], blas::Trans::kNo,
+                              {tile.data(), g.ckk * cols}, cols, 0.0F,
+                              {out_tile.data(), cfg.filters * cols}, cols,
+                              blas::Epilogue{.bias = bias, .relu = relu});
+      } else {
+        blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, cfg.filters, cols,
+                    g.ckk, 1.0F, filters.data(), g.ckk,
+                    {tile.data(), g.ckk * cols}, cols, 0.0F,
+                    {out_tile.data(), cfg.filters * cols}, cols,
+                    blas::Epilogue{.bias = bias, .relu = relu});
+      }
       float* out_image = output.plane(n, 0);
       for (std::size_t f = 0; f < cfg.filters; ++f) {
         for (std::size_t j = 0; j < cols; ++j) {

@@ -35,6 +35,15 @@ class ImplicitGemmConv final : public ConvEngine {
                                    const Tensor& filters,
                                    std::span<const float> bias, bool relu,
                                    Tensor& output) const override;
+  [[nodiscard]] bool supports_prepack() const override { return true; }
+  /// Every output tile re-reads the whole filter matrix, so the cached
+  /// weight panels are reused positions/kTile times per image.
+  [[nodiscard]] bool forward_prepacked(const ConvConfig& cfg,
+                                       const Tensor& input,
+                                       const PackedFilters& packed,
+                                       const Tensor& filters,
+                                       std::span<const float> bias, bool relu,
+                                       Tensor& output) const override;
   void backward_data(const ConvConfig& cfg, const Tensor& grad_output,
                      const Tensor& filters, Tensor& grad_input) const override;
   void backward_filter(const ConvConfig& cfg, const Tensor& input,
@@ -44,7 +53,8 @@ class ImplicitGemmConv final : public ConvEngine {
  private:
   static void run_forward(const ConvConfig& cfg, const Tensor& input,
                           const Tensor& filters, Tensor& output,
-                          const float* bias, bool relu);
+                          const float* bias, bool relu,
+                          const PackedFilters* packed = nullptr);
 };
 
 }  // namespace gpucnn::conv

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "blas/igemm.hpp"
+#include "blas/packed.hpp"
 #include "core/error.hpp"
 #include "core/thread_pool.hpp"
 #include "core/workspace.hpp"
@@ -155,13 +156,14 @@ void dynamic_forward(const ConvConfig& cfg, const Tensor& input,
   }
 }
 
-}  // namespace
-
-void quantized_gemm_forward(const ConvConfig& cfg, const Tensor& input,
-                            const quant::QuantizedFilters& qw,
-                            const quant::ActQuant& aq,
-                            std::span<const float> bias, bool relu,
-                            Tensor& output) {
+// Shared bodies of the staged and prepacked quantized forwards; `packed`
+// == nullptr re-packs weights inside each igemm call.
+void gemm_forward_impl(const ConvConfig& cfg, const Tensor& input,
+                       const quant::QuantizedFilters& qw,
+                       const PackedQFilters* packed,
+                       const quant::ActQuant& aq,
+                       std::span<const float> bias, bool relu,
+                       Tensor& output) {
   validate_quantized_forward(cfg, input, qw, aq, bias, output);
   const ConvConfig gv = group_view(cfg);
   const std::size_t o = cfg.output();
@@ -189,21 +191,27 @@ void quantized_gemm_forward(const ConvConfig& cfg, const Tensor& input,
       ep.row_offsets = offsets.data() + g * gv.filters;
       ep.bias = bias.empty() ? nullptr : bias.data() + g * gv.filters;
       ep.relu = relu;
-      blas::igemm(gv.filters, cols, ckk,
-                  {qw.data.data() + g * gv.filters * ckk,
-                   gv.filters * ckk},
-                  ckk, col.span(), cols, ep,
-                  {output.plane(n, g * gv.filters), gv.filters * cols},
-                  cols);
+      const std::span<float> out{output.plane(n, g * gv.filters),
+                                 gv.filters * cols};
+      if (packed != nullptr) {
+        blas::igemm_prepacked(gv.filters, cols, ckk, packed->groups[g],
+                              col.span(), cols, ep, out, cols);
+      } else {
+        blas::igemm(gv.filters, cols, ckk,
+                    {qw.data.data() + g * gv.filters * ckk,
+                     gv.filters * ckk},
+                    ckk, col.span(), cols, ep, out, cols);
+      }
     }
   }
 }
 
-void quantized_implicit_forward(const ConvConfig& cfg, const Tensor& input,
-                                const quant::QuantizedFilters& qw,
-                                const quant::ActQuant& aq,
-                                std::span<const float> bias, bool relu,
-                                Tensor& output) {
+void implicit_forward_impl(const ConvConfig& cfg, const Tensor& input,
+                           const quant::QuantizedFilters& qw,
+                           const PackedQFilters* packed,
+                           const quant::ActQuant& aq,
+                           std::span<const float> bias, bool relu,
+                           Tensor& output) {
   validate_quantized_forward(cfg, input, qw, aq, bias, output);
   check(cfg.groups == 1,
         "quantized implicit GEMM does not support grouped filters");
@@ -233,10 +241,16 @@ void quantized_implicit_forward(const ConvConfig& cfg, const Tensor& input,
     for (std::size_t col0 = 0; col0 < positions; col0 += kTile) {
       const std::size_t cols = std::min(kTile, positions - col0);
       gather_tile_u8(cfg, image, pad_byte, col0, cols, tile.data());
-      blas::igemm(cfg.filters, cols, ckk,
-                  {qw.data.data(), qw.data.size()}, ckk,
-                  {tile.data(), ckk * cols}, cols, ep,
-                  {out_tile.data(), cfg.filters * cols}, cols);
+      if (packed != nullptr) {
+        blas::igemm_prepacked(cfg.filters, cols, ckk, packed->groups[0],
+                              {tile.data(), ckk * cols}, cols, ep,
+                              {out_tile.data(), cfg.filters * cols}, cols);
+      } else {
+        blas::igemm(cfg.filters, cols, ckk,
+                    {qw.data.data(), qw.data.size()}, ckk,
+                    {tile.data(), ckk * cols}, cols, ep,
+                    {out_tile.data(), cfg.filters * cols}, cols);
+      }
       for (std::size_t f = 0; f < cfg.filters; ++f) {
         for (std::size_t j = 0; j < cols; ++j) {
           out_image[f * positions + col0 + j] =
@@ -245,6 +259,64 @@ void quantized_implicit_forward(const ConvConfig& cfg, const Tensor& input,
       }
     }
   });
+}
+
+}  // namespace
+
+PackedQFilters prepack_quantized_filters(const ConvConfig& cfg,
+                                         const quant::QuantizedFilters& qw) {
+  const std::size_t group_filters = cfg.group_filters();
+  const std::size_t ckk =
+      cfg.group_channels() * cfg.kernel * cfg.kernel;
+  check(qw.rows == cfg.filters && qw.cols == ckk,
+        "quantized filter matrix shape mismatch");
+  PackedQFilters packed;
+  packed.groups.reserve(cfg.groups);
+  for (std::size_t g = 0; g < cfg.groups; ++g) {
+    packed.groups.push_back(blas::pack_a_i8(
+        group_filters, ckk,
+        {qw.data.data() + g * group_filters * ckk, group_filters * ckk},
+        ckk));
+  }
+  return packed;
+}
+
+void quantized_gemm_forward(const ConvConfig& cfg, const Tensor& input,
+                            const quant::QuantizedFilters& qw,
+                            const quant::ActQuant& aq,
+                            std::span<const float> bias, bool relu,
+                            Tensor& output) {
+  gemm_forward_impl(cfg, input, qw, nullptr, aq, bias, relu, output);
+}
+
+void quantized_gemm_forward(const ConvConfig& cfg, const Tensor& input,
+                            const quant::QuantizedFilters& qw,
+                            const PackedQFilters& packed,
+                            const quant::ActQuant& aq,
+                            std::span<const float> bias, bool relu,
+                            Tensor& output) {
+  check(packed.groups.size() == cfg.groups,
+        "packed filter group count mismatch");
+  gemm_forward_impl(cfg, input, qw, &packed, aq, bias, relu, output);
+}
+
+void quantized_implicit_forward(const ConvConfig& cfg, const Tensor& input,
+                                const quant::QuantizedFilters& qw,
+                                const quant::ActQuant& aq,
+                                std::span<const float> bias, bool relu,
+                                Tensor& output) {
+  implicit_forward_impl(cfg, input, qw, nullptr, aq, bias, relu, output);
+}
+
+void quantized_implicit_forward(const ConvConfig& cfg, const Tensor& input,
+                                const quant::QuantizedFilters& qw,
+                                const PackedQFilters& packed,
+                                const quant::ActQuant& aq,
+                                std::span<const float> bias, bool relu,
+                                Tensor& output) {
+  check(packed.groups.size() == 1,
+        "packed filter group count mismatch");
+  implicit_forward_impl(cfg, input, qw, &packed, aq, bias, relu, output);
 }
 
 void QuantizedGemmConv::forward(const ConvConfig& cfg, const Tensor& input,

@@ -20,6 +20,25 @@
 
 namespace gpucnn::conv {
 
+/// Quantized filters packed once into igemm quad tiles (blas/packed.hpp),
+/// one PackedMatrixI8 per group — the int8 twin of PackedFilters. Each
+/// pack retains a span over qw.data, which must outlive the pack (the
+/// layer owns both).
+struct PackedQFilters {
+  std::vector<blas::PackedMatrixI8> groups;
+
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const auto& g : groups) total += g.bytes();
+    return total;
+  }
+};
+
+/// Packs offline-quantized weights for reuse across every quantized
+/// forward.
+[[nodiscard]] PackedQFilters prepack_quantized_filters(
+    const ConvConfig& cfg, const quant::QuantizedFilters& qw);
+
 /// im2col + int8 GEMM forward with prepacked quantized weights `qw`
 /// (rows = cfg.filters, cols = group_channels * k * k) and fixed
 /// activation parameters `aq`. Bias (length cfg.filters) and ReLU ride
@@ -33,6 +52,24 @@ void quantized_gemm_forward(const ConvConfig& cfg, const Tensor& input,
 /// Tiled implicit-GEMM forward (groups == 1 only), same contract.
 void quantized_implicit_forward(const ConvConfig& cfg, const Tensor& input,
                                 const quant::QuantizedFilters& qw,
+                                const quant::ActQuant& aq,
+                                std::span<const float> bias, bool relu,
+                                Tensor& output);
+
+/// quantized_gemm_forward consuming cached weight tiles: bit-exact
+/// against the overload above, with the blas-level stale-pack fallback
+/// reading from qw (which `packed` was built from).
+void quantized_gemm_forward(const ConvConfig& cfg, const Tensor& input,
+                            const quant::QuantizedFilters& qw,
+                            const PackedQFilters& packed,
+                            const quant::ActQuant& aq,
+                            std::span<const float> bias, bool relu,
+                            Tensor& output);
+
+/// Prepacked twin of quantized_implicit_forward, same contract.
+void quantized_implicit_forward(const ConvConfig& cfg, const Tensor& input,
+                                const quant::QuantizedFilters& qw,
+                                const PackedQFilters& packed,
                                 const quant::ActQuant& aq,
                                 std::span<const float> bias, bool relu,
                                 Tensor& output);

@@ -18,6 +18,32 @@ ConvLayer::ConvLayer(std::string name, ConvConfig geometry,
 
 void ConvLayer::set_strategy(conv::Strategy strategy) {
   engine_ = conv::make_engine(strategy);
+  prepacked_.reset();
+}
+
+void ConvLayer::freeze_for_inference() {
+  // The pack format is engine-agnostic (the forward GEMM's A operand),
+  // but only worth building when some forward could consume it: the
+  // static engine, or — under autotuning — the GEMM engines the tuner
+  // may pick.
+  if (!engine_->supports_prepack() && !auto_tune_) return;
+  // Already holding a live pack of this very buffer (packed here
+  // earlier, or adopted from the weight owner): keep sharing it.
+  if (prepacked_ != nullptr && !prepacked_->groups.empty() &&
+      prepacked_->groups.front().valid() &&
+      prepacked_->groups.front().origin().data() ==
+          weights_.data().data()) {
+    return;
+  }
+  prepacked_ = std::make_shared<const conv::PackedFilters>(
+      conv::prepack_filters(geometry_, weights_));
+}
+
+void ConvLayer::adopt_prepack(const Layer& owner) {
+  const auto* conv_owner = dynamic_cast<const ConvLayer*>(&owner);
+  if (conv_owner != nullptr && conv_owner->prepacked_ != nullptr) {
+    prepacked_ = conv_owner->prepacked_;
+  }
 }
 
 ConvConfig ConvLayer::config_for_batch(std::size_t batch) const {
@@ -47,7 +73,12 @@ void ConvLayer::forward(const Tensor& in, Tensor& out) {
   const ConvConfig cfg = config_for_batch(in.shape().n);
   out.resize(cfg.output_shape());
   const conv::ConvEngine& engine = engine_for(cfg, tune::Pass::kForward);
-  if (!engine.forward_fused(cfg, in, weights_, bias_.data(), fused_relu_,
+  const bool ran_prepacked =
+      !training_ && prepacked_ != nullptr &&
+      engine.forward_prepacked(cfg, in, *prepacked_, weights_,
+                               bias_.data(), fused_relu_, out);
+  if (!ran_prepacked &&
+      !engine.forward_fused(cfg, in, weights_, bias_.data(), fused_relu_,
                             out)) {
     // Unfused reference sequence; with fused_relu_ the trailing clamp is
     // exactly ActivationLayer(kRelu)'s forward, so both paths match the
@@ -107,6 +138,7 @@ void ConvLayer::initialize(Rng& rng) {
   const float bound = static_cast<float>(std::sqrt(6.0 / fan_in));
   weights_.fill_uniform(rng, -bound, bound);
   bias_.fill(0.0F);
+  prepacked_.reset();  // panels packed from the previous weights
 }
 
 }  // namespace gpucnn::nn

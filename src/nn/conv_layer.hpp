@@ -52,8 +52,31 @@ class ConvLayer final : public Layer {
   [[nodiscard]] const ConvConfig& geometry() const { return geometry_; }
   [[nodiscard]] const conv::ConvEngine& engine() const { return *engine_; }
 
-  /// Swaps the convolution strategy (weights are untouched).
+  /// Swaps the convolution strategy (weights are untouched; any packed
+  /// filter cache is dropped — the new engine may not consume it).
   void set_strategy(conv::Strategy strategy);
+
+  /// Packs the filters once for the GEMM engines; every subsequent
+  /// inference forward consumes the cached panels (zero per-call weight
+  /// packing). Skipped when neither the static engine nor the autotuner
+  /// could pick a prepack-capable engine.
+  void freeze_for_inference() override;
+
+  /// Returning to training drops the packed cache: the optimizer is
+  /// about to rewrite the weights the panels were built from.
+  void set_training(bool training) override {
+    if (training) prepacked_.reset();
+    Layer::set_training(training);
+  }
+
+  void adopt_prepack(const Layer& owner) override;
+
+  /// The packed filter cache (nullptr until freeze_for_inference);
+  /// exposed so tests can assert sharing and invalidation.
+  [[nodiscard]] std::shared_ptr<const conv::PackedFilters> prepacked()
+      const {
+    return prepacked_;
+  }
 
   /// Folds a downstream ReLU into this layer (see the header comment).
   void set_fused_relu(bool fused) { fused_relu_ = fused; }
@@ -81,6 +104,9 @@ class ConvLayer final : public Layer {
   bool fused_relu_ = false;
   bool auto_tune_ = false;
   std::vector<std::uint8_t> relu_mask_;  ///< out > 0, saved by forward
+  /// Filters packed once by freeze_for_inference (or adopted from the
+  /// weight owner); shared, never mutated after construction.
+  std::shared_ptr<const conv::PackedFilters> prepacked_;
 };
 
 }  // namespace gpucnn::nn

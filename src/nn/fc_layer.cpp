@@ -30,10 +30,35 @@ void FcLayer::forward(const Tensor& in, Tensor& out) {
   out.resize(os);
   const std::size_t n = in.shape().n;
   // out(N x O) = in(N x I) * W^T(I x O)
-  blas::sgemm(Trans::kNo, Trans::kYes, n, out_features_, in_features_,
-              1.0F, in.data(), in_features_, weights_.data(), in_features_,
-              0.0F, out.data(), out_features_);
+  if (!training_ && prepacked_ != nullptr) {
+    blas::sgemm_prepacked(Trans::kNo, n, out_features_, in_features_, 1.0F,
+                          in.data(), in_features_, *prepacked_, 0.0F,
+                          out.data(), out_features_);
+  } else {
+    blas::sgemm(Trans::kNo, Trans::kYes, n, out_features_, in_features_,
+                1.0F, in.data(), in_features_, weights_.data(),
+                in_features_, 0.0F, out.data(), out_features_);
+  }
   blas::add_bias(out.data(), bias_.data(), n, out_features_, 1);
+}
+
+void FcLayer::freeze_for_inference() {
+  // Already holding a live pack of this very buffer (packed here
+  // earlier, or adopted from the weight owner): keep sharing it.
+  if (prepacked_ != nullptr && prepacked_->valid() &&
+      prepacked_->origin().data() == weights_.data().data()) {
+    return;
+  }
+  prepacked_ = std::make_shared<const blas::PackedMatrix>(
+      blas::pack_b(Trans::kYes, in_features_, out_features_,
+                   weights_.data(), in_features_));
+}
+
+void FcLayer::adopt_prepack(const Layer& owner) {
+  const auto* fc_owner = dynamic_cast<const FcLayer*>(&owner);
+  if (fc_owner != nullptr && fc_owner->prepacked_ != nullptr) {
+    prepacked_ = fc_owner->prepacked_;
+  }
 }
 
 void FcLayer::backward(const Tensor& in, const Tensor& grad_out,
@@ -60,6 +85,7 @@ void FcLayer::initialize(Rng& rng) {
       static_cast<float>(std::sqrt(6.0 / static_cast<double>(in_features_)));
   weights_.fill_uniform(rng, -bound, bound);
   bias_.fill(0.0F);
+  prepacked_.reset();  // panels packed from the previous weights
 }
 
 }  // namespace gpucnn::nn

@@ -2,6 +2,9 @@
 // any 4-D shape is treated as (batch, features).
 #pragma once
 
+#include <memory>
+
+#include "blas/packed.hpp"
 #include "nn/layer.hpp"
 
 namespace gpucnn::nn {
@@ -28,6 +31,24 @@ class FcLayer final : public Layer {
 
   void initialize(Rng& rng) override;
 
+  /// Packs W^T (the forward GEMM's B operand, nr-column panels) once;
+  /// inference forwards then skip the per-call B pack entirely — on
+  /// small batches the FC GEMM is pack-dominated, so this is the biggest
+  /// single win of the packed-weight cache.
+  void freeze_for_inference() override;
+
+  void set_training(bool training) override {
+    if (training) prepacked_.reset();
+    Layer::set_training(training);
+  }
+
+  void adopt_prepack(const Layer& owner) override;
+
+  [[nodiscard]] std::shared_ptr<const blas::PackedMatrix> prepacked()
+      const {
+    return prepacked_;
+  }
+
   [[nodiscard]] std::size_t in_features() const { return in_features_; }
   [[nodiscard]] std::size_t out_features() const { return out_features_; }
 
@@ -38,6 +59,8 @@ class FcLayer final : public Layer {
   Tensor bias_;          ///< (out)
   Tensor grad_weights_;
   Tensor grad_bias_;
+  /// W packed as the forward GEMM's B operand (see freeze_for_inference).
+  std::shared_ptr<const blas::PackedMatrix> prepacked_;
 };
 
 }  // namespace gpucnn::nn

@@ -65,6 +65,19 @@ class Layer {
   /// Initialises parameters (default: nothing to initialise).
   virtual void initialize(Rng&) {}
 
+  /// Pack-once/execute-many inference preparation: layers whose forward
+  /// runs a weight GEMM pack the weights into micro-kernel panels here
+  /// (blas/packed.hpp) and reuse the panels across every forward until
+  /// the weights can change again (set_training(true), initialize,
+  /// strategy switch). Default: nothing to prepack.
+  virtual void freeze_for_inference() {}
+
+  /// Aliases `owner`'s packed weight panels into this layer (called by
+  /// Network::share_parameters after the weight tensors themselves are
+  /// aliased): all serving workers then share one packed copy. A no-op
+  /// when the owner holds no pack or the layer types differ.
+  virtual void adopt_prepack(const Layer& /*owner*/) {}
+
  protected:
   std::string name_;
   bool training_ = true;

@@ -186,6 +186,19 @@ void Network::share_parameters(Network& owner) {
     if (theirs[i]->count() == 0) continue;  // nothing to share
     mine[i]->bind_external(theirs[i]->raw(), theirs[i]->count());
   }
+  // Alias the owner's packed weight panels too: the packs reference the
+  // owner's parameter buffers, which now back this network's weights as
+  // well, so one packed copy serves every sharing network.
+  check(layers_.size() == owner.layers_.size(),
+        "share_parameters: layer counts differ");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->adopt_prepack(*owner.layers_[i]);
+  }
+}
+
+void Network::freeze_for_inference() {
+  set_training(false);
+  for (const auto& layer : layers_) layer->freeze_for_inference();
 }
 
 std::size_t Network::fuse_conv_relu() {

@@ -80,6 +80,13 @@ class Network {
   /// not train (their gradients stay private but their weights alias).
   void share_parameters(Network& owner);
 
+  /// Pack-once/execute-many inference preparation: switches to inference
+  /// mode and has every conv / FC layer pack its weights into blas
+  /// micro-kernel panels (Layer::freeze_for_inference). Subsequent
+  /// forwards reuse the cached panels — zero per-call weight packing —
+  /// until training resumes (set_training(true) drops the caches).
+  void freeze_for_inference();
+
   /// Fuses every ConvLayer -> ActivationLayer(kRelu) pair (top level and
   /// inside composite layers); returns the number of pairs fused. Safe
   /// to call once, after the network is fully built.

@@ -57,6 +57,25 @@ void QuantizedConvLayer::freeze() {
   obs::metrics().counter("quant.layers.frozen").add(1);
 }
 
+void QuantizedConvLayer::freeze_for_inference() {
+  freeze();
+  // Any live pack is already bit-identical (quantization and packing are
+  // deterministic over the shared fp32 weights): keep sharing it.
+  if (qprepacked_ != nullptr && !qprepacked_->groups.empty() &&
+      qprepacked_->groups.front().valid()) {
+    return;
+  }
+  qprepacked_ = std::make_shared<const conv::PackedQFilters>(
+      conv::prepack_quantized_filters(geometry_, qweights_));
+}
+
+void QuantizedConvLayer::adopt_prepack(const Layer& owner) {
+  const auto* q_owner = dynamic_cast<const QuantizedConvLayer*>(&owner);
+  if (q_owner != nullptr && q_owner->qprepacked_ != nullptr) {
+    qprepacked_ = q_owner->qprepacked_;
+  }
+}
+
 void QuantizedConvLayer::fp32_forward(const ConvConfig& cfg,
                                       const conv::ConvEngine& engine,
                                       const Tensor& in, Tensor& out) const {
@@ -116,8 +135,16 @@ void QuantizedConvLayer::forward(const Tensor& in, Tensor& out) {
   }
 
   if (implicit && cfg.groups == 1) {
-    conv::quantized_implicit_forward(cfg, in, qweights_, aq, bias_.data(),
-                                     fused_relu_, out);
+    if (qprepacked_ != nullptr) {
+      conv::quantized_implicit_forward(cfg, in, qweights_, *qprepacked_,
+                                       aq, bias_.data(), fused_relu_, out);
+    } else {
+      conv::quantized_implicit_forward(cfg, in, qweights_, aq,
+                                       bias_.data(), fused_relu_, out);
+    }
+  } else if (qprepacked_ != nullptr) {
+    conv::quantized_gemm_forward(cfg, in, qweights_, *qprepacked_, aq,
+                                 bias_.data(), fused_relu_, out);
   } else {
     conv::quantized_gemm_forward(cfg, in, qweights_, aq, bias_.data(),
                                  fused_relu_, out);

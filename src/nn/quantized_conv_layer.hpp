@@ -57,6 +57,17 @@ class QuantizedConvLayer final : public Layer {
   /// True when the activation range came from calibration data.
   [[nodiscard]] bool calibrated() const { return act_frozen_; }
 
+  /// Freezes (if not yet frozen) and packs the int8 weights into igemm
+  /// quad tiles; every subsequent forward consumes the cached tiles.
+  void freeze_for_inference() override;
+
+  void adopt_prepack(const Layer& owner) override;
+
+  [[nodiscard]] std::shared_ptr<const conv::PackedQFilters> prepacked()
+      const {
+    return qprepacked_;
+  }
+
   [[nodiscard]] const ConvConfig& geometry() const { return geometry_; }
   [[nodiscard]] bool fused_relu() const { return fused_relu_; }
   /// The frozen activation parameters; meaningful when calibrated().
@@ -77,6 +88,9 @@ class QuantizedConvLayer final : public Layer {
   quant::Observer observer_;
   quant::ActQuant aq_;
   quant::QuantizedFilters qweights_;
+  /// Int8 weight tiles packed once by freeze_for_inference; panels
+  /// reference qweights_.data, which the layer owns and never rewrites.
+  std::shared_ptr<const conv::PackedQFilters> qprepacked_;
 };
 
 }  // namespace gpucnn::nn

@@ -39,6 +39,9 @@ InferenceServer::InferenceServer(
   if (options_.fuse_conv_relu) prototype_.fuse_conv_relu();
   Rng rng(options_.seed);
   prototype_.initialize(rng);
+  // Pack the prototype's weights once; every instance then aliases the
+  // packed panels through share_parameters (one packed copy per server).
+  prototype_.freeze_for_inference();
 
   // Synthetic calibration set for --int8: the load generator draws
   // request images uniform in [-1, 1], so calibrating on the same
@@ -63,12 +66,17 @@ InferenceServer::InferenceServer(
         std::move(net), prototype_, options_.memory_planning);
     if (options_.int8) {
       (void)instance->network().quantize(calibration);
+      // Quantization replaced the conv layers after weight sharing; the
+      // new int8 layers pack their own quantized weights here.
+      instance->network().freeze_for_inference();
     }
     instances_.push_back(std::move(instance));
   }
   obs::metrics().gauge("serve.workers")
       .set(static_cast<double>(options_.workers));
   obs::metrics().gauge("serve.int8").set(options_.int8 ? 1.0 : 0.0);
+
+  if (options_.warmup) warmup_instances();
 
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
@@ -77,6 +85,30 @@ InferenceServer::InferenceServer(
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::warmup_instances() {
+  // Warm-up forwards run before any worker thread exists, so instances
+  // can be driven directly. Instance 0 sweeps every batch size the
+  // dynamic batcher can realize — with autotuning on, each sweep step
+  // pays that shape's measurement cost here, once, instead of inside a
+  // served request. The remaining instances run one max-batch forward:
+  // the autotune memo is process-wide (already primed), so they only
+  // need their own activation arenas sized.
+  const TensorShape in = options_.input;
+  Rng rng(options_.seed + 2);
+  Tensor image;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const std::size_t lo = i == 0 ? 1 : options_.batch.max_batch;
+    for (std::size_t b = lo; b <= options_.batch.max_batch; ++b) {
+      image.resize({b, in.c, in.h, in.w});
+      image.fill_uniform(rng, -1.0F, 1.0F);
+      (void)instances_[i]->run(image);
+    }
+  }
+  obs::metrics().counter("serve.warmup.forwards")
+      .add(static_cast<std::int64_t>(options_.batch.max_batch +
+                                     instances_.size() - 1));
+}
 
 std::future<Tensor> InferenceServer::submit(const Tensor& image) {
   const TensorShape& s = image.shape();

@@ -52,6 +52,13 @@ struct ServerOptions {
   /// error (docs/QUANTIZATION.md).
   bool int8 = false;
   std::size_t int8_calibration_batches = 4;
+  /// Run warm-up forwards before the workers start taking requests: one
+  /// instance covers every batch size up to batch.max_batch (priming the
+  /// process-wide autotune memo for each realized batch shape), the rest
+  /// run one max-batch forward (sizing their activation arenas). The
+  /// measurement window then starts with tuned engines, sized arenas and
+  /// prepacked weights — no first-request outlier.
+  bool warmup = true;
 };
 
 /// A consistent snapshot of the server's lifetime counters.
@@ -101,6 +108,7 @@ class InferenceServer {
   [[nodiscard]] nn::Network& prototype() { return prototype_; }
 
  private:
+  void warmup_instances();
   void worker_loop(std::size_t index);
   void run_batch(ModelInstance& instance, std::vector<Request>& batch);
 

@@ -55,6 +55,28 @@ TEST(ConvFuzz, Int8BatchFindsNoFailures) {
   }
 }
 
+TEST(ConvFuzz, PrepackBatchFindsNoFailures) {
+  // 40 adversarial configs through the prepacked-vs-staged bit-identity
+  // cross-check (fp32 gemm/implicit plus both int8 paths).
+  FuzzOptions options;
+  options.seed = 1;
+  options.count = 40;
+  options.fused = false;
+  options.prepack = true;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_EQ(report.configs_run, options.count);
+  // Every config gets the two unrolling variants in fp32 and int8;
+  // groups == 1 configs add the four implicit ones.
+  EXPECT_GE(report.prepack_checks, 4 * options.count);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << '[' << failure.index << "] "
+                  << failure.config.to_string() << ": " << failure.what
+                  << "\n  repro: "
+                  << repro_command(options.seed, failure.index)
+                  << " --prepack";
+  }
+}
+
 TEST(ConvFuzz, ConfigIsAPureFunctionOfSeedAndIndex) {
   // Identical across calls, and independent of which other indices were
   // generated before — the property --start repro relies on.

@@ -1,7 +1,8 @@
 // Command-line driver for the conv-config fuzzer (analysis/conv_fuzz).
 //
 //   conv_fuzz [--seed N] [--count N] [--start N] [--verbose] [--no-poison]
-//             [--no-fused] [--int8] [--depthwise] [--tune-cache [PATH]]
+//             [--no-fused] [--int8] [--prepack] [--depthwise]
+//             [--tune-cache [PATH]]
 //
 // Deterministic per (seed, index): a failing run prints, for every
 // failure, the exact one-config command that reproduces it. Exit status:
@@ -20,8 +21,8 @@ namespace {
 
 int usage(std::ostream& os) {
   os << "usage: conv_fuzz [--seed N] [--count N] [--start N]"
-        " [--verbose] [--no-poison] [--no-fused] [--int8] [--depthwise]"
-        " [--tune-cache [PATH]]\n"
+        " [--verbose] [--no-poison] [--no-fused] [--int8] [--prepack]"
+        " [--depthwise] [--tune-cache [PATH]]\n"
         "  --seed N      RNG seed defining the config sequence"
         " (default 1)\n"
         "  --count N     number of configs to check (default 200)\n"
@@ -33,6 +34,8 @@ int usage(std::ostream& os) {
         "  --no-fused    skip the fused-vs-unfused layer cross-check\n"
         "  --int8        cross-check int8 quantized forwards against"
         " fp32\n"
+        "  --prepack     cross-check prepacked forwards against the"
+        " staged paths (bit-identity)\n"
         "  --depthwise   draw only depthwise-degenerate configs"
         " (groups == C, multipliers > 1)\n"
         "  --tune-cache [PATH]\n"
@@ -65,6 +68,8 @@ int main(int argc, char** argv) {
       options.fused = false;
     } else if (arg == "--int8") {
       options.int8 = true;
+    } else if (arg == "--prepack") {
+      options.prepack = true;
     } else if (arg == "--depthwise") {
       options.depthwise = true;
     } else if (arg == "--tune-cache") {
@@ -102,6 +107,7 @@ int main(int argc, char** argv) {
             << report.plan_skips << " shape-limited skipped), "
             << report.fused_checks << " fused-layer comparisons, "
             << report.int8_checks << " int8-vs-fp32 comparisons, "
+            << report.prepack_checks << " prepacked-vs-staged comparisons, "
             << report.tune_checks << " tune-cache round-trips\n";
 
   for (const auto& failure : report.failures) {

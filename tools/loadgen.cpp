@@ -36,6 +36,7 @@
 #include "nn/fc_layer.hpp"
 #include "nn/model_spec.hpp"
 #include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -65,6 +66,11 @@ struct LoadgenOptions {
   bool autotune = false;
   bool int8 = false;     // serve the int8 quantized inference path
   bool compare = true;   // run the batch-1 comparison server
+  bool warmup = true;    // pre-measurement warm-up forwards in the server
+  /// Gate on the packed-weight cache: after the batched run, require
+  /// that prepacked GEMMs were hit and that no weight was re-packed
+  /// during serving (blas.*.prepack_bytes flat once the server is up).
+  bool assert_prepack = false;
 };
 
 void usage() {
@@ -82,7 +88,11 @@ void usage() {
       "  --seed=N          weight + arrival seed (7)\n"
       "  --autotune        per-batch-shape engine autotuning\n"
       "  --int8            serve the int8 quantized conv path\n"
-      "  --no-compare      skip the batch-1 comparison run\n";
+      "  --no-compare      skip the batch-1 comparison run\n"
+      "  --no-warmup       skip the server's pre-measurement warm-up\n"
+      "  --assert-prepack  fail unless serving ran on prepacked weights\n"
+      "                    with zero re-packing (needs a model with\n"
+      "                    blocked-size GEMMs, e.g. lenet5 at max-batch 8)\n";
 }
 
 template <typename T>
@@ -130,6 +140,10 @@ bool parse_args(int argc, char** argv, LoadgenOptions& opt) {
       opt.int8 = true;
     } else if (arg == "--no-compare") {
       opt.compare = false;
+    } else if (arg == "--no-warmup") {
+      opt.warmup = false;
+    } else if (arg == "--assert-prepack") {
+      opt.assert_prepack = true;
     } else {
       std::cerr << "loadgen: unknown argument '" << arg << "'\n";
       ok = false;
@@ -278,7 +292,9 @@ int main(int argc, char** argv) {
   server_opts.seed = opt.seed;
   server_opts.autotune = opt.autotune;
   server_opts.int8 = opt.int8;
+  server_opts.warmup = opt.warmup;
   exporter.annotate("int8", opt.int8 ? "1" : "0");
+  exporter.annotate("warmup", opt.warmup ? "1" : "0");
 
   Rng rng(opt.seed ^ 0x10adbeefULL);
   Tensor image(1, model.input.c, model.input.h, model.input.w);
@@ -295,10 +311,21 @@ int main(int argc, char** argv) {
 
   std::vector<StepResult> results;
   bool leaked = false;
+  bool prepack_failed = false;
   double saturated_rate = opt.rate;
   double batched_peak_rps = 0.0;
   {
+    auto& metrics = obs::metrics();
+    auto& sgemm_hits = metrics.counter("blas.sgemm.prepack_hits");
+    const std::int64_t hits_before = sgemm_hits.value();
     serve::InferenceServer server(model.make, server_opts);
+    // Construction is done: weights are packed (prototype freeze) and
+    // the warm-up forwards have run. From here on prepack_bytes must not
+    // move — serving re-packs no weights.
+    auto& sgemm_pack_bytes = metrics.counter("blas.sgemm.prepack_bytes");
+    auto& igemm_pack_bytes = metrics.counter("blas.igemm.prepack_bytes");
+    const std::int64_t pack_bytes_before =
+        sgemm_pack_bytes.value() + igemm_pack_bytes.value();
     double rate = opt.rate;
     for (std::size_t step = 0; step < opt.steps; ++step) {
       StepResult r =
@@ -320,6 +347,27 @@ int main(int argc, char** argv) {
               << fmt(stats.mean_batch, 2) << ", max "
               << stats.max_batch_observed << "\n";
     leaked = queue_leaked(stats, "batched") || leaked;
+
+    if (opt.assert_prepack) {
+      const std::int64_t hits =
+          sgemm_hits.value() - hits_before;
+      const std::int64_t repacked = sgemm_pack_bytes.value() +
+                                    igemm_pack_bytes.value() -
+                                    pack_bytes_before;
+      std::cout << "prepack: " << hits
+                << " prepacked GEMM hits, " << repacked
+                << " weight bytes re-packed after startup\n";
+      if (hits <= 0) {
+        std::cerr << "loadgen: --assert-prepack: no GEMM consumed the "
+                     "packed-weight cache\n";
+        prepack_failed = true;
+      }
+      if (repacked != 0) {
+        std::cerr << "loadgen: --assert-prepack: weights were re-packed "
+                     "while serving\n";
+        prepack_failed = true;
+      }
+    }
   }
 
   double batch1_rps = 0.0;
@@ -361,5 +409,6 @@ int main(int argc, char** argv) {
 
   if (leaked) return 1;
   std::cout << "request accounting clean: no queue leak\n";
+  if (prepack_failed) return 1;
   return 0;
 }

@@ -227,6 +227,29 @@ def validate_int8_table(directory, entry):
               f" {fp32 / int8}")
 
 
+PREPACK_COLUMNS = {"case", "staged_real_ns", "prepacked_real_ns", "speedup"}
+
+
+def validate_prepack_table(directory, entry):
+    """BENCH_prepack schema (bench_cpu_kernels): each row pairs a staged
+    per-call-packing benchmark with its prepacked twin; the speedup
+    column must be their actual ratio."""
+    doc = load_json(directory / entry["file"])
+    name = entry["file"]
+    missing = PREPACK_COLUMNS - set(doc.get("columns", []))
+    check(not missing,
+          f"{name}: BENCH_prepack missing columns {sorted(missing)}")
+    for i, row in enumerate(doc.get("rows", [])):
+        staged = float(row["staged_real_ns"])
+        prepacked = float(row["prepacked_real_ns"])
+        speedup = float(row["speedup"])
+        check(staged > 0 and prepacked > 0,
+              f"{name}: row {i}: non-positive timing")
+        check(abs(speedup - staged / prepacked) <= 1e-3 * speedup + 1e-6,
+              f"{name}: row {i}: speedup {speedup} != staged/prepacked"
+              f" {staged / prepacked}")
+
+
 def validate_tune_cache(path):
     """Validates one on-disk autotuner cache (src/tune/autotuner.cpp)."""
     doc = load_json(path)
@@ -293,6 +316,8 @@ def validate_directory(directory):
             validate_table(directory, entry, documented)
             if entry["file"].startswith("BENCH_int8"):
                 validate_int8_table(directory, entry)
+            if entry["file"].startswith("BENCH_prepack"):
+                validate_prepack_table(directory, entry)
         elif kind == "table_csv":
             validate_csv(directory, entry)
         elif kind == "metrics":
