@@ -32,6 +32,7 @@
 #include "conv/depthwise_conv.hpp"
 #include "conv/gemm_conv.hpp"
 #include "conv/im2col.hpp"
+#include "conv/winograd_conv.hpp"
 #include "core/cpu_features.hpp"
 #include "core/rng.hpp"
 #include "core/tensor.hpp"
@@ -566,6 +567,46 @@ void BM_PrepackedConvForward(benchmark::State& state) {
 }
 BENCHMARK(BM_PrepackedConvForward)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+// --- Winograd tile-GEMM engine vs im2col+GEMM ------------------------
+// Both tile sizes run the serving steady state (fused bias+ReLU over
+// prepacked transformed-filter panels — the post-freeze_for_inference
+// path) on the same zoo shapes, inputs, and epilogue as
+// BM_Fp32ConvForward; main() pairs them into the BENCH_winograd table.
+
+void winograd_forward_bench(benchmark::State& state,
+                            conv::WinogradTile tile) {
+  const ConvConfig& cfg =
+      kInt8ConvShapes[static_cast<std::size_t>(state.range(0))];
+  const conv::WinogradConv engine(tile);
+  Rng rng(5);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  const auto bias = random_vec(cfg.filters, 10);
+  Tensor out(cfg.output_shape());
+  const conv::PackedFilters packed = conv::prepack_filters(cfg, w);
+  for (auto _ : state) {
+    const bool ran = engine.forward_prepacked(cfg, in, packed, w, bias,
+                                              /*relu=*/true, out);
+    if (!ran) state.SkipWithError("WinogradConv refused its own pack");
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      cfg.forward_flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_WinogradConvForwardF2(benchmark::State& state) {
+  winograd_forward_bench(state, conv::WinogradTile::kF2);
+}
+BENCHMARK(BM_WinogradConvForwardF2)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_WinogradConvForwardF4(benchmark::State& state) {
+  winograd_forward_bench(state, conv::WinogradTile::kF4);
+}
+BENCHMARK(BM_WinogradConvForwardF4)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 // --- autotuner: cold trial cost vs warm cache hit --------------------
 
 void BM_AutotuneColdDecide(benchmark::State& state) {
@@ -778,6 +819,29 @@ int main(int argc, char** argv) {
                 "BM_PrepackedConvForward/" + std::to_string(i));
   }
 
+  // Winograd tile-GEMM vs im2col+GEMM on the same zoo shapes: both tile
+  // sizes against the staged fused GemmConv forward they displace.
+  std::vector<std::vector<std::string>> winograd_rows;
+  const auto winograd_row = [&](const std::string& label,
+                                const std::string& gemm_name,
+                                const std::string& winograd_name) {
+    const double gemm = real_ns(gemm_name);
+    const double winograd = real_ns(winograd_name);
+    if (gemm <= 0.0 || winograd <= 0.0) return;
+    winograd_rows.push_back({label, std::to_string(gemm),
+                             std::to_string(winograd),
+                             std::to_string(gemm / winograd)});
+  };
+  for (std::size_t i = 0; i < std::size(kInt8ConvShapes); ++i) {
+    const std::string shape = int8_shape_name(kInt8ConvShapes[i]);
+    winograd_row("conv-f2/" + shape,
+                 "BM_Fp32ConvForward/" + std::to_string(i),
+                 "BM_WinogradConvForwardF2/" + std::to_string(i));
+    winograd_row("conv-f4/" + shape,
+                 "BM_Fp32ConvForward/" + std::to_string(i),
+                 "BM_WinogradConvForwardF4/" + std::to_string(i));
+  }
+
   gpucnn::obs::RunExporter exporter(options, "bench_cpu_kernels");
   exporter.annotate("simd", gpucnn::simd::name(gpucnn::simd::active()));
   exporter.annotate("quick", quick ? "true" : "false");
@@ -803,6 +867,13 @@ int main(int argc, char** argv) {
       "prepacked_real_ns)",
       {"case", "staged_real_ns", "prepacked_real_ns", "speedup"},
       prepack_rows);
+  exporter.add_table(
+      "BENCH_winograd",
+      "im2col+GEMM vs Winograd tile-GEMM fused conv forward on model-zoo "
+      "3x3/s1 shapes, prepacked filter panels, both tile sizes "
+      "(speedup = gemm_real_ns / winograd_real_ns)",
+      {"case", "gemm_real_ns", "winograd_real_ns", "speedup"},
+      winograd_rows);
   exporter.finish();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "conv/implicit_gemm_conv.hpp"
 #include "conv/quantized_conv.hpp"
 #include "conv/tiled_fft_conv.hpp"
+#include "conv/winograd_conv.hpp"
 #include "core/rng.hpp"
 #include "core/tensor.hpp"
 #include "core/workspace.hpp"
@@ -87,6 +88,8 @@ std::vector<std::unique_ptr<conv::ConvEngine>> make_checked_engines() {
       std::make_unique<conv::FftConv>(conv::FftConv::Spectrum::kFull));
   engines.push_back(std::make_unique<conv::TiledFftConv>());
   engines.push_back(conv::make_engine(conv::Strategy::kWinograd));
+  engines.push_back(
+      std::make_unique<conv::WinogradConv>(conv::WinogradTile::kF4));
   engines.push_back(std::make_unique<conv::DepthwiseConv>());
   return engines;
 }
@@ -311,6 +314,36 @@ ConvConfig fuzz_depthwise_config(std::uint64_t seed, std::size_t index) {
   }
   return ConvConfig{.batch = 1, .input = 8, .channels = 4, .filters = 8,
                     .kernel = 3, .stride = 1, .pad = 1, .groups = 4};
+}
+
+ConvConfig fuzz_winograd_config(std::uint64_t seed, std::size_t index) {
+  // A distinct mix offset decorrelates this sequence from the others'.
+  Rng rng(mix(seed, index) ^ 0x3A9D);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ConvConfig cfg;
+    cfg.kernel = 3;
+    cfg.stride = 1;
+    cfg.groups = 1;
+    // The whole supported pad range: pad 0 shrinks, pad 1 preserves,
+    // pad 2 grows the map — each puts the tile overhang in a different
+    // place relative to the zero halo.
+    cfg.pad = pick(rng, {0, 0, 1, 1, 1, 2, 2});
+    // C = 1 / F = 1 degenerates keep the per-position GEMMs rank-1;
+    // larger draws exercise the blocked panels.
+    cfg.channels = pick(rng, {1, 1, 2, 3, 5, 8, 16, 24});
+    cfg.filters = pick(rng, {1, 1, 2, 3, 4, 8, 16, 17});
+    cfg.batch = pick(rng, {1, 1, 2, 3, 4});
+    // Inputs below one tile (3 < alpha for both tile sizes), odd sizes
+    // whose last tile row overhangs the padded edge, and sizes whose
+    // output is odd for one tile size but tile-aligned for the other.
+    cfg.input = pick(rng, {3, 4, 5, 6, 7, 9, 11, 12, 13, 15, 17, 21, 23,
+                           28, 31, 32, 33, 56});
+    if (cfg.input + 2 * cfg.pad < cfg.kernel) continue;
+    if (!affordable(cfg)) continue;
+    return cfg;
+  }
+  return ConvConfig{.batch = 1, .input = 7, .channels = 1, .filters = 1,
+                    .kernel = 3, .stride = 1, .pad = 1, .groups = 1};
 }
 
 void check_config(const ConvConfig& cfg, std::uint64_t seed,
@@ -538,6 +571,45 @@ void check_prepack(const ConvConfig& cfg, std::uint64_t seed,
     }
   }
 
+  // Winograd packs pre-transformed U panels instead of im2col panels,
+  // but the staged path runs the identical filter transform per call, so
+  // the bit-identity bar holds for both tile sizes too.
+  const conv::WinogradConv wino_f2(conv::WinogradTile::kF2);
+  const conv::WinogradConv wino_f4(conv::WinogradTile::kF4);
+  for (const conv::WinogradConv* wino : {&wino_f2, &wino_f4}) {
+    if (!wino->supports(cfg)) continue;
+    for (const bool relu : {false, true}) {
+      const std::string label = std::string(wino->name()) +
+                                (relu ? " fused" : " plain");
+      const std::span<const float> b =
+          relu ? std::span<const float>(bias) : std::span<const float>();
+      Tensor staged(cfg.output_shape());
+      Tensor reused(cfg.output_shape());
+      try {
+        if (!wino->forward_fused(cfg, input, filters, b, relu, staged)) {
+          fail(label + ": staged forward refused the config");
+          continue;
+        }
+        if (!wino->forward_prepacked(cfg, input, packed, filters, b, relu,
+                                     reused)) {
+          fail(label + ": forward_prepacked refused its own pack");
+          continue;
+        }
+      } catch (const std::exception& e) {
+        fail(label + " threw: " + e.what());
+        continue;
+      }
+      ++report.prepack_checks;
+      if (!finite(reused)) {
+        fail(label + " produced non-finite values");
+        continue;
+      }
+      if (max_abs_diff(staged, reused) != 0.0) {
+        fail(label + " is not bit-identical to the staged forward");
+      }
+    }
+  }
+
   // The int8 packed overloads share every quantized step with the staged
   // ones except the weight tiling, so they face the same exact bar.
   float act_absmax = 0.0F;
@@ -657,11 +729,12 @@ void check_tune_roundtrip(const ConvConfig& cfg, std::size_t index,
 }
 
 std::string repro_command(std::uint64_t seed, std::size_t index,
-                          bool depthwise) {
+                          bool depthwise, bool winograd) {
   std::ostringstream os;
   os << "tools/conv_fuzz --seed " << seed << " --start " << index
      << " --count 1";
   if (depthwise) os << " --depthwise";
+  if (winograd) os << " --winograd";
   return os.str();
 }
 
@@ -673,9 +746,10 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
                                     : options.tune_cache_path;
   for (std::size_t i = options.start; i < options.start + options.count;
        ++i) {
-    const ConvConfig cfg = options.depthwise
-                               ? fuzz_depthwise_config(options.seed, i)
-                               : fuzz_config(options.seed, i);
+    const ConvConfig cfg =
+        options.depthwise ? fuzz_depthwise_config(options.seed, i)
+        : options.winograd ? fuzz_winograd_config(options.seed, i)
+                           : fuzz_config(options.seed, i);
     const std::size_t failures_before = report.failures.size();
     check_config(cfg, options.seed, i, report);
     if (options.fused) check_fused(cfg, options.seed, i, report);

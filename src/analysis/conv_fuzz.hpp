@@ -38,6 +38,7 @@ struct FuzzOptions {
   bool int8 = false;         ///< cross-check int8 forwards against fp32
   bool prepack = false;      ///< cross-check prepacked vs staged forwards
   bool depthwise = false;    ///< depthwise-only generator (groups == C)
+  bool winograd = false;     ///< winograd-only generator (k = 3, s = 1)
   bool tune_cache = false;   ///< round-trip autotuner decisions via disk
   std::string tune_cache_path;  ///< cache file (tune_cache); "" = default
   std::ostream* log = nullptr;  ///< per-config progress when non-null
@@ -75,6 +76,14 @@ struct FuzzReport {
 /// DepthwiseConv engine owns. Pure function of its arguments.
 [[nodiscard]] ConvConfig fuzz_depthwise_config(std::uint64_t seed,
                                                std::size_t index);
+
+/// The Winograd-eligible config at (seed, index): always k = 3, s = 1,
+/// pad 0–2, ungrouped — the family both WinogradConv tile sizes own —
+/// weighted toward the adversarial corners: odd output sizes whose tile
+/// overhang crosses the zero-padding, C = 1 / F = 1 degenerates, and
+/// inputs smaller than one tile. Pure function of its arguments.
+[[nodiscard]] ConvConfig fuzz_winograd_config(std::uint64_t seed,
+                                              std::size_t index);
 
 /// Checks one config (engines + plans). Failure strings are appended to
 /// `report.failures` tagged with `index`; counters accumulate.
@@ -115,10 +124,11 @@ void check_tune_roundtrip(const ConvConfig& cfg, std::size_t index,
                           FuzzReport& report, const std::string& path);
 
 /// The one-line command rerunning exactly config (seed, index);
-/// `depthwise` selects the depthwise-only generator's sequence.
+/// `depthwise` / `winograd` select the family generator's sequence.
 [[nodiscard]] std::string repro_command(std::uint64_t seed,
                                         std::size_t index,
-                                        bool depthwise = false);
+                                        bool depthwise = false,
+                                        bool winograd = false);
 
 /// Generates and checks options.count configs starting at options.start.
 [[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);

@@ -90,6 +90,27 @@ std::vector<SweepSpec> depthwise_sweeps() {
   return sweeps;
 }
 
+ConvConfig winograd_base_config() {
+  return ConvConfig{.batch = 64, .input = 56, .channels = 64, .filters = 64,
+                    .kernel = 3, .stride = 1, .pad = 1, .groups = 1};
+}
+
+std::vector<SweepSpec> winograd_sweeps() {
+  // Kernel and stride stay pinned at (3, 1): sweeping either would leave
+  // the family the Winograd engines (and cuDNN's winograd algorithms)
+  // dispatch on, so only the three eligibility-preserving parameters
+  // vary.
+  std::vector<SweepSpec> sweeps(3);
+  for (auto& s : sweeps) s.base = winograd_base_config();
+  sweeps[0].parameter = SweepParameter::kBatch;
+  for (std::size_t b = 32; b <= 256; b += 32) sweeps[0].values.push_back(b);
+  sweeps[1].parameter = SweepParameter::kInput;
+  for (std::size_t i = 8; i <= 64; i += 8) sweeps[1].values.push_back(i);
+  sweeps[2].parameter = SweepParameter::kFilters;
+  for (std::size_t f = 32; f <= 256; f += 32) sweeps[2].values.push_back(f);
+  return sweeps;
+}
+
 std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
   obs::Span span(obs::tracer(), "sweep " + to_string(spec.parameter),
                  "analysis");

@@ -50,6 +50,19 @@ struct SweepSpec {
 /// k in [3, 11] step 2, s in [1, 4].
 [[nodiscard]] std::vector<SweepSpec> depthwise_sweeps();
 
+/// Post-paper Winograd base: a VGG/ResNet-style interior layer
+/// (64, 56, 64, 3, 1) with pad 1, ungrouped — the family the Winograd
+/// engines own and cuDNN's later winograd algorithms dispatch on.
+[[nodiscard]] ConvConfig winograd_base_config();
+
+/// Fig-3-style sweeps over the Winograd base. Only the three parameters
+/// that keep every point Winograd-eligible vary — b in [32, 256] step
+/// 32, i in [8, 64] step 8, f in [32, 256] step 32; kernel and stride
+/// are pinned at (3, 1) by the algorithm family. Pair the run with
+/// frameworks::set_cudnn_winograd_plan(true) to put the cuDNN model on
+/// its winograd dispatch for these points.
+[[nodiscard]] std::vector<SweepSpec> winograd_sweeps();
+
 /// Result of one sweep point: every framework evaluated on the config.
 struct SweepPoint {
   std::size_t value = 0;

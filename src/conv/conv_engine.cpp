@@ -33,6 +33,12 @@ PackedFilters prepack_filters(const ConvConfig& cfg, const Tensor& filters) {
         blas::Trans::kNo, group_filters, ckk,
         {filters.plane(g * group_filters, 0), group_filters * ckk}, ckk));
   }
+  if (WinogradConv{}.supports(cfg)) {
+    prepack_winograd_filters(cfg, filters, WinogradTile::kF2,
+                             packed.winograd_f2_data, packed.winograd_f2);
+    prepack_winograd_filters(cfg, filters, WinogradTile::kF4,
+                             packed.winograd_f4_data, packed.winograd_f4);
+  }
   return packed;
 }
 

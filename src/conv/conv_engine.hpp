@@ -36,9 +36,32 @@ enum class Strategy { kDirect, kUnrolling, kFft, kWinograd };
 struct PackedFilters {
   std::vector<blas::PackedMatrix> groups;
 
+  /// Winograd scattered-GEMM panels: pre-transformed filters U = G g G^T
+  /// laid out [alpha^2][F][C], one PackedMatrix per tile position over
+  /// the owned backing buffer. Built only for Winograd-eligible configs
+  /// (k=3, s=1, pad <= 2, ungrouped); empty otherwise. The backing
+  /// vectors are owned here because — unlike the GEMM groups, whose
+  /// origin is the caller's filter tensor — the transformed values exist
+  /// nowhere else. Move-only: a copy would leave the copied panels'
+  /// origin spans pointing into the source's backing storage.
+  std::vector<float> winograd_f2_data;
+  std::vector<blas::PackedMatrix> winograd_f2;
+  std::vector<float> winograd_f4_data;
+  std::vector<blas::PackedMatrix> winograd_f4;
+
+  PackedFilters() = default;
+  PackedFilters(PackedFilters&&) = default;
+  PackedFilters& operator=(PackedFilters&&) = default;
+  PackedFilters(const PackedFilters&) = delete;
+  PackedFilters& operator=(const PackedFilters&) = delete;
+
   [[nodiscard]] std::size_t bytes() const {
     std::size_t total = 0;
     for (const auto& g : groups) total += g.bytes();
+    for (const auto& t : winograd_f2) total += t.bytes();
+    for (const auto& t : winograd_f4) total += t.bytes();
+    total += (winograd_f2_data.size() + winograd_f4_data.size()) *
+             sizeof(float);
     return total;
   }
 };

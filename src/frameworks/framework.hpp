@@ -110,6 +110,15 @@ class Framework {
   [[nodiscard]] virtual double table2_smem_kb() const = 0;
 };
 
+/// Switches the cuDNN model's plan() onto a Winograd F(4x4,3x3)
+/// tile-GEMM dispatch for eligible shapes (3x3, stride 1, ungrouped,
+/// pad <= 2), returning the previous setting. Off by default — the
+/// paper profiles cuDNN v3, whose implicit GEMM predates the winograd
+/// algorithms — so the figure benches and paper-claims tests see the
+/// historical plan; the winograd sweep tooling flips this on around
+/// its run to model the later dispatch.
+bool set_cudnn_winograd_plan(bool enabled);
+
 /// Global registry: one immutable instance per implementation.
 [[nodiscard]] const Framework& framework(FrameworkId id);
 

@@ -18,6 +18,8 @@ const char* to_string(KernelClass c) {
       return "direct-conv";
     case KernelClass::kDepthwise:
       return "depthwise";
+    case KernelClass::kWinograd:
+      return "winograd";
     case KernelClass::kPointwise:
       return "pointwise";
     case KernelClass::kPrecompute:

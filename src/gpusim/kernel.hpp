@@ -23,6 +23,7 @@ enum class KernelClass {
   kTranspose,   // data layout conversion
   kDirectConv,  // direct convolution kernels (cuda-convnet2)
   kDepthwise,   // depthwise (groups == channels) convolution kernels
+  kWinograd,    // Winograd tile-GEMM batched multiplies (cuDNN winograd)
   kPointwise,   // bias/activation/scale helpers
   kPrecompute,  // preparatory kernels (cuDNN pre-transforms, Theano prep)
 };

@@ -64,8 +64,10 @@ std::span<const conv::ConvEngine* const> candidates() {
   static const conv::TiledFftConv fft_tiled;
   static const conv::WinogradConv winograd;
   static const conv::DepthwiseConv depthwise;
+  static const conv::WinogradConv winograd_f4(conv::WinogradTile::kF4);
   static const conv::ConvEngine* const all[] = {
-      &direct, &gemm, &implicit, &fft, &fft_tiled, &winograd, &depthwise};
+      &direct,    &gemm,      &implicit,   &fft,
+      &fft_tiled, &winograd,  &depthwise,  &winograd_f4};
   return all;
 }
 
@@ -139,6 +141,19 @@ std::vector<std::size_t> prior_order(const ConvConfig& cfg, Pass pass,
   // search; the recommend model below only knows the paper's strategies.
   if (cfg.groups == cfg.channels && cfg.groups > 1) push_unique(6);
 
+  // Zoo-dominant 3x3/stride-1 shapes: the scattered-GEMM Winograd
+  // engines win once the GEMMs are deep and wide enough to amortise the
+  // transforms — measured ≥2x over im2col GEMM at C,F ≥ 64 on 28²+
+  // feature maps. F(4x4,3x3) (4x multiply reduction) leads F(2x2,3x3).
+  // The size gate keeps small shapes (LeNet, fuzzer degenerates) on the
+  // unchanged prior.
+  if (cfg.kernel == 3 && cfg.stride == 1 && cfg.groups == 1 &&
+      cfg.pad <= 2 && cfg.channels >= 64 && cfg.filters >= 64 &&
+      cfg.input >= 28) {
+    push_unique(7);
+    push_unique(5);
+  }
+
   analysis::Recommendation rec;
   try {
     rec = analysis::recommend(cfg);
@@ -168,6 +183,7 @@ std::vector<std::size_t> prior_order(const ConvConfig& cfg, Pass pass,
         break;
       case conv::Strategy::kWinograd:
         push_unique(5);
+        push_unique(7);
         break;
     }
   }

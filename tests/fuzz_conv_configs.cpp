@@ -77,6 +77,32 @@ TEST(ConvFuzz, PrepackBatchFindsNoFailures) {
   }
 }
 
+TEST(ConvFuzz, WinogradBatchFindsNoFailures) {
+  // 40 Winograd-eligible configs (k = 3, s = 1, pads 0–2, tile-edge
+  // adversarial) through the full engine cross-check — both Winograd
+  // tile sizes run against direct on all three passes — plus the
+  // prepacked bit-identity check.
+  FuzzOptions options;
+  options.seed = 1;
+  options.count = 40;
+  options.fused = false;
+  options.winograd = true;
+  options.prepack = true;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_EQ(report.configs_run, options.count);
+  // Every config is Winograd-eligible, so both tile sizes check all
+  // three passes on every config: at least 6 winograd comparisons each.
+  EXPECT_GE(report.engine_checks, 6 * options.count);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << '[' << failure.index << "] "
+                  << failure.config.to_string() << ": " << failure.what
+                  << "\n  repro: "
+                  << repro_command(options.seed, failure.index,
+                                   /*depthwise=*/false, /*winograd=*/true)
+                  << " --prepack";
+  }
+}
+
 TEST(ConvFuzz, ConfigIsAPureFunctionOfSeedAndIndex) {
   // Identical across calls, and independent of which other indices were
   // generated before — the property --start repro relies on.
@@ -130,6 +156,54 @@ TEST(ConvFuzz, ReproCommandPinsOneConfig) {
             "tools/conv_fuzz --seed 42 --start 17 --count 1");
   EXPECT_EQ(repro_command(42, 17, /*depthwise=*/true),
             "tools/conv_fuzz --seed 42 --start 17 --count 1 --depthwise");
+  EXPECT_EQ(repro_command(42, 17, /*depthwise=*/false, /*winograd=*/true),
+            "tools/conv_fuzz --seed 42 --start 17 --count 1 --winograd");
+}
+
+TEST(ConvFuzz, WinogradGeneratorStaysEligibleAndAdversarial) {
+  // Every config from the winograd generator must be in the family both
+  // WinogradConv tile sizes own (k = 3, s = 1, pad <= 2, ungrouped),
+  // and the sequence must cover the adversarial sub-families: all three
+  // pads, C = 1 / F = 1 degenerates, inputs smaller than one tile, and
+  // odd output sizes whose final tile overhangs the padded edge for
+  // both tile sizes.
+  bool pad0 = false;
+  bool pad1 = false;
+  bool pad2 = false;
+  bool single_channel = false;
+  bool single_filter = false;
+  bool below_tile = false;    // input < 4, smaller than even an F2 tile
+  bool f2_overhang = false;   // output % 2 != 0
+  bool f4_overhang = false;   // output % 4 != 0
+  for (std::size_t i = 0; i < 300; ++i) {
+    const ConvConfig cfg = fuzz_winograd_config(1, i);
+    ASSERT_NO_THROW((void)cfg.output()) << "invalid geometry at index " << i;
+    ASSERT_EQ(cfg.kernel, 3U) << "not 3x3 at index " << i;
+    ASSERT_EQ(cfg.stride, 1U) << "not stride-1 at index " << i;
+    ASSERT_LE(cfg.pad, 2U) << "pad beyond the supported range at " << i;
+    ASSERT_EQ(cfg.groups, 1U) << "grouped at index " << i;
+    pad0 |= cfg.pad == 0;
+    pad1 |= cfg.pad == 1;
+    pad2 |= cfg.pad == 2;
+    single_channel |= cfg.channels == 1;
+    single_filter |= cfg.filters == 1;
+    below_tile |= cfg.input < 4;
+    f2_overhang |= cfg.output() % 2 != 0;
+    f4_overhang |= cfg.output() % 4 != 0;
+  }
+  EXPECT_TRUE(pad0);
+  EXPECT_TRUE(pad1);
+  EXPECT_TRUE(pad2);
+  EXPECT_TRUE(single_channel);
+  EXPECT_TRUE(single_filter);
+  EXPECT_TRUE(below_tile);
+  EXPECT_TRUE(f2_overhang);
+  EXPECT_TRUE(f4_overhang);
+
+  // Pure function of (seed, index), like the other generators.
+  const ConvConfig a = fuzz_winograd_config(7, 42);
+  (void)fuzz_winograd_config(7, 1);
+  EXPECT_EQ(a, fuzz_winograd_config(7, 42));
 }
 
 TEST(ConvFuzz, DepthwiseGeneratorStaysDegenerateAndAdversarial) {

@@ -46,6 +46,27 @@ TEST(Sweep, ConfigForVariesOnlyOneParameter) {
   }
 }
 
+TEST(Sweep, WinogradSweepsStayInTheEligibleFamily) {
+  const ConvConfig base = winograd_base_config();
+  EXPECT_EQ(base.to_string(), "(64,56,64,3,1)");
+  EXPECT_EQ(base.channels, 64U);
+  EXPECT_EQ(base.groups, 1U);
+  const auto sweeps = winograd_sweeps();
+  ASSERT_EQ(sweeps.size(), 3U);  // kernel and stride are pinned at (3, 1)
+  EXPECT_EQ(sweeps[0].parameter, SweepParameter::kBatch);
+  EXPECT_EQ(sweeps[1].parameter, SweepParameter::kInput);
+  EXPECT_EQ(sweeps[2].parameter, SweepParameter::kFilters);
+  for (const auto& spec : sweeps) {
+    for (const std::size_t value : spec.values) {
+      const ConvConfig cfg = spec.config_for(value);
+      EXPECT_EQ(cfg.kernel, 3U) << to_string(spec.parameter);
+      EXPECT_EQ(cfg.stride, 1U) << to_string(spec.parameter);
+      EXPECT_EQ(cfg.groups, 1U) << to_string(spec.parameter);
+      EXPECT_LE(cfg.pad, 2U) << to_string(spec.parameter);
+    }
+  }
+}
+
 TEST(Sweep, RunSweepCoversAllFrameworks) {
   SweepSpec spec{SweepParameter::kStride, {1, 2}};
   const auto points = run_sweep(spec);

@@ -161,6 +161,39 @@ TEST(Plans, DirectConvolutionHasNoWorkspace) {
   }
 }
 
+TEST(Plans, CudnnWinogradPlanIsToggleGated) {
+  const ConvConfig eligible{.batch = 8, .input = 28, .channels = 64,
+                            .filters = 64, .kernel = 3, .stride = 1,
+                            .pad = 1};
+  const auto& cudnn = framework(FrameworkId::kCudnn);
+
+  // Default off: the paper profiles cuDNN v3, which predates winograd.
+  for (const auto& k : cudnn.plan(eligible).kernels) {
+    EXPECT_NE(k.kind, gpusim::KernelClass::kWinograd) << k.name;
+  }
+
+  const bool prev = set_cudnn_winograd_plan(true);
+  EXPECT_FALSE(prev) << "winograd plan must default off";
+  const ExecutionPlan plan = cudnn.plan(eligible);
+  // Ineligible shapes keep the implicit-GEMM plan even when toggled on.
+  const ExecutionPlan base_plan = cudnn.plan(kBase);  // 11x11 kernel
+  set_cudnn_winograd_plan(prev);
+
+  std::size_t batched_multiplies = 0;
+  gpusim::Profiler profiler(gpusim::tesla_k40c());
+  for (const auto& k : plan.kernels) {
+    batched_multiplies += k.kind == gpusim::KernelClass::kWinograd;
+    const auto& m = profiler.launch(k);
+    EXPECT_GT(m.duration_ms, 0.0) << k.name;
+  }
+  EXPECT_EQ(batched_multiplies, 3U);  // one per pass
+  EXPECT_GT(plan.workspace_bytes(), 0.0);  // U/V/M spectral planes
+  for (const auto& k : base_plan.kernels) {
+    EXPECT_NE(k.kind, gpusim::KernelClass::kWinograd) << k.name;
+  }
+  EXPECT_STREQ(to_string(gpusim::KernelClass::kWinograd), "winograd");
+}
+
 TEST(Plans, EveryKernelSimulates) {
   for (const auto id : all_frameworks()) {
     gpusim::Profiler profiler(gpusim::tesla_k40c());

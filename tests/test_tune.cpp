@@ -63,12 +63,13 @@ TEST_F(TunerFixture, EligibilityRespectsEngineShapeLimits) {
   ConvConfig strided = small_config();
   strided.stride = 2;
   const auto timings = tuner_->measure_all(strided, Pass::kForward);
-  ASSERT_EQ(timings.size(), 7U);
+  ASSERT_EQ(timings.size(), 8U);
   for (const auto& t : timings) {
     // Depthwise is also out: the config is ungrouped multi-channel.
     const bool ineligible = t.engine_name == "fft" ||
                             t.engine_name == "fft-tiled" ||
                             t.engine_name == "winograd" ||
+                            t.engine_name == "winograd-f4" ||
                             t.engine_name == "depthwise";
     EXPECT_EQ(t.eligible, !ineligible) << t.engine_name;
     if (!t.eligible) {
@@ -231,15 +232,15 @@ TEST_F(TunerFixture, KeyHashSeparatesDtypes) {
 
 TEST_F(TunerFixture, Int8PoolOnlyExtendsTheForwardPass) {
   // The int8 engines join the candidate pool for (kForward, kInt8) only:
-  // fp32 callers keep the exact seven engines, and no backward pass ever
+  // fp32 callers keep the exact eight engines, and no backward pass ever
   // sees an inference-only engine.
   const ConvConfig cfg = small_config();
-  EXPECT_EQ(tuner_->measure_all(cfg, Pass::kForward).size(), 7U);
+  EXPECT_EQ(tuner_->measure_all(cfg, Pass::kForward).size(), 8U);
   EXPECT_EQ(tuner_->measure_all(cfg, Pass::kBackwardData, Dtype::kInt8)
                 .size(),
-            7U);
+            8U);
   const auto timings = tuner_->measure_all(cfg, Pass::kForward, Dtype::kInt8);
-  ASSERT_EQ(timings.size(), 9U);
+  ASSERT_EQ(timings.size(), 10U);
   bool unrolling_int8 = false;
   bool implicit_int8 = false;
   for (const auto& t : timings) {

@@ -1,0 +1,299 @@
+// The rebuilt Winograd engine's contracts, beyond the direct-agreement
+// suite in test_winograd.cpp: the scalar transform identities the
+// scattered-GEMM formulation is built on, bit-identity of the fused
+// epilogue, the prepacked-panel lifecycle, F(2x2,3x3)-vs-F(4x4,3x3)
+// agreement on all three passes, and the fallback counter.
+#include "conv/winograd_conv.hpp"
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "conv/direct_conv.hpp"
+#include "core/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace gpucnn::conv {
+namespace {
+
+constexpr std::array<WinogradTile, 2> kTiles{WinogradTile::kF2,
+                                             WinogradTile::kF4};
+
+std::size_t alpha_of(WinogradTile tile) {
+  return tile == WinogradTile::kF2 ? 4U : 6U;
+}
+
+const char* label_of(WinogradTile tile) {
+  return tile == WinogradTile::kF2 ? "F(2x2,3x3)" : "F(4x4,3x3)";
+}
+
+// --- Transform identities -------------------------------------------------
+
+TEST(WinogradTransforms, RoundTripEqualsDirectTileConvolution) {
+  // The algorithm's defining identity, per tile:
+  //   A^T [(G g G^T) .* (B^T d B)] A  ==  conv_valid(d, g)
+  // Checked against the direct engine on a single alpha x alpha image.
+  for (const WinogradTile tile : kTiles) {
+    const std::size_t alpha = alpha_of(tile);
+    const std::size_t m = alpha - 2;
+    const ConvConfig cfg{.batch = 1, .input = alpha, .channels = 1,
+                         .filters = 1, .kernel = 3, .stride = 1};
+    Rng rng(31);
+    Tensor d(cfg.input_shape());
+    d.fill_uniform(rng);
+    Tensor g(cfg.filter_shape());
+    g.fill_uniform(rng);
+
+    std::vector<float> v(alpha * alpha);
+    std::vector<float> u(alpha * alpha);
+    std::vector<float> prod(alpha * alpha);
+    std::vector<float> y(m * m);
+    wino_detail::transform_data(tile, d.data().data(), v.data());
+    wino_detail::transform_filter(tile, g.data().data(), u.data());
+    for (std::size_t i = 0; i < prod.size(); ++i) prod[i] = u[i] * v[i];
+    wino_detail::transform_output(tile, prod.data(), y.data());
+
+    Tensor want(cfg.output_shape());
+    DirectConv{}.forward(cfg, d, g, want);
+    const std::span<const float> ref = want.data();
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      max_diff =
+          std::max(max_diff, static_cast<double>(std::abs(y[i] - ref[i])));
+    }
+    EXPECT_LT(max_diff, 1e-5) << label_of(tile);
+  }
+}
+
+TEST(WinogradTransforms, CentreDeltaFilterExtractsTheTileInterior) {
+  // conv_valid(d, centre delta) is the interior m x m of the tile, so
+  // the three transforms composed around the delta spectrum must act as
+  // that restriction — a joint identity on B, G and A.
+  for (const WinogradTile tile : kTiles) {
+    const std::size_t alpha = alpha_of(tile);
+    const std::size_t m = alpha - 2;
+    std::array<float, 9> g{};
+    g[4] = 1.0F;  // centre tap
+    Rng rng(30);
+    std::vector<float> d(alpha * alpha);
+    for (auto& x : d) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    std::vector<float> u(alpha * alpha);
+    std::vector<float> v(alpha * alpha);
+    std::vector<float> prod(alpha * alpha);
+    std::vector<float> y(m * m);
+    wino_detail::transform_filter(tile, g.data(), u.data());
+    wino_detail::transform_data(tile, d.data(), v.data());
+    for (std::size_t i = 0; i < prod.size(); ++i) prod[i] = u[i] * v[i];
+    wino_detail::transform_output(tile, prod.data(), y.data());
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) {
+        EXPECT_NEAR(y[r * m + c], d[(r + 1) * alpha + (c + 1)], 1e-5)
+            << label_of(tile) << " at (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(WinogradTransforms, TransformsAreLinear) {
+  // Each transform is a fixed linear map; scattering tiles into SoA
+  // planes and batching GEMMs over them relies on exactly this.
+  for (const WinogradTile tile : kTiles) {
+    const std::size_t alpha = alpha_of(tile);
+    Rng rng(32);
+    std::vector<float> a(alpha * alpha);
+    std::vector<float> b(alpha * alpha);
+    for (auto& x : a) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& x : b) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    std::vector<float> sum(alpha * alpha);
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = a[i] + b[i];
+
+    std::vector<float> va(alpha * alpha);
+    std::vector<float> vb(alpha * alpha);
+    std::vector<float> vsum(alpha * alpha);
+    wino_detail::transform_data(tile, a.data(), va.data());
+    wino_detail::transform_data(tile, b.data(), vb.data());
+    wino_detail::transform_data(tile, sum.data(), vsum.data());
+    for (std::size_t i = 0; i < vsum.size(); ++i) {
+      EXPECT_NEAR(vsum[i], va[i] + vb[i], 1e-5) << label_of(tile);
+    }
+  }
+}
+
+// --- Fused epilogue -------------------------------------------------------
+
+TEST(WinogradFused, BiasReluMatchesUnfusedBitForBit) {
+  // The epilogue rides the inverse transform's write-back: add-then-max
+  // in the same float order as the separate passes, so the comparison
+  // demands exact equality, not tolerance.
+  const ConvConfig cfg{.batch = 2, .input = 11, .channels = 3, .filters = 4,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  Rng rng(33);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  std::vector<float> bias(cfg.filters);
+  for (auto& b : bias) b = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  for (const WinogradTile tile : kTiles) {
+    const WinogradConv engine(tile);
+    Tensor unfused(cfg.output_shape());
+    engine.forward(cfg, in, w, unfused);
+    const std::size_t plane = cfg.output() * cfg.output();
+    const std::span<float> data = unfused.data();
+    for (std::size_t n = 0; n < cfg.batch; ++n) {
+      for (std::size_t f = 0; f < cfg.filters; ++f) {
+        const std::span<float> p =
+            data.subspan((n * cfg.filters + f) * plane, plane);
+        for (std::size_t i = 0; i < plane; ++i) {
+          p[i] = std::max(0.0F, p[i] + bias[f]);
+        }
+      }
+    }
+    Tensor fused(cfg.output_shape());
+    ASSERT_TRUE(engine.forward_fused(cfg, in, w, bias, /*relu=*/true, fused))
+        << label_of(tile);
+    EXPECT_EQ(max_abs_diff(unfused, fused), 0.0) << label_of(tile);
+  }
+}
+
+// --- Prepacked panels -----------------------------------------------------
+
+TEST(WinogradPrepack, PackBuildsOnePanelPerTilePosition) {
+  const ConvConfig cfg{.batch = 1, .input = 12, .channels = 5, .filters = 6,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  Rng rng(34);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+
+  const PackedFilters packed = prepack_filters(cfg, w);
+  EXPECT_EQ(packed.winograd_f2.size(), winograd_positions(WinogradTile::kF2));
+  EXPECT_EQ(packed.winograd_f4.size(), winograd_positions(WinogradTile::kF4));
+  EXPECT_EQ(packed.winograd_f2_data.size(),
+            16 * cfg.filters * cfg.channels);
+  EXPECT_EQ(packed.winograd_f4_data.size(),
+            36 * cfg.filters * cfg.channels);
+  // The pack accounts for the panels it owns.
+  std::size_t gemm_only = 0;
+  for (const auto& g : packed.groups) gemm_only += g.bytes();
+  EXPECT_GT(packed.bytes(), gemm_only);
+}
+
+TEST(WinogradPrepack, IneligibleConfigsGetNoWinogradSections) {
+  const ConvConfig cfg{.batch = 1, .input = 12, .channels = 2, .filters = 2,
+                       .kernel = 5, .stride = 1, .pad = 2};
+  Rng rng(35);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  const PackedFilters packed = prepack_filters(cfg, w);
+  EXPECT_TRUE(packed.winograd_f2.empty());
+  EXPECT_TRUE(packed.winograd_f4.empty());
+  EXPECT_TRUE(packed.winograd_f2_data.empty());
+  EXPECT_TRUE(packed.winograd_f4_data.empty());
+}
+
+TEST(WinogradPrepack, PrepackedForwardIsBitIdenticalToStaged) {
+  const ConvConfig cfg{.batch = 2, .input = 14, .channels = 4, .filters = 5,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  Rng rng(36);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  std::vector<float> bias(cfg.filters);
+  for (auto& b : bias) b = static_cast<float>(rng.uniform(-0.5, 0.5));
+  const PackedFilters packed = prepack_filters(cfg, w);
+
+  for (const WinogradTile tile : kTiles) {
+    const WinogradConv engine(tile);
+    for (const bool relu : {false, true}) {
+      Tensor staged(cfg.output_shape());
+      ASSERT_TRUE(engine.forward_fused(cfg, in, w, bias, relu, staged));
+      Tensor prepacked(cfg.output_shape());
+      ASSERT_TRUE(engine.forward_prepacked(cfg, in, packed, w, bias, relu,
+                                           prepacked))
+          << label_of(tile);
+      EXPECT_EQ(max_abs_diff(staged, prepacked), 0.0)
+          << label_of(tile) << " relu=" << relu;
+    }
+  }
+}
+
+TEST(WinogradPrepack, PackWithoutPanelsFallsBackAndCounts) {
+  const ConvConfig cfg{.batch = 1, .input = 8, .channels = 2, .filters = 2,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  Rng rng(37);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  Tensor out(cfg.output_shape());
+
+  const auto& fallbacks =
+      obs::metrics().counter("conv.winograd.fallbacks");
+  const std::int64_t before = fallbacks.value();
+  const PackedFilters empty_pack;  // no winograd sections at all
+  EXPECT_FALSE(WinogradConv{}.forward_prepacked(cfg, in, empty_pack, w, {},
+                                                false, out));
+  EXPECT_EQ(fallbacks.value(), before + 1);
+}
+
+// --- Tile-size agreement --------------------------------------------------
+
+TEST(WinogradTileAgreement, F2AndF4AgreeOnAllThreePasses) {
+  // Same contract as the fuzzer's cross-check: both tile sizes are the
+  // same convolution, differing only in rounding.
+  const ConvConfig cfg{.batch = 2, .input = 13, .channels = 5, .filters = 4,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  const WinogradConv f2(WinogradTile::kF2);
+  const WinogradConv f4(WinogradTile::kF4);
+  Rng rng(38);
+  Tensor in(cfg.input_shape());
+  in.fill_uniform(rng);
+  Tensor w(cfg.filter_shape());
+  w.fill_uniform(rng);
+  Tensor gout(cfg.output_shape());
+  gout.fill_uniform(rng);
+
+  Tensor fwd2(cfg.output_shape());
+  Tensor fwd4(cfg.output_shape());
+  f2.forward(cfg, in, w, fwd2);
+  f4.forward(cfg, in, w, fwd4);
+  EXPECT_LT(max_abs_diff(fwd2, fwd4),
+            1e-4 * (1.0 + static_cast<double>(cfg.channels)));
+
+  Tensor gin2(cfg.input_shape());
+  Tensor gin4(cfg.input_shape());
+  f2.backward_data(cfg, gout, w, gin2);
+  f4.backward_data(cfg, gout, w, gin4);
+  EXPECT_LT(max_abs_diff(gin2, gin4),
+            1e-4 * (1.0 + static_cast<double>(cfg.filters)));
+
+  Tensor gw2(cfg.filter_shape());
+  Tensor gw4(cfg.filter_shape());
+  f2.backward_filter(cfg, in, gout, gw2);
+  f4.backward_filter(cfg, in, gout, gw4);
+  const double tol = 1e-4 * (1.0 + 0.05 * static_cast<double>(cfg.batch) *
+                                       static_cast<double>(cfg.output()));
+  EXPECT_LT(max_abs_diff(gw2, gw4), tol);
+}
+
+TEST(WinogradTileAgreement, EngineVariantsAreDistinct) {
+  EXPECT_EQ(WinogradConv{}.name(), "winograd");
+  EXPECT_EQ(WinogradConv{WinogradTile::kF4}.name(), "winograd-f4");
+  EXPECT_EQ(winograd_positions(WinogradTile::kF2), 16U);
+  EXPECT_EQ(winograd_positions(WinogradTile::kF4), 36U);
+  // Both own the same shape family.
+  const ConvConfig eligible{.batch = 1, .input = 8, .channels = 1,
+                            .filters = 1, .kernel = 3, .stride = 1,
+                            .pad = 2};
+  EXPECT_TRUE(WinogradConv{WinogradTile::kF4}.supports(eligible));
+  EXPECT_FALSE(WinogradConv{WinogradTile::kF4}.supports(
+      {.batch = 1, .input = 8, .channels = 2, .filters = 2, .kernel = 3,
+       .stride = 1, .pad = 1, .groups = 2}));
+}
+
+}  // namespace
+}  // namespace gpucnn::conv

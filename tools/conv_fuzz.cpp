@@ -1,7 +1,7 @@
 // Command-line driver for the conv-config fuzzer (analysis/conv_fuzz).
 //
 //   conv_fuzz [--seed N] [--count N] [--start N] [--verbose] [--no-poison]
-//             [--no-fused] [--int8] [--prepack] [--depthwise]
+//             [--no-fused] [--int8] [--prepack] [--depthwise] [--winograd]
 //             [--tune-cache [PATH]]
 //
 // Deterministic per (seed, index): a failing run prints, for every
@@ -22,7 +22,7 @@ namespace {
 int usage(std::ostream& os) {
   os << "usage: conv_fuzz [--seed N] [--count N] [--start N]"
         " [--verbose] [--no-poison] [--no-fused] [--int8] [--prepack]"
-        " [--depthwise] [--tune-cache [PATH]]\n"
+        " [--depthwise] [--winograd] [--tune-cache [PATH]]\n"
         "  --seed N      RNG seed defining the config sequence"
         " (default 1)\n"
         "  --count N     number of configs to check (default 200)\n"
@@ -38,6 +38,8 @@ int usage(std::ostream& os) {
         " staged paths (bit-identity)\n"
         "  --depthwise   draw only depthwise-degenerate configs"
         " (groups == C, multipliers > 1)\n"
+        "  --winograd    draw only Winograd-eligible configs"
+        " (k = 3, s = 1, pads 0-2, tile-edge adversarial)\n"
         "  --tune-cache [PATH]\n"
         "                round-trip autotuner decisions through the disk"
         " cache\n"
@@ -72,6 +74,8 @@ int main(int argc, char** argv) {
       options.prepack = true;
     } else if (arg == "--depthwise") {
       options.depthwise = true;
+    } else if (arg == "--winograd") {
+      options.winograd = true;
     } else if (arg == "--tune-cache") {
       options.tune_cache = true;
       // Optional PATH operand: anything that does not look like a flag.
@@ -116,7 +120,8 @@ int main(int argc, char** argv) {
               << " groups=" << failure.config.groups << "\n  "
               << failure.what << "\n  repro: "
               << gpucnn::analysis::repro_command(options.seed, failure.index,
-                                                 options.depthwise)
+                                                 options.depthwise,
+                                                 options.winograd)
               << '\n';
   }
   if (!report.ok()) {

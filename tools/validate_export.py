@@ -37,7 +37,8 @@ TUNE_ENTRY_FIELDS = {"batch", "input", "channels", "filters", "kernel",
 TUNE_PASSES = {"forward", "backward-data", "backward-filter"}
 TUNE_DTYPES = {"fp32", "int8"}
 TUNE_ENGINES = {"direct", "unrolling", "implicit-gemm", "fft", "fft-tiled",
-                "winograd", "unrolling-int8", "implicit-int8"}
+                "winograd", "winograd-f4", "depthwise", "unrolling-int8",
+                "implicit-int8"}
 
 
 class Failure(Exception):
@@ -250,6 +251,29 @@ def validate_prepack_table(directory, entry):
               f" {staged / prepacked}")
 
 
+WINOGRAD_COLUMNS = {"case", "gemm_real_ns", "winograd_real_ns", "speedup"}
+
+
+def validate_winograd_table(directory, entry):
+    """BENCH_winograd schema (bench_cpu_kernels): each row pairs the
+    staged fused GemmConv forward with a prepacked Winograd tile size on
+    the same shape; the speedup column must be their actual ratio."""
+    doc = load_json(directory / entry["file"])
+    name = entry["file"]
+    missing = WINOGRAD_COLUMNS - set(doc.get("columns", []))
+    check(not missing,
+          f"{name}: BENCH_winograd missing columns {sorted(missing)}")
+    for i, row in enumerate(doc.get("rows", [])):
+        gemm = float(row["gemm_real_ns"])
+        winograd = float(row["winograd_real_ns"])
+        speedup = float(row["speedup"])
+        check(gemm > 0 and winograd > 0,
+              f"{name}: row {i}: non-positive timing")
+        check(abs(speedup - gemm / winograd) <= 1e-3 * speedup + 1e-6,
+              f"{name}: row {i}: speedup {speedup} != gemm/winograd"
+              f" {gemm / winograd}")
+
+
 def validate_tune_cache(path):
     """Validates one on-disk autotuner cache (src/tune/autotuner.cpp)."""
     doc = load_json(path)
@@ -318,6 +342,8 @@ def validate_directory(directory):
                 validate_int8_table(directory, entry)
             if entry["file"].startswith("BENCH_prepack"):
                 validate_prepack_table(directory, entry)
+            if entry["file"].startswith("BENCH_winograd"):
+                validate_winograd_table(directory, entry)
         elif kind == "table_csv":
             validate_csv(directory, entry)
         elif kind == "metrics":
